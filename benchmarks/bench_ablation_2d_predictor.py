@@ -1,0 +1,73 @@
+"""Ablation A4 — 1-D vs 2-D Lorenzo prediction (extension, paper future work).
+
+The paper's future work proposes tailoring the homomorphic compression to
+application data characteristics.  For 2-D fields the tailoring is the 2-D
+Lorenzo predictor (`FZLight2D`), which stays linear — and therefore fully
+homomorphic — while exploiting the second dimension's smoothness.
+
+Expected shape: on the 2-D CESM-ATM dataset and on stacked-image scenes,
+the 2-D predictor's ratio beats 1-D clearly; homomorphic sums remain
+bit-exact against the integer oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.image_stacking import make_scene
+from repro.bench.tables import format_table
+from repro.compression import FZLight, FZLight2D, resolve_error_bound
+from repro.compression.common import dequantize, quantize
+from repro.datasets import generate_field
+from repro.homomorphic import HZDynamic
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+REL = 1e-3
+
+
+def measure():
+    fields = {
+        "cesm (climate 2-D)": generate_field(
+            "cesm", 0, scale=BENCH_SCALE, seed=BENCH_SEED
+        ),
+        "deep-sky scene": make_scene((512, 512), seed=BENCH_SEED),
+    }
+    rows, gains = [], {}
+    for name, data in fields.items():
+        eb = resolve_error_bound(data, rel_eb=REL)
+        r1d = FZLight().compress(data.ravel(), abs_eb=eb).compression_ratio
+        r2d = FZLight2D().compress(data, abs_eb=eb).compression_ratio
+        gains[name] = r2d / r1d
+        rows.append([name, r1d, r2d, r2d / r1d])
+    return rows, gains
+
+
+def test_ablation_2d_ratio(benchmark):
+    rows, gains = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["field", "1-D ratio", "2-D ratio", "2-D gain"],
+            rows,
+            title="Ablation A4: 2-D Lorenzo predictor vs 1-D (REL 1e-3)",
+        )
+    )
+    for name, gain in gains.items():
+        assert gain > 1.1, name
+
+
+def test_2d_homomorphic_sum_is_exact():
+    """The extension must not cost any homomorphic exactness."""
+    a = generate_field("cesm", 0, scale=BENCH_SCALE, seed=BENCH_SEED)
+    b = generate_field("cesm", 1, scale=BENCH_SCALE, seed=BENCH_SEED)
+    eb = resolve_error_bound(a, rel_eb=REL)
+    comp = FZLight2D()
+    total = HZDynamic().add(comp.compress(a, abs_eb=eb), comp.compress(b, abs_eb=eb))
+    oracle = dequantize(
+        quantize(a.ravel(), eb).astype(np.int64)
+        + quantize(b.ravel(), eb).astype(np.int64),
+        eb,
+    ).reshape(a.shape)
+    np.testing.assert_array_equal(comp.decompress(total), oracle)

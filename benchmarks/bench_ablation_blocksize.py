@@ -1,0 +1,81 @@
+"""Ablation A2 — block size and thread-block (outlier) granularity.
+
+DESIGN.md design decision 1.  Two sweeps:
+
+* **block size** — smaller blocks adapt code lengths more finely (better
+  entropy fit) but pay one code-length byte per block; 32 is the paper's
+  sweet spot.
+* **outlier granularity** — fZ-light stores one outlier per *thread-block*;
+  ompSZp stores one per *small block*.  Sweeping fZ-light's thread-block
+  count shows the outlier overhead directly (more thread-blocks → more
+  outliers → marginally lower ratio), the mechanism behind the Table III
+  CESM-ATM gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.compression import FZLight, check_error_bound, resolve_error_bound
+
+from conftest import cached_field
+
+REL = 1e-3
+
+
+def sweep_block_size():
+    data = cached_field("cesm", 0)
+    eb = resolve_error_bound(data, rel_eb=REL)
+    rows, ratios = [], {}
+    for bs in (8, 16, 32, 64, 128):
+        comp = FZLight(block_size=bs)
+        field = comp.compress(data, abs_eb=eb)
+        assert check_error_bound(data, comp.decompress(field), eb)
+        ratios[bs] = field.compression_ratio
+        rows.append([bs, field.compression_ratio, field.nbytes])
+    return rows, ratios
+
+
+def sweep_outlier_granularity():
+    data = cached_field("cesm", 0)
+    eb = resolve_error_bound(data, rel_eb=REL)
+    rows, ratios = [], {}
+    for n_tb in (1, 18, 36, 360, 3600):
+        comp = FZLight(n_threadblocks=n_tb)
+        field = comp.compress(data, abs_eb=eb)
+        ratios[n_tb] = field.compression_ratio
+        rows.append([n_tb, field.outliers.size, field.compression_ratio])
+    return rows, ratios
+
+
+def test_ablation_block_size(benchmark):
+    rows, ratios = benchmark.pedantic(sweep_block_size, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["block size", "ratio", "compressed bytes"],
+            rows,
+            title="Ablation A2a: block-size sweep (CESM-ATM, REL 1e-3)",
+        )
+    )
+    # extremes lose to the middle: tiny blocks pay metadata, huge blocks
+    # lose code-length adaptivity
+    best = max(ratios, key=ratios.get)
+    assert best in (16, 32, 64), ratios
+
+
+def test_ablation_outlier_granularity():
+    rows, ratios = sweep_outlier_granularity()
+    print()
+    print(
+        format_table(
+            ["thread-blocks", "outliers stored", "ratio"],
+            rows,
+            title="Ablation A2b: outlier granularity (fewer outliers ⇒ "
+            "higher ratio — fZ-light's Table III advantage)",
+        )
+    )
+    assert ratios[1] >= ratios[3600], "outlier overhead must show up"
+    # the effect is monotone-ish across two orders of magnitude
+    assert ratios[18] > ratios[3600]

@@ -1,0 +1,71 @@
+"""Ablation A1 — dynamic pipeline selection vs static homomorphic pipeline.
+
+DESIGN.md design decision 3.  The static pipeline (HoSZp-style) applies
+the IFE→add→FE treatment to *every* block; hZ-dynamic routes constant and
+one-sided blocks to (near-)free pipelines.  The ablation quantifies what
+the selection heuristic is worth per dataset: large on constant-heavy data
+(NYX), nothing on dense data (CESM-ATM — where hZ-dynamic deliberately
+falls back to the contiguous static strategy).
+
+Outputs are asserted byte-identical: the heuristic is pure performance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of
+from repro.compression import FZLight, resolve_error_bound
+from repro.datasets import dataset_names
+from repro.homomorphic import HZDynamic, StaticHomomorphic
+
+from conftest import cached_pair
+
+REL = 1e-3
+
+
+def measure():
+    fz = FZLight()
+    dyn = HZDynamic(collect_stats=False)
+    sta = StaticHomomorphic()
+    rows, gains = [], {}
+    for name in dataset_names():
+        a, b = cached_pair(name)
+        eb = resolve_error_bound(a, rel_eb=REL)
+        ca, cb = fz.compress(a, abs_eb=eb), fz.compress(b, abs_eb=eb)
+        assert dyn.add(ca, cb).to_bytes() == sta.add(ca, cb).to_bytes()
+        t_dyn = best_of(lambda: dyn.add(ca, cb), repeats=3).seconds
+        t_sta = best_of(lambda: sta.add(ca, cb), repeats=3).seconds
+        gains[name] = t_sta / t_dyn
+        rows.append([name, 1e3 * t_sta, 1e3 * t_dyn, t_sta / t_dyn])
+    return rows, gains
+
+
+def test_ablation_static_vs_dynamic(benchmark):
+    rows, gains = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "static ms", "dynamic ms", "dynamic gain"],
+            rows,
+            title="Ablation A1: dynamic pipeline selection vs static "
+            "homomorphic pipeline (REL 1e-3)",
+        )
+    )
+    # constant-heavy data gains a lot; dense data must never lose
+    assert gains["nyx"] > 3.0
+    assert min(gains.values()) > 0.85
+    assert gains["nyx"] > gains["cesm"]
+
+
+def test_dense_fallback_is_static_equivalent():
+    """On pipeline-4-dominated data the dynamic engine selects the
+    contiguous strategy, so dynamic ≈ static in time (within noise)."""
+    fz = FZLight()
+    a, b = cached_pair("cesm")
+    eb = resolve_error_bound(a, rel_eb=REL)
+    ca, cb = fz.compress(a, abs_eb=eb), fz.compress(b, abs_eb=eb)
+    t_dyn = best_of(lambda: HZDynamic(collect_stats=False).add(ca, cb), repeats=3).seconds
+    t_sta = best_of(lambda: StaticHomomorphic().add(ca, cb), repeats=3).seconds
+    assert 0.7 < t_sta / t_dyn < 1.4

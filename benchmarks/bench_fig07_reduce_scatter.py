@@ -1,0 +1,135 @@
+"""Figure 7 — Reduce_scatter: hZCCL vs C-Coll (64 nodes, Sim-1 / Sim-2).
+
+Paper: hZCCL beats C-Coll by 1.82× (ST) / 2.01× (MT) on Sim. Set. 1 and
+1.31× / 1.64× on Sim. Set. 2 at 64 Broadwell nodes.
+
+Here, two complementary reproductions:
+
+* **functional** — 16 simulated ranks execute the real algorithms on real
+  seismic snapshots (compute measured, link matched to this substrate);
+* **modelled** — the §III-C cost formulas at the paper's full 64 nodes
+  under both the paper-derived Broadwell rates and this machine's measured
+  rates.
+
+Expected shape: hZCCL < C-Coll under the paper-derived rates (the strict
+assertion); under this machine's measured NumPy rates HPR is *not* cheaper
+than DPR+CPT, so hZCCL only stays within a documented band of C-Coll — see
+EXPERIMENTS.md §Fig. 7 for the analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import format_table
+from repro.collectives import ccoll_reduce_scatter, hzccl_reduce_scatter
+from repro.core.config import CollectiveConfig
+from repro.core.cost_model import (
+    PAPER_BROADWELL,
+    matched_network,
+    model_ccoll_reduce_scatter,
+    model_hzccl_reduce_scatter,
+)
+from repro.runtime.cluster import SimCluster
+from repro.runtime.network import OMNIPATH_100G
+
+from conftest import cached_field, measured_rates
+
+N_FUNCTIONAL = 8
+N_PAPER = 64
+
+
+def _snapshots(name: str, n_ranks: int) -> list[np.ndarray]:
+    base = cached_field(name, 0)
+    n = min(base.size, 1_200_000)
+    return [
+        cached_field(name, r % 3)[:n] for r in range(n_ranks)
+    ]
+
+
+def functional_runs():
+    rows = []
+    ratios = {}
+    from repro.compression import resolve_error_bound
+
+    for name in ("sim1", "sim2"):
+        rates = measured_rates(name)
+        network = matched_network(OMNIPATH_100G, rates)
+        data = _snapshots(name, N_FUNCTIONAL)
+        eb = resolve_error_bound(data[0], rel_eb=1e-4)  # paper-equivalent bound
+        for mt in (False, True):
+            config = CollectiveConfig(error_bound=eb, network=network, multithread=mt)
+            hz = hzccl_reduce_scatter(
+                SimCluster(N_FUNCTIONAL, network=network, multithread=mt), data, config
+            )
+            cc = ccoll_reduce_scatter(
+                SimCluster(N_FUNCTIONAL, network=network, multithread=mt), data, config
+            )
+            speedup = cc.total_time / hz.total_time
+            ratios[(name, mt)] = speedup
+            rows.append(
+                [name, "MT" if mt else "ST", 1e3 * cc.total_time,
+                 1e3 * hz.total_time, speedup]
+            )
+    return rows, ratios
+
+
+def modelled_runs():
+    rows = []
+    ratios = {}
+    total = 646_000_000
+    for label, rates in (("paper rates", PAPER_BROADWELL), ("measured rates", measured_rates())):
+        network = OMNIPATH_100G if label == "paper rates" else matched_network(
+            OMNIPATH_100G, rates
+        )
+        for mt in (False, True):
+            cc = model_ccoll_reduce_scatter(N_PAPER, total, rates, network, mt)
+            hz = model_hzccl_reduce_scatter(N_PAPER, total, rates, network, mt)
+            speedup = cc.total_time / hz.total_time
+            ratios[(label, mt)] = speedup
+            rows.append(
+                [label, "MT" if mt else "ST", cc.total_time, hz.total_time, speedup]
+            )
+    return rows, ratios
+
+
+def test_fig07_functional(benchmark):
+    rows, ratios = benchmark.pedantic(functional_runs, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "mode", "C-Coll ms", "hZCCL ms", "hZCCL speedup"],
+            rows,
+            title=f"Figure 7 (functional, {N_FUNCTIONAL} ranks): "
+            "Reduce_scatter hZCCL vs C-Coll (paper at 64 nodes: 1.31-2.01x)",
+        )
+    )
+    # Functional runs at this scale are dominated by per-call Python
+    # constants and this machine's HPR:DPR balance (see EXPERIMENTS.md):
+    # they validate execution and breakdown structure, not the ordering.
+    # The paper-rate model below carries the strict ordering assertion.
+    for key, speedup in ratios.items():
+        assert speedup > 0.4, key
+
+
+def test_fig07_modelled():
+    rows, ratios = modelled_runs()
+    print()
+    print(
+        format_table(
+            ["rates", "mode", "C-Coll s", "hZCCL s", "hZCCL speedup"],
+            rows,
+            title=f"Figure 7 (modelled, {N_PAPER} nodes, 646 MB)",
+        )
+    )
+    for (label, mt), speedup in ratios.items():
+        if label == "paper rates":
+            assert speedup > 1.0, (label, mt)  # the paper's ordering
+        else:
+            assert speedup > 0.65, (label, mt)  # documented NumPy deviation
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(functional_runs()[0])
+    print(modelled_runs()[0])

@@ -1,0 +1,101 @@
+"""Table IV — memory-bandwidth efficiency of fZ-light vs ompSZp.
+
+Paper: on Sim-2 and NYX at REL 1e-3/1e-4, fZ-light reaches 45–59 %
+(compression) and 88–95 % (decompression) of the STREAM peak; ompSZp sits
+at 3–7 %.
+
+Here: the same protocol — measure the STREAM peak with the NumPy STREAM
+suite, time both kernels, divide.  Expected shape: fZ-light's efficiency
+well above ompSZp's in both directions, decompression the more efficient
+direction for fZ-light.  (Pure-Python kernels cannot hit 90 % of STREAM;
+the *ordering* is the reproduced claim.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.stream import memory_bandwidth_efficiency, run_stream
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of
+from repro.compression import FZLight, OmpSZp, resolve_error_bound
+
+from conftest import cached_field
+
+DATASETS = ("sim2", "nyx")
+RELS = (1e-3, 1e-4)
+
+
+def measure():
+    stream = run_stream(n_elements=5_000_000, repeats=3)
+    fz, omp = FZLight(), OmpSZp()
+    rows, cells = [], {}
+    for name in DATASETS:
+        data = cached_field(name, 0)
+        for rel in RELS:
+            eb = resolve_error_bound(data, rel_eb=rel)
+            f_field = fz.compress(data, abs_eb=eb)
+            o_field = omp.compress(data, abs_eb=eb)
+            eff = {
+                "fz_c": memory_bandwidth_efficiency(
+                    data.nbytes,
+                    best_of(lambda: fz.compress(data, abs_eb=eb), repeats=2).seconds,
+                    stream,
+                ),
+                "fz_d": memory_bandwidth_efficiency(
+                    data.nbytes,
+                    best_of(lambda: fz.decompress(f_field), repeats=2).seconds,
+                    stream,
+                ),
+                "omp_c": memory_bandwidth_efficiency(
+                    data.nbytes,
+                    best_of(lambda: omp.compress(data, abs_eb=eb), repeats=2).seconds,
+                    stream,
+                ),
+                "omp_d": memory_bandwidth_efficiency(
+                    data.nbytes,
+                    best_of(lambda: omp.decompress(o_field), repeats=2).seconds,
+                    stream,
+                ),
+            }
+            cells[(name, rel)] = eff
+            rows.append(
+                [name, f"{rel:.0e}",
+                 100 * eff["omp_c"], 100 * eff["omp_d"],
+                 100 * eff["fz_c"], 100 * eff["fz_d"]]
+            )
+    return stream, rows, cells
+
+
+def test_table4_membw(benchmark):
+    stream, rows, cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(stream)
+    print(
+        format_table(
+            ["dataset", "REL", "omp compr %", "omp decom %", "fZ compr %", "fZ decom %"],
+            rows,
+            title="Table IV: memory-bandwidth efficiency vs STREAM peak "
+            "(paper: fZ 45-94%, omp 3-7%)",
+        )
+    )
+    for key, eff in cells.items():
+        assert eff["fz_c"] > eff["omp_c"], key
+        assert eff["fz_d"] > eff["omp_d"], key
+        # decompression is the fast-or-equal path (on constant-heavy data
+        # the fused compressor catches up to within noise)
+        assert eff["fz_d"] > eff["fz_c"] * 0.85, key
+
+
+def test_stream_kernels(benchmark):
+    """STREAM peak itself, tracked as a benchmark baseline."""
+    result = benchmark.pedantic(
+        lambda: run_stream(n_elements=2_000_000, repeats=2), rounds=1, iterations=1
+    )
+    assert result.peak_Bps > 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    stream, rows, _ = measure()
+    print(stream)
+    print(format_table(["ds", "REL", "ompC", "ompD", "fzC", "fzD"], rows))

@@ -1,0 +1,101 @@
+"""Table V — hZ-dynamic pipeline-selection percentages and throughput.
+
+Paper (REL 1e-3, reducing two fields per dataset):
+
+=============  ========  ======  ==========================
+Dataset        Speedup   GB/s    Dominant pipeline
+=============  ========  ======  ==========================
+NYX            50.01×    537.41  1 (99.36 %)
+Sim. Set. 1    25.95×    156.36  1 + 3 (53.8 % / 46.2 %)
+Hurricane      20.58×    79.49   3 (99.25 %)
+Sim. Set. 2    8.87×     71.56   1 (84.5 %)
+CESM-ATM       2.62×     9.00    4 (88.6 %)
+=============  ========  ======  ==========================
+
+Here: the same reduction of two consecutive fields (ordered newer-first so
+one-sided blocks land in pipeline 3, matching the paper's convention).
+Expected shape: NYX/Sim-2 pipeline-1-dominated with the largest speedups
+over the DOC workflow; Hurricane pipeline-3; CESM-ATM pipeline-4 with the
+smallest (but > 1) speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of, throughput_gbps
+from repro.compression import FZLight, resolve_error_bound
+from repro.datasets import dataset_names
+from repro.homomorphic import HZDynamic
+
+from conftest import cached_pair
+
+REL = 1e-3
+
+
+def measure():
+    fz = FZLight()
+    rows, mixes, speedups = [], {}, {}
+    for name in dataset_names():
+        a, b = cached_pair(name)
+        eb = resolve_error_bound(a, rel_eb=REL)
+        # newer snapshot first: one-sided blocks classify as pipeline 3
+        ca, cb = fz.compress(b, abs_eb=eb), fz.compress(a, abs_eb=eb)
+        engine = HZDynamic()
+        t_hpr = best_of(lambda: engine.add(ca, cb), repeats=2).seconds
+        da, db = fz.decompress(ca), fz.decompress(cb)
+
+        def doc():
+            fz.compress(fz.decompress(ca) + fz.decompress(cb), abs_eb=eb)
+
+        t_doc = best_of(doc, repeats=2).seconds
+        processed = 2 * a.nbytes
+        engine.reset_stats()
+        engine.add(ca, cb)
+        pct = engine.stats.percentages
+        mixes[name] = pct
+        speedups[name] = t_doc / t_hpr
+        rows.append(
+            [name, t_doc / t_hpr, throughput_gbps(processed, t_hpr),
+             pct[0], pct[1], pct[2], pct[3]]
+        )
+    return rows, mixes, speedups
+
+
+def test_table5_pipelines(benchmark):
+    rows, mixes, speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "speedup vs DOC", "hZ-dyn GB/s", "P1 %", "P2 %", "P3 %", "P4 %"],
+            rows,
+            title="Table V: dynamic pipeline selection at REL 1e-3",
+        )
+    )
+    # dominant-pipeline shape (Table V)
+    assert mixes["nyx"][0] > 80, "NYX must be pipeline-1 dominated"
+    assert mixes["cesm"][3] > 80, "CESM-ATM must be pipeline-4 dominated"
+    assert mixes["hurricane"][1] + mixes["hurricane"][2] > 70, (
+        "Hurricane must be one-sided dominated"
+    )
+    assert mixes["sim2"][0] > 50, "Sim-2 must be pipeline-1 heavy"
+    # speedup ordering: every dataset beats DOC; CESM-ATM beats it least
+    for name, s in speedups.items():
+        assert s > 1.0, name
+    assert speedups["cesm"] == min(speedups.values())
+    assert speedups["nyx"] > speedups["cesm"] * 2
+
+
+def test_hzdynamic_add_kernel(benchmark):
+    fz = FZLight()
+    a, b = cached_pair("nyx")
+    eb = resolve_error_bound(a, rel_eb=REL)
+    ca, cb = fz.compress(a, abs_eb=eb), fz.compress(b, abs_eb=eb)
+    engine = HZDynamic(collect_stats=False)
+    benchmark(lambda: engine.add(ca, cb))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rows, _, _ = measure()
+    print(format_table(["ds", "speedup", "GB/s", "P1", "P2", "P3", "P4"], rows))

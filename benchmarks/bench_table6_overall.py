@@ -1,0 +1,100 @@
+"""Table VI — overall reduce performance: hZ-dynamic vs fZ-light (DOC).
+
+Paper: hZ-dynamic's overall throughput (two compressed inputs → one
+compressed sum) beats the traditional decompress-operate-recompress
+workflow on every dataset and error bound, from 2.62× (CESM-ATM) to
+36.53× (NYX, 379.08 vs 10.38 GB/s), while its quality (NRMSE) is never
+worse — DOC requantises the operated data, hZ-dynamic does not.
+
+Here: identical protocol at bench scale over all five datasets × four
+relative bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of, throughput_gbps
+from repro.compression import FZLight, nrmse, resolve_error_bound
+from repro.datasets import dataset_names
+from repro.homomorphic import HZDynamic
+
+from conftest import REL_BOUNDS, cached_pair
+
+
+def measure():
+    fz = FZLight()
+    engine = HZDynamic(collect_stats=False)
+    rows, cells = [], {}
+    for name in dataset_names():
+        a, b = cached_pair(name)
+        exact = a.astype(np.float64) + b.astype(np.float64)
+        for rel in REL_BOUNDS:
+            eb = resolve_error_bound(a, rel_eb=rel)
+            ca, cb = fz.compress(a, abs_eb=eb), fz.compress(b, abs_eb=eb)
+            t_hz = best_of(lambda: engine.add(ca, cb), repeats=3).seconds
+
+            def doc():
+                return fz.compress(fz.decompress(ca) + fz.decompress(cb), abs_eb=eb)
+
+            t_doc = best_of(doc, repeats=3).seconds
+            hz_sum = engine.add(ca, cb)
+            doc_sum = doc()
+            processed = 2 * a.nbytes
+            hz_gbps = throughput_gbps(processed, t_hz)
+            doc_gbps = throughput_gbps(processed, t_doc)
+            q_hz = nrmse(exact, fz.decompress(hz_sum))
+            q_doc = nrmse(exact, fz.decompress(doc_sum))
+            cells[(name, rel)] = dict(
+                hz_gbps=hz_gbps, doc_gbps=doc_gbps,
+                hz_nrmse=q_hz, doc_nrmse=q_doc,
+                hz_ratio=hz_sum.compression_ratio,
+                doc_ratio=doc_sum.compression_ratio,
+            )
+            rows.append(
+                [name, f"{rel:.0e}", hz_gbps, hz_sum.compression_ratio, q_hz,
+                 doc_gbps, doc_sum.compression_ratio, q_doc, hz_gbps / doc_gbps]
+            )
+    return rows, cells
+
+
+def test_table6_overall(benchmark):
+    rows, cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "REL", "hZ GB/s", "hZ ratio", "hZ NRMSE",
+             "DOC GB/s", "DOC ratio", "DOC NRMSE", "speedup"],
+            rows,
+            title="Table VI: hZ-dynamic vs fZ-light(DOC) overall reduce "
+            "(paper: 2.6-36.5x)",
+        )
+    )
+    wins = sum(1 for c in cells.values() if c["hz_gbps"] > c["doc_gbps"])
+    # paper: hZ-dynamic wins all 20 cells (2.6-36.5x); our NumPy IFE/FE
+    # keeps the dense CESM-ATM cells close to parity, so allow two cells
+    # within noise of 1.0x (documented in EXPERIMENTS.md)
+    assert wins >= len(cells) - 2, f"hZ-dynamic won only {wins}/{len(cells)}"
+    for key, c in cells.items():
+        assert c["hz_gbps"] > c["doc_gbps"] * 0.85, key
+        # no extra quantisation ⇒ hZ-dynamic's NRMSE never (meaningfully) worse
+        assert c["hz_nrmse"] <= c["doc_nrmse"] * 1.02, key
+    # the gap is data-dependent: constant-heavy NYX ≫ dense CESM-ATM
+    nyx = cells[("nyx", 1e-3)]
+    cesm = cells[("cesm", 1e-3)]
+    assert nyx["hz_gbps"] / nyx["doc_gbps"] > cesm["hz_gbps"] / cesm["doc_gbps"]
+
+
+def test_doc_workflow_kernel(benchmark):
+    fz = FZLight()
+    a, b = cached_pair("sim1")
+    eb = resolve_error_bound(a, rel_eb=1e-3)
+    ca, cb = fz.compress(a, abs_eb=eb), fz.compress(b, abs_eb=eb)
+    benchmark(lambda: fz.compress(fz.decompress(ca) + fz.decompress(cb), abs_eb=eb))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rows, _ = measure()
+    print(format_table(["ds", "REL", "hzG", "hzR", "hzN", "docG", "docR", "docN", "X"], rows))

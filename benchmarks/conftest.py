@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md §4).  Two knobs keep runs laptop-friendly:
+
+* ``REPRO_BENCH_SCALE`` — volume fraction of the paper's dataset dims used
+  for data-driven benches (default 0.02 ≈ a few-MB field).
+* Modeled experiments (Figures 9–12) are instantaneous: they evaluate the
+  §III-C cost formulas under both paper-derived and locally measured rates.
+
+Benchmarks print paper-style tables as a side effect, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report generator.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.compression import FZLight, OmpSZp
+from repro.core.cost_model import CostRates
+from repro.datasets import dataset_names, generate_field, generate_pair
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = 20240624  # SC'24 submission vintage
+REL_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4)
+
+
+@lru_cache(maxsize=None)
+def cached_field(name: str, index: int) -> np.ndarray:
+    """Session-cached flattened dataset field at bench scale."""
+    return generate_field(name, index, scale=BENCH_SCALE, seed=BENCH_SEED).ravel()
+
+
+@lru_cache(maxsize=None)
+def cached_pair(name: str) -> tuple[np.ndarray, np.ndarray]:
+    a, b = generate_pair(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    return a.ravel(), b.ravel()
+
+
+@lru_cache(maxsize=None)
+def measured_rates(name: str = "sim1", rel_eb: float = 1e-4) -> CostRates:
+    """This machine's kernel rates on a dataset sample (used by the
+    modelled figures alongside the paper-derived rates).
+
+    The paper's absolute bound of 1e-4 corresponds to ~1e-4 *relative* on
+    its O(1)-range RTM fields; our synthetic fields have other ranges, so
+    the calibration uses the equivalent relative bound.
+    """
+    from repro.compression import resolve_error_bound
+
+    a, b = cached_pair(name)
+    eb = resolve_error_bound(a, rel_eb=rel_eb)
+    return CostRates.measure(a, b, eb, repeats=3)
+
+
+@pytest.fixture(scope="session")
+def fzlight() -> FZLight:
+    return FZLight()
+
+
+@pytest.fixture(scope="session")
+def ompszp() -> OmpSZp:
+    return OmpSZp()
+
+
+@pytest.fixture(scope="session", params=dataset_names())
+def dataset_name(request) -> str:
+    return request.param

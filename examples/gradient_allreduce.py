@@ -1,0 +1,67 @@
+"""Gradient synchronisation for data-parallel training with hZCCL.
+
+The deep-learning motivation from the paper's introduction: data-parallel
+workers hold per-replica gradients that must be summed every step
+(Allreduce).  Gradients tolerate bounded lossy compression, and their
+long tails of near-zero entries are exactly the constant-block pattern
+hZ-dynamic's pipeline 1 eats for free.
+
+The demo trains nothing — it synthesises realistic layered gradients
+(dense early layers, sparse embedding-style layers), runs one synchronisation
+step under all three kernels, and reports time / volume / error and the
+pipeline mix.
+
+Run:  python examples/gradient_allreduce.py
+"""
+
+import numpy as np
+
+from repro import HZCCL
+from repro.core import calibrated_config
+from repro.compression import resolve_error_bound
+
+
+def synth_gradients(rng: np.random.Generator, n_params: int) -> np.ndarray:
+    """One worker's flattened gradient: dense conv part + sparse embedding."""
+    dense = rng.normal(0, 1e-2, n_params // 2).astype(np.float32)
+    sparse = np.zeros(n_params - n_params // 2, dtype=np.float32)
+    hot = rng.choice(sparse.size, size=sparse.size // 200, replace=False)
+    sparse[hot] = rng.normal(0, 5e-2, hot.size).astype(np.float32)
+    return np.concatenate([dense, sparse])
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n_workers, n_params = 8, 2_000_000
+    grads = [synth_gradients(rng, n_params) for _ in range(n_workers)]
+    exact = np.sum(np.stack(grads).astype(np.float64), axis=0)
+
+    eb = resolve_error_bound(grads[0], rel_eb=1e-3)
+    lib = HZCCL(calibrated_config(grads[0], error_bound=eb, multithread=True))
+    print(f"{n_workers} workers x {n_params / 1e6:.1f}M params, "
+          f"gradient error bound {eb:.2e}\n")
+
+    for kernel in ("mpi", "ccoll", "hzccl"):
+        res = lib.allreduce(grads, kernel=kernel)
+        err = np.abs(res.outputs[0].astype(np.float64) - exact).max()
+        line = (
+            f"{kernel:6}: {res.total_time * 1e3:8.2f} ms simulated | "
+            f"wire {res.bytes_on_wire / 1e6:7.1f} MB | max err {err:.2e}"
+        )
+        if res.pipeline_stats is not None:
+            line += f" | {res.pipeline_stats}"
+        print(line)
+
+    # Relative accuracy of the averaged gradient
+    res = lib.allreduce(grads)
+    avg = res.outputs[0] / n_workers
+    exact_avg = exact / n_workers
+    rel = float(
+        np.linalg.norm(avg - exact_avg) / (np.linalg.norm(exact_avg) + 1e-30)
+    )
+    print(f"\naveraged-gradient relative L2 error: {rel:.2e} "
+          "(bounded noise ≪ SGD's own stochastic noise)")
+
+
+if __name__ == "__main__":
+    main()

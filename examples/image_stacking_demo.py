@@ -1,0 +1,52 @@
+"""Image stacking with hZCCL — the paper's end-to-end use case (§IV-E).
+
+Sixteen simulated nodes each hold one noisy exposure of a deep-sky scene;
+stacking them is an Allreduce.  The demo compares the uncompressed MPI
+stack with the hZCCL stack in time, wire volume, and fidelity.
+
+Run:  python examples/image_stacking_demo.py
+"""
+
+import numpy as np
+
+from repro.apps import make_exposures, stack_images
+from repro.compression import resolve_error_bound
+from repro.core import calibrated_config
+
+
+def main() -> None:
+    n_ranks = 16
+    scene, exposures = make_exposures(n_ranks, shape=(512, 512), seed=2024)
+    print(f"{n_ranks} exposures of {exposures[0].shape}, "
+          f"pixel range [{scene.min():.1f}, {scene.max():.1f}]")
+
+    # paper setting: absolute bound equivalent to 1e-4 of the pixel range
+    eb = resolve_error_bound(exposures[0], rel_eb=1e-4)
+    config = calibrated_config(exposures[0], error_bound=eb)
+
+    reference = stack_images(exposures, "mpi", config)
+    for method in ("ccoll", "hzccl"):
+        res = stack_images(exposures, method, config, reference=reference.stacked)
+        pct = res.breakdown.percentages()
+        print(
+            f"{method:6}: {res.total_time * 1e3:8.2f} ms simulated | "
+            f"wire {res.bytes_on_wire / 1e6:7.2f} MB | "
+            f"PSNR {res.psnr:6.2f} dB | NRMSE {res.nrmse:.2e} | "
+            f"compute {pct['CPR'] + pct['CPT'] + pct['DPR'] + pct['HPR']:5.1f}% "
+            f"MPI {pct['MPI']:5.1f}%"
+        )
+    print(
+        f"mpi   : {reference.total_time * 1e3:8.2f} ms simulated | "
+        f"wire {reference.bytes_on_wire / 1e6:7.2f} MB | exact reference"
+    )
+
+    # Denoising sanity: the stack should beat any single exposure.
+    hz = stack_images(exposures, "hzccl", config)
+    single = float(np.sqrt(np.mean((exposures[0] - scene) ** 2)))
+    stacked = float(np.sqrt(np.mean((hz.stacked - scene) ** 2)))
+    print(f"noise RMS: single exposure {single:.3f} → stacked {stacked:.3f} "
+          f"({single / stacked:.1f}x cleaner)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a from-scratch reproduction of *hZCCL: Accelerating Collective
+Communication with Co-Designed Homomorphic Compression* (SC 2024).
+
+Quick tour
+----------
+>>> import numpy as np
+>>> from repro import FZLight, HZDynamic
+>>> comp = FZLight()
+>>> x = np.sin(np.linspace(0, 30, 100_000)).astype(np.float32)
+>>> y = np.cos(np.linspace(0, 30, 100_000)).astype(np.float32)
+>>> cx, cy = comp.compress(x, abs_eb=1e-4), comp.compress(y, abs_eb=1e-4)
+>>> csum = HZDynamic().add(cx, cy)        # reduction on compressed bytes
+>>> err = np.abs(comp.decompress(csum) - (x + y)).max()
+>>> bool(err <= 2 * 1e-4 + 1e-6)
+True
+
+Packages
+--------
+* :mod:`repro.compression` — fZ-light compressor + ompSZp baseline.
+* :mod:`repro.homomorphic` — hZ-dynamic (and the static ablation).
+* :mod:`repro.collectives` — MPI / C-Coll / hZCCL ring collectives.
+* :mod:`repro.runtime` — simulated cluster (ranks, clocks, network).
+* :mod:`repro.core` — facade, config, §III-C cost model.
+* :mod:`repro.datasets` — synthetic Table-I datasets.
+* :mod:`repro.apps` — image stacking use case.
+* :mod:`repro.bench` — STREAM + harness utilities.
+"""
+
+from .compression import CompressedField, FZLight, OmpSZp
+from .core import HZCCL, CollectiveConfig, CostRates, PAPER_BROADWELL
+from .homomorphic import HZDynamic, PipelineStats, StaticHomomorphic
+from .runtime import NetworkModel, OMNIPATH_100G, SimCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HZCCL",
+    "FZLight",
+    "OmpSZp",
+    "HZDynamic",
+    "StaticHomomorphic",
+    "PipelineStats",
+    "CompressedField",
+    "CollectiveConfig",
+    "CostRates",
+    "PAPER_BROADWELL",
+    "SimCluster",
+    "NetworkModel",
+    "OMNIPATH_100G",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Example applications built on the hZCCL public API."""
+
+from .image_stacking import StackingResult, make_exposures, make_scene, stack_images
+
+__all__ = ["make_scene", "make_exposures", "stack_images", "StackingResult"]

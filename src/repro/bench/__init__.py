@@ -1,0 +1,20 @@
+"""Benchmark harness utilities: STREAM, timing, table rendering."""
+
+from .results import ExperimentRecord, load_records, save_records
+from .stream import StreamResult, memory_bandwidth_efficiency, run_stream
+from .tables import format_table, print_table
+from .timing import TimedResult, best_of, throughput_gbps
+
+__all__ = [
+    "StreamResult",
+    "run_stream",
+    "memory_bandwidth_efficiency",
+    "TimedResult",
+    "best_of",
+    "throughput_gbps",
+    "format_table",
+    "print_table",
+    "ExperimentRecord",
+    "save_records",
+    "load_records",
+]

@@ -1,0 +1,71 @@
+"""Machine-readable experiment records.
+
+The benchmark harness prints human tables; this module gives every
+experiment a durable JSON form so runs can be archived, diffed across
+machines, and re-plotted without re-running (the artifact-evaluation
+workflow the paper's appendix describes).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ExperimentRecord", "save_records", "load_records"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One (experiment, configuration) measurement."""
+
+    experiment: str  # e.g. "table3", "fig10"
+    kernel: str  # e.g. "hzccl", "ccoll", "mpi", "fzlight"
+    parameters: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out["schema_version"] = _SCHEMA_VERSION
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentRecord":
+        version = data.get("schema_version", 0)
+        if version != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported record schema version {version}")
+        return cls(
+            experiment=data["experiment"],
+            kernel=data["kernel"],
+            parameters=dict(data.get("parameters", {})),
+            metrics=dict(data.get("metrics", {})),
+        )
+
+
+def save_records(
+    records: list[ExperimentRecord], path: str | Path, note: str = ""
+) -> None:
+    """Write records plus environment metadata as one JSON document."""
+    document = {
+        "schema_version": _SCHEMA_VERSION,
+        "note": note,
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "records": [r.to_dict() for r in records],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_records(path: str | Path) -> list[ExperimentRecord]:
+    """Parse a document written by :func:`save_records`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("schema_version") != _SCHEMA_VERSION:
+        raise ValueError("unsupported document schema version")
+    return [ExperimentRecord.from_dict(r) for r in document["records"]]

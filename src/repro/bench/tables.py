@@ -1,0 +1,50 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print paper-style rows; this keeps the formatting in one
+place so every ``bench_*`` module emits consistent, diffable output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table; floats get sensible precision."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 1e-3:
+                return f"{v:.3e}"
+            return f"{v:.3f}".rstrip("0").rstrip(".")
+        return str(v)
+
+    grid = [[cell(h) for h in headers]] + [[cell(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in grid) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(grid[0], widths)))
+    lines.append(sep)
+    for row in grid[1:]:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` with a trailing blank line."""
+    print(format_table(headers, rows, title))
+    print()

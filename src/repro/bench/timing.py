@@ -1,0 +1,45 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["TimedResult", "best_of", "throughput_gbps"]
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """Best-of-N timing of one kernel."""
+
+    seconds: float
+    repeats: int
+
+    def throughput_Bps(self, nbytes: int) -> float:
+        return nbytes / self.seconds
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3, warmup: int = 1) -> TimedResult:
+    """Best wall time of ``repeats`` runs after ``warmup`` throwaway runs.
+
+    Best-of (not mean) is the right statistic for throughput claims on a
+    shared machine: every source of interference only ever adds time.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return TimedResult(seconds=min(times), repeats=repeats)
+
+
+def throughput_gbps(nbytes: int, seconds: float) -> float:
+    """Bytes over seconds, in GB/s (decimal, like the paper)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return nbytes / 1e9 / seconds

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``        — package, registry and calibration summary.
+``stream``      — run the STREAM memory benchmark.
+``compress``    — compress/roundtrip one dataset field, print the quality row.
+``pipelines``   — hZ-dynamic pipeline mix for one dataset (Table V row).
+``scaling``     — Figure 10/12 speedup curves from the cost model.
+``stacking``    — the image-stacking demo (Table VII / Figure 13 shapes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="hZCCL (SC'24) reproduction — homomorphic-compression collectives",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package / registry / calibration summary")
+
+    p = sub.add_parser("stream", help="STREAM memory-bandwidth benchmark")
+    p.add_argument("--elements", type=int, default=20_000_000)
+    p.add_argument("--repeats", type=int, default=5)
+
+    p = sub.add_parser("compress", help="compress one synthetic dataset field")
+    p.add_argument("dataset", choices=["sim1", "sim2", "nyx", "cesm", "hurricane"])
+    p.add_argument("--rel-eb", type=float, default=1e-3)
+    p.add_argument("--scale", type=float, default=0.02)
+    p.add_argument("--baseline", action="store_true", help="also run ompSZp")
+
+    p = sub.add_parser("pipelines", help="hZ-dynamic pipeline mix (Table V row)")
+    p.add_argument("dataset", choices=["sim1", "sim2", "nyx", "cesm", "hurricane"])
+    p.add_argument("--rel-eb", type=float, default=1e-3)
+    p.add_argument("--scale", type=float, default=0.02)
+
+    p = sub.add_parser("scaling", help="Figure 10/12 curves from the cost model")
+    p.add_argument("--op", choices=["reduce_scatter", "allreduce"], default="allreduce")
+    p.add_argument("--mb", type=int, default=646, help="message size in MB")
+
+    p = sub.add_parser("stacking", help="image-stacking demo")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--size", type=int, default=256, help="square image side")
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.core.cost_model import PAPER_BROADWELL
+    from repro.datasets import DATASETS
+    from repro.runtime.network import OMNIPATH_100G
+
+    print(f"repro {repro.__version__} — hZCCL (SC 2024) reproduction")
+    print(f"network model: {OMNIPATH_100G.bandwidth_Bps / 1e9:.1f} GB/s link, "
+          f"{OMNIPATH_100G.latency_s * 1e6:.0f} µs latency, "
+          f"congestion +{OMNIPATH_100G.congestion_per_log2}/log2(N)")
+    print(f"paper rates (ST GB/s): CPR {1e-9 / PAPER_BROADWELL.cpr_s_per_byte:.1f} "
+          f"DPR {1e-9 / PAPER_BROADWELL.dpr_s_per_byte:.1f} "
+          f"HPR {1e-9 / PAPER_BROADWELL.hpr_s_per_byte:.1f}")
+    print("datasets:")
+    for spec in DATASETS.values():
+        print(f"  {spec.name:10} {spec.n_fields:5d} fields of {spec.dims} — {spec.domain}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.bench.stream import run_stream
+
+    print(run_stream(n_elements=args.elements, repeats=args.repeats))
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.bench.timing import best_of, throughput_gbps
+    from repro.compression import FZLight, OmpSZp, evaluate_quality, resolve_error_bound
+    from repro.datasets import generate_field
+
+    data = generate_field(args.dataset, 0, scale=args.scale).ravel()
+    eb = resolve_error_bound(data, rel_eb=args.rel_eb)
+    compressors = {"fZ-light": FZLight()}
+    if args.baseline:
+        compressors["ompSZp"] = OmpSZp()
+    for name, comp in compressors.items():
+        field = comp.compress(data, abs_eb=eb)
+        out = comp.decompress(field)
+        report = evaluate_quality(data, out, field.nbytes)
+        t = best_of(lambda: comp.compress(data, abs_eb=eb), repeats=2)
+        print(f"{name:9} | {report} | compress {throughput_gbps(data.nbytes, t.seconds):.2f} GB/s")
+    return 0
+
+
+def _cmd_pipelines(args) -> int:
+    from repro.compression import FZLight, resolve_error_bound
+    from repro.datasets import generate_pair
+    from repro.homomorphic import HZDynamic
+
+    a, b = generate_pair(args.dataset, scale=args.scale)
+    a, b = a.ravel(), b.ravel()
+    eb = resolve_error_bound(a, rel_eb=args.rel_eb)
+    comp = FZLight()
+    engine = HZDynamic()
+    engine.add(comp.compress(b, abs_eb=eb), comp.compress(a, abs_eb=eb))
+    print(f"{args.dataset} @ REL {args.rel_eb:g}: {engine.stats}")
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.bench.tables import format_table
+    from repro.core.cost_model import (
+        PAPER_BROADWELL,
+        model_ccoll_allreduce,
+        model_ccoll_reduce_scatter,
+        model_hzccl_allreduce,
+        model_hzccl_reduce_scatter,
+        model_mpi_allreduce,
+        model_mpi_reduce_scatter,
+    )
+    from repro.runtime.network import OMNIPATH_100G
+
+    models = {
+        "reduce_scatter": (
+            model_mpi_reduce_scatter, model_ccoll_reduce_scatter, model_hzccl_reduce_scatter
+        ),
+        "allreduce": (model_mpi_allreduce, model_ccoll_allreduce, model_hzccl_allreduce),
+    }[args.op]
+    total = args.mb * 10**6
+    rows = []
+    for n in (2, 4, 8, 16, 32, 64, 128, 256, 512):
+        row = [n]
+        for mt in (False, True):
+            mpi, cc, hz = (
+                m(n, total, PAPER_BROADWELL, OMNIPATH_100G, mt).total_time for m in models
+            )
+            row += [mpi / cc, mpi / hz]
+        rows.append(row)
+    print(format_table(
+        ["nodes", "C-Coll ST", "hZCCL ST", "C-Coll MT", "hZCCL MT"],
+        rows,
+        title=f"{args.op} speedup over MPI ({args.mb} MB, paper rates)",
+    ))
+    return 0
+
+
+def _cmd_stacking(args) -> int:
+    from repro.apps import make_exposures, stack_images
+    from repro.compression import resolve_error_bound
+    from repro.core.config import CollectiveConfig
+
+    scene, exposures = make_exposures(args.ranks, shape=(args.size, args.size), seed=1)
+    eb = resolve_error_bound(exposures[0], rel_eb=1e-4)
+    config = CollectiveConfig(error_bound=eb)
+    ref = stack_images(exposures, "mpi", config)
+    hz = stack_images(exposures, "hzccl", config, reference=ref.stacked)
+    print(f"{args.ranks} exposures of {args.size}x{args.size}")
+    print(f"hZCCL stack: PSNR {hz.psnr:.2f} dB, NRMSE {hz.nrmse:.2e}, "
+          f"wire {hz.bytes_on_wire / 1e6:.2f} MB vs MPI {ref.bytes_on_wire / 1e6:.2f} MB")
+    single = float(np.sqrt(np.mean((exposures[0] - scene) ** 2)))
+    stacked = float(np.sqrt(np.mean((hz.stacked - scene) ** 2)))
+    print(f"noise RMS: {single:.3f} -> {stacked:.3f} ({single / stacked:.1f}x cleaner)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": lambda: _cmd_info(),
+        "stream": lambda: _cmd_stream(args),
+        "compress": lambda: _cmd_compress(args),
+        "pipelines": lambda: _cmd_pipelines(args),
+        "scaling": lambda: _cmd_scaling(args),
+        "stacking": lambda: _cmd_stacking(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

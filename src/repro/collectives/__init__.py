@@ -1,0 +1,45 @@
+"""Collective algorithms over the simulated cluster.
+
+Three families, all ring-based:
+
+* :mod:`~repro.collectives.ring` — plain MPI (no compression) baseline.
+* :mod:`~repro.collectives.ccoll` — C-Coll, compression with the DOC
+  workflow (the state-of-the-art baseline).
+* :mod:`~repro.collectives.hzccl` — the paper's homomorphic co-design.
+"""
+
+from .base import CollectiveResult, split_blocks, validate_local_data
+from .ccoll import ccoll_allgather, ccoll_allreduce, ccoll_reduce_scatter
+from .p2p import p2p_allreduce, p2p_hzccl_allreduce, p2p_reduce_scatter
+from .rabenseifner import hzccl_rabenseifner_allreduce, rabenseifner_allreduce
+from .hzccl import (
+    hzccl_allgather_compressed,
+    hzccl_allreduce,
+    hzccl_reduce_scatter,
+)
+from .ring import mpi_allgather, mpi_allreduce, mpi_reduce_scatter
+from .rooted import compressed_bcast, hzccl_reduce, mpi_bcast, mpi_reduce
+
+__all__ = [
+    "CollectiveResult",
+    "split_blocks",
+    "validate_local_data",
+    "mpi_reduce_scatter",
+    "mpi_allgather",
+    "mpi_allreduce",
+    "ccoll_reduce_scatter",
+    "ccoll_allgather",
+    "ccoll_allreduce",
+    "hzccl_reduce_scatter",
+    "hzccl_allgather_compressed",
+    "hzccl_allreduce",
+    "p2p_reduce_scatter",
+    "p2p_allreduce",
+    "p2p_hzccl_allreduce",
+    "mpi_reduce",
+    "hzccl_reduce",
+    "mpi_bcast",
+    "compressed_bcast",
+    "rabenseifner_allreduce",
+    "hzccl_rabenseifner_allreduce",
+]

@@ -1,0 +1,112 @@
+"""Plain (no-compression) ring collectives — the "MPI" baseline.
+
+Literal ring algorithms from Thakur et al. / Patarasuk & Yuan, the ones
+MPICH selects for large messages and the ones every compressed variant in
+this repo is structured around:
+
+* ``reduce_scatter`` — ``N − 1`` rounds; in round ``j`` rank ``i`` sends its
+  running partial of block ``(i − j) mod N`` and folds the incoming partial
+  into block ``(i − j − 1) mod N``.  Rank ``i`` ends owning block
+  ``(i + 1) mod N`` fully reduced.
+* ``allgather`` — ``N − 1`` forwarding rounds.
+* ``allreduce`` — reduce-scatter then allgather (bandwidth-optimal).
+
+Every rank's arithmetic executes for real; only the wire time is modelled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.cluster import SimCluster
+from ..runtime.topology import Ring
+from .base import CollectiveResult, split_blocks, validate_local_data
+
+__all__ = ["mpi_reduce_scatter", "mpi_allgather", "mpi_allreduce"]
+
+
+def mpi_reduce_scatter(
+    cluster: SimCluster, local_data: list[np.ndarray]
+) -> CollectiveResult:
+    """Ring Reduce_scatter with SUM; returns each rank's reduced block."""
+    arrays = validate_local_data(local_data)
+    n = cluster.n_ranks
+    if len(arrays) != n:
+        raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
+    ring = Ring(n)
+    bufs = [split_blocks(a, n) for a in arrays]
+    wire = 0
+
+    for j in range(n - 1):
+        outbox = [bufs[i][ring.send_block(i, j)] for i in range(n)]
+        max_msg = 0
+        for i in range(n):
+            incoming = outbox[ring.predecessor(i)]
+            nbytes = incoming.nbytes
+            cluster.charge_comm(i, nbytes)
+            wire += nbytes
+            max_msg = max(max_msg, nbytes)
+            with cluster.timed(i, "CPT"):
+                blk = ring.recv_block(i, j)
+                bufs[i][blk] = bufs[i][blk] + incoming
+        cluster.end_round(max_msg)
+
+    outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
+    return CollectiveResult(
+        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+    )
+
+
+def mpi_allgather(
+    cluster: SimCluster, chunks: list[np.ndarray]
+) -> CollectiveResult:
+    """Ring Allgather: every rank ends with the concatenation of all chunks.
+
+    ``chunks[i]`` is the block rank ``i`` contributes — in the allreduce
+    composition this is the reduced block ``(i + 1) mod N`` from
+    reduce-scatter, and the output concatenation is in block order.
+    """
+    n = cluster.n_ranks
+    if len(chunks) != n:
+        raise ValueError(f"got {len(chunks)} chunks for {n} ranks")
+    ring = Ring(n)
+    # gathered[i][k] will hold block k at rank i; own contribution known.
+    gathered: list[dict[int, np.ndarray]] = [
+        {ring.owned_block(i): np.asarray(chunks[i])} for i in range(n)
+    ]
+    wire = 0
+
+    for j in range(n - 1):
+        outbox = {}
+        for i in range(n):
+            blk = ring.allgather_send_block(i, j)
+            outbox[i] = (blk, gathered[i][blk])
+        max_msg = 0
+        for i in range(n):
+            blk, data = outbox[ring.predecessor(i)]
+            nbytes = data.nbytes
+            cluster.charge_comm(i, nbytes)
+            wire += nbytes
+            max_msg = max(max_msg, nbytes)
+            gathered[i][blk] = data
+        cluster.end_round(max_msg)
+
+    outputs = [
+        np.concatenate([gathered[i][k] for k in range(n)]) for i in range(n)
+    ]
+    return CollectiveResult(
+        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+    )
+
+
+def mpi_allreduce(
+    cluster: SimCluster, local_data: list[np.ndarray]
+) -> CollectiveResult:
+    """Ring Allreduce (reduce-scatter + allgather) with SUM."""
+    rs = mpi_reduce_scatter(cluster, local_data)
+    ag = mpi_allgather(cluster, rs.outputs)
+    return CollectiveResult(
+        outputs=ag.outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=rs.bytes_on_wire + ag.bytes_on_wire,
+    )

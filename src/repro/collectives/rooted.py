@@ -1,0 +1,151 @@
+"""Root-based collectives: Reduce and Bcast (with compressed variants).
+
+The C-Coll framework the paper builds on covers *all* MPI collectives;
+this module rounds out the repo's coverage with the two root-based ones
+that compose naturally with the ring machinery:
+
+* **Reduce** — ring Reduce_scatter followed by a gather of the reduced
+  blocks to the root.  The hZCCL variant gathers the blocks *compressed*
+  and decompresses only at the root: non-root ranks never run a single
+  decompression, an even stronger asymmetry than the Allreduce fusion.
+* **Bcast** — root compresses once, the bytes ride a binomial tree, every
+  rank decompresses once: ``1·CPR + (N−1 messages) + N−1 parallel DPR``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compression.format import CompressedField
+from ..compression.fzlight import FZLight
+from ..runtime.cluster import SimCluster
+from ..runtime.topology import Ring
+from .base import CollectiveResult, validate_local_data
+from .hzccl import hzccl_reduce_scatter
+from .ring import mpi_reduce_scatter
+
+__all__ = ["mpi_reduce", "hzccl_reduce", "mpi_bcast", "compressed_bcast"]
+
+
+def _gather_blocks(cluster, ring, items, nbytes_of, root):
+    """Gather per-rank items to the root (direct sends, concurrent)."""
+    wire = 0
+    max_msg = 0
+    for i in range(cluster.n_ranks):
+        if i == root:
+            continue
+        nbytes = nbytes_of(items[i])
+        cluster.charge_comm(i, nbytes)
+        wire += nbytes
+        max_msg = max(max_msg, nbytes)
+    cluster.end_round(max_msg)
+    return wire
+
+
+def mpi_reduce(
+    cluster: SimCluster, local_data: list[np.ndarray], root: int = 0
+) -> CollectiveResult:
+    """Plain Reduce: ring Reduce_scatter + gather of blocks to the root."""
+    n = cluster.n_ranks
+    if not 0 <= root < n:
+        raise IndexError(f"root {root} out of range for {n} ranks")
+    ring = Ring(n)
+    rs = mpi_reduce_scatter(cluster, local_data)
+    wire = rs.bytes_on_wire + _gather_blocks(
+        cluster, ring, rs.outputs, lambda b: b.nbytes, root
+    )
+    ordered = [None] * n
+    for i in range(n):
+        ordered[ring.owned_block(i)] = rs.outputs[i]
+    result = np.concatenate(ordered)
+    outputs: list = [None] * n
+    outputs[root] = result
+    return CollectiveResult(
+        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+    )
+
+
+def hzccl_reduce(
+    cluster: SimCluster, local_data: list[np.ndarray], config, root: int = 0
+) -> CollectiveResult:
+    """hZCCL Reduce: compressed Reduce_scatter, compressed gather, one
+    decompression at the root only."""
+    n = cluster.n_ranks
+    if not 0 <= root < n:
+        raise IndexError(f"root {root} out of range for {n} ranks")
+    ring = Ring(n)
+    rs = hzccl_reduce_scatter(cluster, local_data, config, return_compressed=True)
+    wire = rs.bytes_on_wire + _gather_blocks(
+        cluster, ring, rs.outputs, lambda f: f.nbytes, root
+    )
+    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
+    ordered: list[CompressedField] = [None] * n  # type: ignore[list-item]
+    for i in range(n):
+        ordered[ring.owned_block(i)] = rs.outputs[i]
+    with cluster.timed(root, "DPR"):
+        result = np.concatenate([comp.decompress(f) for f in ordered])
+    cluster.end_compute_phase()
+    outputs: list = [None] * n
+    outputs[root] = result
+    return CollectiveResult(
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        pipeline_stats=rs.pipeline_stats,
+    )
+
+
+def _binomial_rounds(cluster, payload_nbytes: int, root: int) -> int:
+    """Charge the binomial-tree dissemination; returns bytes on the wire.
+
+    In round ``k`` every rank that already holds the data sends to one new
+    rank, so the tree completes in ``ceil(log2 N)`` rounds.
+    """
+    n = cluster.n_ranks
+    holders = 1
+    wire = 0
+    while holders < n:
+        senders = min(holders, n - holders)
+        wire += senders * payload_nbytes
+        # all of a round's sends are concurrent; charge the representative
+        # flow to the root and close the round on the message size
+        cluster.charge_comm(root, payload_nbytes)
+        cluster.end_round(payload_nbytes)
+        holders += senders
+    return wire
+
+
+def mpi_bcast(
+    cluster: SimCluster, data: np.ndarray, root: int = 0
+) -> CollectiveResult:
+    """Plain binomial-tree broadcast of ``data`` from the root."""
+    data = validate_local_data([data])[0]
+    wire = _binomial_rounds(cluster, data.nbytes, root)
+    outputs = [data.copy() for _ in range(cluster.n_ranks)]
+    return CollectiveResult(
+        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+    )
+
+
+def compressed_bcast(
+    cluster: SimCluster, data: np.ndarray, config, root: int = 0
+) -> CollectiveResult:
+    """Compressed broadcast: one CPR at the root, compressed bytes on the
+    tree, one DPR per receiving rank (all concurrent)."""
+    data = validate_local_data([data])[0]
+    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
+    with cluster.timed(root, "CPR"):
+        field = comp.compress(data, abs_eb=config.error_bound)
+    cluster.end_compute_phase()
+    wire = _binomial_rounds(cluster, field.nbytes, root)
+    outputs = []
+    for i in range(cluster.n_ranks):
+        if i == root:
+            outputs.append(data.copy())
+        else:
+            with cluster.timed(i, "DPR"):
+                outputs.append(comp.decompress(field))
+    cluster.end_compute_phase()
+    return CollectiveResult(
+        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+    )

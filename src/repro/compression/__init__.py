@@ -1,0 +1,60 @@
+"""Error-bounded lossy compression substrate.
+
+Contents:
+
+* :mod:`~repro.compression.fzlight` — fZ-light, the paper's ultra-fast CPU
+  compressor (multi-layer partitioning, fused quantise+predict, fixed-length
+  encoding).
+* :mod:`~repro.compression.ompszp` — ompSZp, the cuSZp-on-CPU baseline.
+* :mod:`~repro.compression.format` — the compressed container / wire format.
+* :mod:`~repro.compression.encoding` — the fixed-length bit codec.
+* :mod:`~repro.compression.metrics` — NRMSE / PSNR / ratio reporting.
+"""
+
+from .access import concat_fields, decompress_range
+from .common import dequantize, lorenzo_decode, lorenzo_encode, quantize, resolve_error_bound
+from .encoding import DEFAULT_BLOCK_SIZE, MAX_CODE_LENGTH
+from .format import CompressedField, block_structure, from_bytes
+from .fzlight import DEFAULT_THREADBLOCKS, FZLight, compress, decompress
+from .fzlight2d import FZLight2D
+from .fzlightnd import FZLightND
+from .metrics import (
+    QualityReport,
+    check_error_bound,
+    evaluate_quality,
+    max_abs_error,
+    max_rel_error,
+    nrmse,
+    psnr,
+)
+from .ompszp import OmpSZp, OmpSZpField
+
+__all__ = [
+    "FZLight",
+    "FZLight2D",
+    "FZLightND",
+    "OmpSZp",
+    "OmpSZpField",
+    "CompressedField",
+    "from_bytes",
+    "block_structure",
+    "compress",
+    "decompress",
+    "quantize",
+    "dequantize",
+    "lorenzo_encode",
+    "lorenzo_decode",
+    "resolve_error_bound",
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "max_rel_error",
+    "QualityReport",
+    "evaluate_quality",
+    "check_error_bound",
+    "decompress_range",
+    "concat_fields",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_THREADBLOCKS",
+    "MAX_CODE_LENGTH",
+]

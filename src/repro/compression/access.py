@@ -1,0 +1,135 @@
+"""Random access and concatenation on compressed streams.
+
+Two capabilities the fZ-light layout supports *structurally*, exposed as
+first-class operations:
+
+* :func:`decompress_range` — reconstruct ``[start, stop)`` of a 1-D stream
+  by decoding only the thread-blocks that cover it.  Each thread-block
+  carries its own outlier, so its prefix-sum chain restarts there — the
+  format is random-access at thread-block granularity by design (that is
+  *why* cuSZp/fZ-light keep outliers at all).
+* :func:`concat_fields` — concatenate compressed streams into one
+  compressed stream **without decompressing**: thread-block boundaries,
+  outliers, code lengths and payloads simply chain.  This is what lets a
+  gathered set of compressed chunks (the hZCCL Allgather hand-off) be
+  treated as a single compressed object downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import dequantize
+from .encoding import decode_blocks
+from .format import (
+    PREDICTOR_LORENZO_1D,
+    BlockStructure,
+    CompressedField,
+)
+
+__all__ = ["decompress_range", "concat_fields"]
+
+
+def decompress_range(
+    compressed: CompressedField, start: int, stop: int
+) -> np.ndarray:
+    """Reconstruct elements ``[start, stop)`` of a 1-D compressed stream.
+
+    Decodes only the thread-blocks overlapping the range — for a request
+    covering a fraction ``f`` of the data, roughly ``f`` of the decode work
+    (plus at most one thread-block of slack on each side).
+    """
+    if compressed.predictor != PREDICTOR_LORENZO_1D:
+        raise ValueError("random access is defined for 1-D Lorenzo streams")
+    if not 0 <= start < stop <= compressed.n:
+        raise IndexError(
+            f"range [{start}, {stop}) out of bounds for length {compressed.n}"
+        )
+    structure: BlockStructure = compressed.structure
+    bounds = structure.bounds
+    # thread-blocks intersecting [start, stop)
+    first_tb = int(np.searchsorted(bounds, start, side="right") - 1)
+    last_tb = int(np.searchsorted(bounds, stop, side="left") - 1)
+    last_tb = min(max(last_tb, first_tb), structure.n_threadblocks - 1)
+
+    out = np.empty(stop - start, dtype=np.float32)
+    block_starts = structure.block_starts
+    offsets = compressed.offsets
+    bs = compressed.block_size
+    for t in range(first_tb, last_tb + 1):
+        lo, hi = int(bounds[t]), int(bounds[t + 1])
+        if lo == hi:
+            continue
+        blo, bhi = int(block_starts[t]), int(block_starts[t + 1])
+        rows = decode_blocks(
+            compressed.code_lengths[blo:bhi],
+            compressed.payload[int(offsets[blo]) : int(offsets[bhi])],
+            bs,
+        )
+        deltas = rows.reshape(-1)[: hi - lo]
+        codes = np.cumsum(deltas, dtype=np.int64)
+        codes += int(compressed.outliers[t])
+        # intersect this thread-block with the requested range
+        s = max(lo, start)
+        e = min(hi, stop)
+        out[s - start : e - start] = dequantize(
+            codes[s - lo : e - lo], compressed.error_bound
+        )
+    return out
+
+
+def concat_fields(fields: list[CompressedField]) -> CompressedField:
+    """Concatenate compressed 1-D streams without decompressing.
+
+    Requirements: same ``block_size``, ``error_bound`` and predictor
+    (1-D).  The result behaves exactly like compressing the concatenated
+    original arrays with thread-block boundaries at the junctions — each
+    input's thread-blocks keep their outliers, so reconstruction chains
+    restart correctly at every seam.
+    """
+    if not fields:
+        raise ValueError("need at least one field")
+    head = fields[0]
+    for f in fields[1:]:
+        if f.block_size != head.block_size:
+            raise ValueError("mismatched block sizes")
+        if f.error_bound != head.error_bound:
+            raise ValueError("mismatched error bounds")
+        if (
+            f.predictor != PREDICTOR_LORENZO_1D
+            or head.predictor != PREDICTOR_LORENZO_1D
+        ):
+            raise ValueError("concatenation is defined for 1-D Lorenzo streams")
+
+    # Junction-correct only if every input's last thread-block is
+    # block-aligned OR the input simply keeps its own padding.  Padding
+    # deltas are zeros that reconstruct as trailing repeats *inside that
+    # thread-block only* and are sliced off by `n` bookkeeping — but once
+    # concatenated, the slice offsets shift.  The clean construction keeps
+    # each input's geometry intact by tracking cumulative `n` per piece.
+    total_n = sum(f.n for f in fields)
+    n_tb = sum(f.n_threadblocks for f in fields)
+    out = CompressedField(
+        n=total_n,
+        error_bound=head.error_bound,
+        block_size=head.block_size,
+        n_threadblocks=n_tb,
+        outliers=np.concatenate([f.outliers for f in fields]),
+        code_lengths=np.concatenate([f.code_lengths for f in fields]),
+        payload=np.concatenate([f.payload for f in fields]),
+    )
+    # Geometry check: `CompressedField.structure` derives thread-block
+    # bounds from (n, n_threadblocks) assuming the uniform split; the
+    # concatenated pieces' actual bounds must coincide exactly, or the
+    # decoder would mis-slice.  Reject rather than silently corrupt.
+    actual_lengths = np.concatenate(
+        [np.diff(f.structure.bounds) for f in fields]
+    )
+    expected_lengths = np.diff(out.structure.bounds)
+    if not np.array_equal(actual_lengths, expected_lengths):
+        raise ValueError(
+            "streams do not concatenate into a uniform thread-block geometry; "
+            "compress equal-length, block-aligned pieces (per-piece length a "
+            "multiple of n_threadblocks·block_size) to make them chainable"
+        )
+    return out

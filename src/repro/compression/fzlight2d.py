@@ -1,0 +1,134 @@
+"""fZ-light-2D: a 2-D Lorenzo variant of the compressor (extension).
+
+The paper's future work proposes "tailoring homomorphic compression
+algorithms to the specific data characteristics of various applications".
+For 2-D fields (CESM-ATM-style climate slices, stacked images) the natural
+tailoring is the 2-D Lorenzo predictor
+
+    d[r, c] = q[r, c] − q[r−1, c] − q[r, c−1] + q[r−1, c−1]
+
+with 1-D chains along the first row/column and a single outlier
+``q[0, 0]``.  Like its 1-D sibling the predictor is **linear in the
+quantisation codes**, so the compressed stream is a drop-in operand for
+:class:`~repro.homomorphic.hzdynamic.HZDynamic` — the homomorphic sum of
+two 2-D-compressed fields decompresses to the exact code-domain sum, with
+no changes to the engine.  Streams carry ``predictor=PREDICTOR_LORENZO_2D``
+and their row count, and refuse to mix with 1-D streams (different linear
+bases).
+
+Reconstruction is two prefix sums: with the boundary encoding above,
+``q = q[0,0] + cumsum_rows(cumsum_cols(d))`` exactly (the cross terms
+telescope), so decompression stays a couple of vectorised passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import ensure_positive
+from .common import quantize, resolve_error_bound
+from .encoding import DEFAULT_BLOCK_SIZE, decode_blocks, encode_blocks
+from .format import (
+    PREDICTOR_LORENZO_2D,
+    CompressedField,
+    block_structure,
+)
+
+__all__ = ["FZLight2D"]
+
+
+@dataclass(frozen=True)
+class FZLight2D:
+    """2-D Lorenzo compressor producing homomorphic-compatible streams.
+
+    Uses a single thread-block (one outlier, ``q[0, 0]``) — the 2-D
+    predictor's chains span the whole plane, so per-thread-block restarts
+    would break the prefix-sum inversion.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> comp = FZLight2D()
+    >>> yy, xx = np.mgrid[0:64, 0:96]
+    >>> img = np.sin(yy / 9.0) * np.cos(xx / 7.0)
+    >>> fld = comp.compress(img.astype(np.float32), abs_eb=1e-3)
+    >>> out = comp.decompress(fld)
+    >>> bool(np.abs(out - img).max() <= 1e-3 + 1e-6)
+    True
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.block_size % 8 or self.block_size <= 0:
+            raise ValueError("block_size must be a positive multiple of 8")
+
+    # ------------------------------------------------------------------ #
+    def compress(
+        self,
+        data: np.ndarray,
+        abs_eb: float | None = None,
+        rel_eb: float | None = None,
+    ) -> CompressedField:
+        """Compress a 2-D float array under an absolute/relative bound."""
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] < 1 or data.shape[1] < 1:
+            raise ValueError(f"FZLight2D needs a 2-D array, got shape {data.shape}")
+        rows, cols = data.shape
+        flat = np.ascontiguousarray(data, dtype=np.float32).ravel()
+        if not np.isfinite(flat).all():
+            raise ValueError("data contains NaN or infinite values")
+        error_bound = resolve_error_bound(flat, abs_eb=abs_eb, rel_eb=rel_eb)
+        ensure_positive(error_bound, "error_bound")
+        q = quantize(flat, error_bound).reshape(rows, cols)
+
+        deltas = np.empty_like(q)
+        deltas[0, 0] = 0
+        # first row / first column: 1-D chains
+        np.subtract(q[0, 1:], q[0, :-1], out=deltas[0, 1:])
+        np.subtract(q[1:, 0], q[:-1, 0], out=deltas[1:, 0])
+        # interior: full 2-D Lorenzo
+        if rows > 1 and cols > 1:
+            deltas[1:, 1:] = q[1:, 1:] - q[:-1, 1:] - q[1:, :-1] + q[:-1, :-1]
+        outlier = np.array([int(q[0, 0])], dtype=np.int64)
+
+        structure = block_structure(flat.size, self.block_size, 1)
+        grid = np.zeros(structure.total_blocks * self.block_size, dtype=q.dtype)
+        grid[: flat.size] = deltas.ravel()
+        code_lengths, payload = encode_blocks(
+            grid.reshape(structure.total_blocks, self.block_size), self.block_size
+        )
+        return CompressedField(
+            n=flat.size,
+            error_bound=error_bound,
+            block_size=self.block_size,
+            n_threadblocks=1,
+            outliers=outlier,
+            code_lengths=code_lengths,
+            payload=payload,
+            predictor=PREDICTOR_LORENZO_2D,
+            rows=rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    def decompress(self, compressed: CompressedField) -> np.ndarray:
+        """Reconstruct the 2-D float32 array (shape ``(rows, n // rows)``)."""
+        if compressed.predictor != PREDICTOR_LORENZO_2D:
+            raise ValueError("stream was not produced by a 2-D Lorenzo compressor")
+        rows = compressed.rows
+        if rows <= 0 or compressed.n % rows:
+            raise ValueError("corrupt 2-D stream: invalid row count")
+        cols = compressed.n // rows
+        blocks = decode_blocks(
+            compressed.code_lengths, compressed.payload, compressed.block_size
+        )
+        deltas = blocks.reshape(-1)[: compressed.n].reshape(rows, cols)
+        # invert: q = q00 + cumsum over columns, then over rows (int64 to
+        # keep the partial sums exact)
+        codes = np.cumsum(deltas, axis=1, dtype=np.int64)
+        np.cumsum(codes, axis=0, out=codes)
+        codes += int(compressed.outliers[0])
+        scaled = np.multiply(codes, 2.0 * compressed.error_bound, dtype=np.float64)
+        return scaled.astype(np.float32)

@@ -1,0 +1,129 @@
+"""Compression-quality metrics used throughout the paper's tables.
+
+Conventions follow SDRBench / the SZ family (and the paper's artifact
+output): errors are normalised by the original field's value range, PSNR
+uses the range as the peak signal, and the compression ratio is
+``original bytes / compressed bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.validation import ensure_same_shape
+
+__all__ = [
+    "nrmse",
+    "psnr",
+    "max_abs_error",
+    "max_rel_error",
+    "error_std",
+    "QualityReport",
+    "evaluate_quality",
+    "check_error_bound",
+]
+
+
+def _as_f64(a: np.ndarray) -> np.ndarray:
+    return np.asarray(a, dtype=np.float64).ravel()
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalised by the original value range."""
+    x, y = _as_f64(original), _as_f64(reconstructed)
+    ensure_same_shape(x, y)
+    value_range = x.max() - x.min()
+    rmse = float(np.sqrt(np.mean((x - y) ** 2)))
+    if value_range == 0.0:
+        return 0.0 if rmse == 0.0 else float("inf")
+    return rmse / value_range
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (peak = value range)."""
+    err = nrmse(original, reconstructed)
+    if err == 0.0:
+        return float("inf")
+    return -20.0 * float(np.log10(err))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest pointwise absolute error."""
+    x, y = _as_f64(original), _as_f64(reconstructed)
+    ensure_same_shape(x, y)
+    return float(np.abs(x - y).max())
+
+
+def max_rel_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest absolute error divided by the value range."""
+    x = _as_f64(original)
+    value_range = x.max() - x.min()
+    if value_range == 0.0:
+        return 0.0
+    return max_abs_error(original, reconstructed) / value_range
+
+
+def error_std(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Standard deviation of the pointwise error, range-normalised.
+
+    This is the STD column the paper reports next to each NRMSE.
+    """
+    x, y = _as_f64(original), _as_f64(reconstructed)
+    ensure_same_shape(x, y)
+    value_range = x.max() - x.min()
+    if value_range == 0.0:
+        return 0.0
+    return float(np.std(np.abs(x - y))) / value_range
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """One row of a Table III / Table VI style quality report."""
+
+    nrmse: float
+    psnr: float
+    std: float
+    max_abs_error: float
+    max_rel_error: float
+    compression_ratio: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ratio={self.compression_ratio:.2f} NRMSE={self.nrmse:.3e} "
+            f"PSNR={self.psnr:.2f} STD={self.std:.0e} "
+            f"maxAbs={self.max_abs_error:.3e}"
+        )
+
+
+def evaluate_quality(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    compressed_nbytes: int,
+) -> QualityReport:
+    """Compute the full quality row for one (dataset, error-bound) cell."""
+    original = np.asarray(original)
+    return QualityReport(
+        nrmse=nrmse(original, reconstructed),
+        psnr=psnr(original, reconstructed),
+        std=error_std(original, reconstructed),
+        max_abs_error=max_abs_error(original, reconstructed),
+        max_rel_error=max_rel_error(original, reconstructed),
+        compression_ratio=original.size * original.itemsize / compressed_nbytes,
+    )
+
+
+def check_error_bound(
+    original: np.ndarray, reconstructed: np.ndarray, error_bound: float
+) -> bool:
+    """True when every pointwise error respects the absolute bound.
+
+    The bound is enforced in exact integer arithmetic; the only slack
+    allowed here is the final float32 store of the dequantised value, which
+    rounds by at most one ulp at the field's magnitude.
+    """
+    peak = float(np.abs(np.asarray(reconstructed, dtype=np.float64)).max())
+    ulp = float(np.spacing(np.float32(peak)))
+    tol = error_bound + ulp + np.finfo(np.float32).tiny
+    return bool(max_abs_error(original, reconstructed) <= tol)

@@ -1,0 +1,50 @@
+"""Core public API: facade, configuration, and the §III-C cost model."""
+
+from .analysis import (
+    ErrorBounds,
+    OperationCounts,
+    allreduce_counts,
+    cost_advantage_allreduce,
+    cost_advantage_reduce_scatter,
+    error_bounds,
+    hzccl_breakeven_hpr,
+    reduce_scatter_counts,
+)
+from .api import HZCCL
+from .config import DEFAULT_CONFIG, CollectiveConfig
+from .cost_model import (
+    PAPER_BROADWELL,
+    CostRates,
+    calibrated_config,
+    matched_network,
+    model_ccoll_allreduce,
+    model_ccoll_reduce_scatter,
+    model_hzccl_allreduce,
+    model_hzccl_reduce_scatter,
+    model_mpi_allreduce,
+    model_mpi_reduce_scatter,
+)
+
+__all__ = [
+    "HZCCL",
+    "CollectiveConfig",
+    "DEFAULT_CONFIG",
+    "CostRates",
+    "PAPER_BROADWELL",
+    "matched_network",
+    "calibrated_config",
+    "model_mpi_reduce_scatter",
+    "model_mpi_allreduce",
+    "model_ccoll_reduce_scatter",
+    "model_ccoll_allreduce",
+    "model_hzccl_reduce_scatter",
+    "model_hzccl_allreduce",
+    "OperationCounts",
+    "reduce_scatter_counts",
+    "allreduce_counts",
+    "cost_advantage_reduce_scatter",
+    "cost_advantage_allreduce",
+    "hzccl_breakeven_hpr",
+    "ErrorBounds",
+    "error_bounds",
+]

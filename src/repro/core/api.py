@@ -1,0 +1,147 @@
+"""The hZCCL public facade.
+
+One object wires together the compressor, the homomorphic engine, the
+simulated cluster, and the three collective families:
+
+>>> import numpy as np
+>>> from repro import HZCCL
+>>> lib = HZCCL()
+>>> data = [np.sin(np.linspace(0, 9, 4096) + r).astype(np.float32)
+...         for r in range(4)]
+>>> result = lib.allreduce(data)          # homomorphic-compressed ring
+>>> baseline = lib.allreduce(data, kernel="mpi")
+>>> result.outputs[0].shape == baseline.outputs[0].shape
+True
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..collectives import (
+    CollectiveResult,
+    ccoll_allreduce,
+    ccoll_reduce_scatter,
+    compressed_bcast,
+    hzccl_allreduce,
+    hzccl_reduce,
+    hzccl_reduce_scatter,
+    mpi_allreduce,
+    mpi_bcast,
+    mpi_reduce,
+    mpi_reduce_scatter,
+)
+from ..compression.format import CompressedField
+from ..compression.fzlight import FZLight
+from ..homomorphic.hzdynamic import HZDynamic
+from ..runtime.cluster import SimCluster
+from .config import CollectiveConfig
+
+__all__ = ["HZCCL"]
+
+_KERNELS = ("hzccl", "ccoll", "mpi")
+
+
+class HZCCL:
+    """High-level entry point for homomorphic-compressed collectives.
+
+    Parameters
+    ----------
+    config : collective/testbed configuration; defaults to the paper's
+        setup (abs eb 1e-4, 18 compression thread-blocks, Omni-Path model).
+    """
+
+    def __init__(self, config: CollectiveConfig | None = None) -> None:
+        self.config = config or CollectiveConfig()
+        self._compressor = FZLight(
+            block_size=self.config.block_size,
+            n_threadblocks=self.config.n_threadblocks,
+        )
+        self._engine = HZDynamic()
+
+    # ------------------------------------------------------------------ #
+    # compression surface
+    # ------------------------------------------------------------------ #
+    def compress(
+        self,
+        data: np.ndarray,
+        abs_eb: float | None = None,
+        rel_eb: float | None = None,
+    ) -> CompressedField:
+        """fZ-light compression (defaults to the config's error bound)."""
+        if abs_eb is None and rel_eb is None:
+            abs_eb = self.config.error_bound
+        return self._compressor.compress(data, abs_eb=abs_eb, rel_eb=rel_eb)
+
+    def decompress(self, compressed: CompressedField) -> np.ndarray:
+        """fZ-light decompression."""
+        return self._compressor.decompress(compressed)
+
+    def homomorphic_sum(
+        self, a: CompressedField, b: CompressedField
+    ) -> CompressedField:
+        """hZ-dynamic reduction directly on two compressed fields."""
+        return self._engine.add(a, b)
+
+    # ------------------------------------------------------------------ #
+    # collectives
+    # ------------------------------------------------------------------ #
+    def _cluster(self, n_ranks: int) -> SimCluster:
+        return SimCluster(
+            n_ranks=n_ranks,
+            network=self.config.network,
+            thread_speedup=self.config.thread_speedup,
+            multithread=self.config.multithread,
+        )
+
+    def reduce_scatter(
+        self, local_data: list[np.ndarray], kernel: str = "hzccl"
+    ) -> CollectiveResult:
+        """SUM Reduce_scatter across ``len(local_data)`` simulated ranks."""
+        cluster = self._cluster(len(local_data))
+        if kernel == "hzccl":
+            return hzccl_reduce_scatter(cluster, local_data, self.config)
+        if kernel == "ccoll":
+            return ccoll_reduce_scatter(cluster, local_data, self.config)
+        if kernel == "mpi":
+            return mpi_reduce_scatter(cluster, local_data)
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+
+    def allreduce(
+        self, local_data: list[np.ndarray], kernel: str = "hzccl"
+    ) -> CollectiveResult:
+        """SUM Allreduce across ``len(local_data)`` simulated ranks."""
+        cluster = self._cluster(len(local_data))
+        if kernel == "hzccl":
+            return hzccl_allreduce(cluster, local_data, self.config)
+        if kernel == "ccoll":
+            return ccoll_allreduce(cluster, local_data, self.config)
+        if kernel == "mpi":
+            return mpi_allreduce(cluster, local_data)
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+
+    def reduce(
+        self, local_data: list[np.ndarray], root: int = 0, kernel: str = "hzccl"
+    ) -> CollectiveResult:
+        """SUM Reduce to ``root`` (non-root outputs are ``None``)."""
+        cluster = self._cluster(len(local_data))
+        if kernel == "hzccl":
+            return hzccl_reduce(cluster, local_data, self.config, root=root)
+        if kernel == "mpi":
+            return mpi_reduce(cluster, local_data, root=root)
+        raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")
+
+    def bcast(
+        self, data: np.ndarray, n_ranks: int, root: int = 0, kernel: str = "hzccl"
+    ) -> CollectiveResult:
+        """Broadcast ``data`` from ``root`` to ``n_ranks`` simulated ranks.
+
+        The ``hzccl`` kernel broadcasts the compressed stream (lossy within
+        the configured error bound on non-root ranks); ``mpi`` is exact.
+        """
+        cluster = self._cluster(n_ranks)
+        if kernel == "hzccl":
+            return compressed_bcast(cluster, data, self.config, root=root)
+        if kernel == "mpi":
+            return mpi_bcast(cluster, data, root=root)
+        raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")

@@ -1,0 +1,41 @@
+"""Configuration for hZCCL collectives and the simulated testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..runtime.network import OMNIPATH_100G, NetworkModel
+from ..utils.validation import ensure_positive, ensure_positive_int
+
+__all__ = ["CollectiveConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """Knobs shared by every collective run.
+
+    Defaults follow the paper's experimental setup (§IV-A): absolute error
+    bound 1e-4, 32-element blocks, 18 compression threads (one Broadwell
+    socket) inside collectives, 100 Gbps Omni-Path.
+    """
+
+    error_bound: float = 1e-4  # absolute, like the paper's collectives
+    block_size: int = 32
+    n_threadblocks: int = 18
+    multithread: bool = False
+    thread_speedup: float = 6.0  # MT-vs-ST compressor scaling (DESIGN.md §1)
+    network: NetworkModel = field(default_factory=lambda: OMNIPATH_100G)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.error_bound, "error_bound")
+        ensure_positive_int(self.n_threadblocks, "n_threadblocks")
+        ensure_positive(self.thread_speedup, "thread_speedup")
+        if self.block_size % 8 or self.block_size <= 0:
+            raise ValueError("block_size must be a positive multiple of 8")
+
+    def with_mode(self, multithread: bool) -> "CollectiveConfig":
+        """Same config in the other thread mode."""
+        return replace(self, multithread=multithread)
+
+
+DEFAULT_CONFIG = CollectiveConfig()

@@ -1,0 +1,14 @@
+"""Synthetic stand-ins for the paper's five application datasets (Table I)."""
+
+from .registry import DATASETS, DatasetSpec, dataset_names, get_spec
+from .synthetic import generate_field, generate_pair, snapshot_series
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "generate_field",
+    "generate_pair",
+    "snapshot_series",
+]

@@ -1,0 +1,106 @@
+"""Dataset registry: the five applications of Table I.
+
+Each entry records the paper's field count, per-field dimensions and domain,
+plus the synthetic generator that stands in for the real data (the RTM sets
+are proprietary; NYX/CESM-ATM/Hurricane come from SDRBench, which is not
+bundled).  Benchmarks default to scaled-down dims via
+:meth:`DatasetSpec.scaled_dims` so a laptop run finishes in minutes; the
+full paper dims remain available by passing ``scale=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "get_spec"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata for one application dataset (one row of Table I)."""
+
+    name: str
+    n_fields: int
+    dims: tuple[int, ...]
+    total_size: str
+    domain: str
+    generator: str  # attribute name in repro.datasets.synthetic
+
+    @property
+    def field_elements(self) -> int:
+        return int(np.prod(self.dims))
+
+    def scaled_dims(self, scale: float) -> tuple[int, ...]:
+        """Shrink every axis by ``scale**(1/ndim)`` (volume scales ~linearly).
+
+        Axes never drop below 16 so the generators keep meaningful
+        structure.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        factor = scale ** (1.0 / len(self.dims))
+        return tuple(max(16, int(round(d * factor))) for d in self.dims)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="sim1",
+            n_fields=3601,
+            dims=(449, 449, 235),
+            total_size="635.5 GB",
+            domain="Seismic Wave (RTM Simulation Setting 1)",
+            generator="seismic_setting1",
+        ),
+        DatasetSpec(
+            name="sim2",
+            n_fields=151,
+            dims=(849, 849, 235),
+            total_size="95.3 GB",
+            domain="Seismic Wave (RTM Simulation Setting 2)",
+            generator="seismic_setting2",
+        ),
+        DatasetSpec(
+            name="nyx",
+            n_fields=6,
+            dims=(512, 512, 512),
+            total_size="3.1 GB",
+            domain="Cosmology (NYX)",
+            generator="nyx_field",
+        ),
+        DatasetSpec(
+            name="cesm",
+            n_fields=79,
+            dims=(1800, 3600),
+            total_size="2.0 GB",
+            domain="Climate Simulation (CESM-ATM)",
+            generator="cesm_atm_field",
+        ),
+        DatasetSpec(
+            name="hurricane",
+            n_fields=13,
+            dims=(100, 500, 500),
+            total_size="1.3 GB",
+            domain="Weather Simulation (Hurricane Isabel)",
+            generator="hurricane_field",
+        ),
+    )
+}
+
+
+def dataset_names() -> list[str]:
+    """Names in the paper's Table I order."""
+    return list(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec; raises ``KeyError`` with the valid names."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None

@@ -1,0 +1,23 @@
+"""Homomorphic compression: reductions performed directly on compressed data.
+
+* :class:`~repro.homomorphic.hzdynamic.HZDynamic` — the paper's hZ-dynamic
+  engine with four adaptively-selected pipelines.
+* :class:`~repro.homomorphic.static_pipeline.StaticHomomorphic` — the static
+  (always partial-decompress) baseline used for ablation.
+* :class:`~repro.homomorphic.hzdynamic.PipelineStats` — Table V accounting.
+"""
+
+from .hzdynamic import HZDynamic, PipelineStats, homomorphic_sum
+from .ops import difference_energy, linear_combination, mean_of, supported_ops
+from .static_pipeline import StaticHomomorphic
+
+__all__ = [
+    "HZDynamic",
+    "StaticHomomorphic",
+    "PipelineStats",
+    "homomorphic_sum",
+    "linear_combination",
+    "mean_of",
+    "difference_energy",
+    "supported_ops",
+]

@@ -1,0 +1,386 @@
+"""hZ-dynamic: the dynamic homomorphic compression pipeline (paper §III-B4).
+
+Reductions run *directly* on two fZ-light compressed streams.  For every
+small block the engine inspects the pair of code lengths ``(x, y)`` and
+routes the block to the cheapest possible pipeline:
+
+=========  ==================  =================================================
+Pipeline   Condition           Work performed
+=========  ==================  =================================================
+1          ``x = 0, y = 0``    record a ``0`` code length — nothing else
+2          ``x = 0, y ≠ 0``    copy block 2's bytes verbatim
+3          ``x ≠ 0, y = 0``    copy block 1's bytes verbatim
+4          ``x ≠ 0, y ≠ 0``    inverse fixed-length encode both, add the
+                               integer predictions, re-encode (the only
+                               "partial decompress" case — what a *static*
+                               homomorphic pipeline does for every block)
+=========  ==================  =================================================
+
+Thread-block outliers are simply added.  Correctness rests on linearity:
+quantisation codes and Lorenzo deltas are both linear in the input, so the
+homomorphic sum decompresses to exactly the sum of the two operands'
+decompressed values — no additional quantisation, hence no additional error
+(§III-B4, last paragraph).
+
+Besides ``sum`` the same linearity gives ``subtract`` and scalar ``scale``
+for free; non-linear reductions (min/max) are *not* homomorphic in this
+representation and are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression.encoding import (
+    decode_selected,
+    encode_blocks,
+    payload_offsets,
+)
+from ..compression.format import CompressedField
+
+__all__ = ["PipelineStats", "HZDynamic", "homomorphic_sum"]
+
+
+@dataclass
+class PipelineStats:
+    """Per-pipeline block counts for one or more homomorphic operations.
+
+    ``percentages`` reproduces the Table V columns.
+    """
+
+    counts: np.ndarray = field(
+        default_factory=lambda: np.zeros(4, dtype=np.int64)
+    )
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def percentages(self) -> np.ndarray:
+        """Share of blocks routed to pipelines 1–4, in percent."""
+        total = self.total
+        if total == 0:
+            return np.zeros(4)
+        return 100.0 * self.counts / total
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        self.counts += other.counts
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p = self.percentages
+        return " ".join(f"P{i + 1}={p[i]:.2f}%" for i in range(4))
+
+
+def _row_copy_indices(
+    starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Flat indices covering variable-length rows ``[starts_i, starts_i+len_i)``.
+
+    The classic repeat/arange trick: one vectorised gather replaces a Python
+    loop over blocks (pipelines 2/3 reduce to exactly this copy).
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    row_of = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    return starts[row_of] + within
+
+
+def _count_runs(idx: np.ndarray) -> int:
+    """Number of maximal consecutive runs in sorted block indices (cheap)."""
+    if idx.size == 0:
+        return 0
+    return int((np.diff(idx) != 1).sum()) + 1
+
+
+def _block_runs(idx: np.ndarray) -> list[tuple[int, int]]:
+    """Split sorted block indices into maximal consecutive runs.
+
+    Consecutive blocks occupy *contiguous* byte ranges in every payload
+    involved, so each run collapses to one slice copy — the Python-level
+    analogue of the block-wise ``memcpy`` the C implementation gets for
+    free.  Returns ``(start_pos, end_pos)`` positions into ``idx``.
+    Callers should gate on :func:`_count_runs` first; materialising the
+    list is only worth it when runs are long.
+    """
+    if idx.size == 0:
+        return []
+    splits = np.flatnonzero(np.diff(idx) != 1) + 1
+    bounds = np.concatenate(([0], splits, [idx.size]))
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(bounds.size - 1)]
+
+
+class HZDynamic:
+    """Dynamic homomorphic operator over :class:`CompressedField` pairs.
+
+    Parameters
+    ----------
+    collect_stats : record pipeline-selection counts (Table V); a hair of
+        overhead, on by default because the collectives report it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.compression import FZLight
+    >>> comp = FZLight()
+    >>> x = np.linspace(0, 1, 4096).astype(np.float32)
+    >>> y = np.cos(np.linspace(0, 9, 4096)).astype(np.float32)
+    >>> eb = 1e-4
+    >>> cx, cy = comp.compress(x, abs_eb=eb), comp.compress(y, abs_eb=eb)
+    >>> hz = HZDynamic()
+    >>> csum = hz.add(cx, cy)
+    >>> lhs = comp.decompress(csum)
+    >>> rhs = comp.decompress(cx) + comp.decompress(cy)
+    >>> # exact in the integer-code domain; the float32 stores of the two
+    >>> # sides may differ by one ulp (sum-then-scale vs scale-then-sum)
+    >>> bool(np.abs(lhs - rhs).max() <= np.spacing(np.abs(rhs).max()))
+    True
+    """
+
+    #: When pipeline 4 would cover more than this fraction of blocks, the
+    #: engine processes the whole stream through one contiguous
+    #: IFE→add→FE pass instead of per-pipeline gathers: with almost no
+    #: copyable blocks to exploit, the gather bookkeeping costs more than
+    #: it saves.  This is part of the run-time heuristic — the dynamic
+    #: selector picks the cheapest *execution strategy*, not just the
+    #: cheapest per-block pipeline.
+    DENSE_THRESHOLD = 0.75
+
+    def __init__(self, collect_stats: bool = True) -> None:
+        self.collect_stats = collect_stats
+        self.stats = PipelineStats()
+
+    def reset_stats(self) -> None:
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------ #
+    def add(self, a: CompressedField, b: CompressedField) -> CompressedField:
+        """Homomorphic sum of two compatible compressed fields."""
+        if not a.compatible_with(b):
+            raise ValueError(
+                "operands are not homomorphically compatible (need identical "
+                "length, block geometry and error bound)"
+            )
+        bs = a.block_size
+        ca = a.code_lengths
+        cb = b.code_lengths
+        a_zero = ca == 0
+        b_zero = cb == 0
+
+        p2 = a_zero & ~b_zero
+        p3 = ~a_zero & b_zero
+        p4 = ~a_zero & ~b_zero
+
+        # Pipeline statistics are defined by the block classification,
+        # independent of which execution strategy computes the result.
+        if self.collect_stats:
+            self.stats.counts += np.array(
+                [
+                    int((a_zero & b_zero).sum()),
+                    int(p2.sum()),
+                    int(p3.sum()),
+                    int(p4.sum()),
+                ],
+                dtype=np.int64,
+            )
+
+        if int(p4.sum()) > self.DENSE_THRESHOLD * ca.size:
+            return self._add_dense(a, b)
+
+        out_lengths = np.zeros_like(ca)
+        out_lengths[p2] = cb[p2]
+        out_lengths[p3] = ca[p3]
+
+        # Pipeline 4 first: its re-encoded code lengths decide output sizes.
+        idx4 = np.nonzero(p4)[0]
+        if idx4.size:
+            da = decode_selected(idx4, ca, a.offsets, a.payload, bs)
+            db = decode_selected(idx4, cb, b.offsets, b.payload, bs)
+            da += db  # int64 accumulation; overflow detected on re-encode
+            lens4, payload4, offsets4 = _encode_with_offsets(da, bs)
+            out_lengths[idx4] = lens4
+
+        out_offsets = payload_offsets(out_lengths, bs)
+        payload = np.empty(int(out_offsets[-1]), dtype=np.uint8)
+
+        self._copy_pipeline(payload, out_offsets, p2, b, out_lengths, bs)
+        self._copy_pipeline(payload, out_offsets, p3, a, out_lengths, bs)
+        if idx4.size:
+            # payload4 rows are consecutive for consecutive idx4 entries,
+            # so each run is one contiguous slice on both sides.
+            if _count_runs(idx4) <= idx4.size // 8 + 64:
+                for s, e in _block_runs(idx4):
+                    dst_lo = int(out_offsets[idx4[s]])
+                    dst_hi = int(out_offsets[idx4[e - 1] + 1])
+                    payload[dst_lo:dst_hi] = payload4[
+                        int(offsets4[s]) : int(offsets4[e])
+                    ]
+            else:
+                sizes4 = np.diff(offsets4)
+                dst = _row_copy_indices(out_offsets[idx4], sizes4)
+                payload[dst] = payload4
+
+        return CompressedField(
+            n=a.n,
+            error_bound=a.error_bound,
+            block_size=bs,
+            n_threadblocks=a.n_threadblocks,
+            outliers=a.outliers + b.outliers,
+            predictor=a.predictor,
+            rows=a.rows,
+            cols=a.cols,
+            code_lengths=out_lengths,
+            payload=payload,
+            _offsets=out_offsets,
+        )
+
+    @staticmethod
+    def _add_dense(a: CompressedField, b: CompressedField) -> CompressedField:
+        """Contiguous full-stream IFE→add→FE pass (dense operand pairs)."""
+        from ..compression.encoding import decode_blocks
+
+        bs = a.block_size
+        da = decode_blocks(a.code_lengths, a.payload, bs).astype(np.int64)
+        db = decode_blocks(b.code_lengths, b.payload, bs)
+        da += db
+        code_lengths, payload, offsets = _encode_with_offsets(da, bs)
+        return CompressedField(
+            n=a.n,
+            error_bound=a.error_bound,
+            block_size=bs,
+            n_threadblocks=a.n_threadblocks,
+            outliers=a.outliers + b.outliers,
+            predictor=a.predictor,
+            rows=a.rows,
+            cols=a.cols,
+            code_lengths=code_lengths,
+            payload=payload,
+            _offsets=offsets,
+        )
+
+    @staticmethod
+    def _copy_pipeline(
+        payload: np.ndarray,
+        out_offsets: np.ndarray,
+        mask: np.ndarray,
+        source: CompressedField,
+        out_lengths: np.ndarray,
+        block_size: int,
+    ) -> None:
+        """Pipelines 2/3: verbatim byte copy of the non-constant operand.
+
+        Runs of consecutive blocks copy as single slices (quiet/active
+        regions are spatially coherent in real fields); heavily fragmented
+        masks fall back to one vectorised gather/scatter.
+        """
+        idx = np.nonzero(mask)[0]
+        if not idx.size:
+            return
+        src_offsets = source.offsets
+        if _count_runs(idx) <= idx.size // 8 + 64:
+            for s, e in _block_runs(idx):
+                lo, hi = int(idx[s]), int(idx[e - 1] + 1)
+                payload[int(out_offsets[lo]) : int(out_offsets[hi])] = source.payload[
+                    int(src_offsets[lo]) : int(src_offsets[hi])
+                ]
+        else:
+            sizes = (block_size // 8) * (1 + out_lengths[idx].astype(np.int64))
+            src = _row_copy_indices(src_offsets[idx], sizes)
+            dst = _row_copy_indices(out_offsets[idx], sizes)
+            payload[dst] = source.payload[src]
+
+    # ------------------------------------------------------------------ #
+    def scale(self, a: CompressedField, factor: int) -> CompressedField:
+        """Homomorphic integer scaling (linearity extension).
+
+        Only integer factors keep the representation exact; use
+        ``subtract(zero, a)`` via ``factor=-1`` for negation.
+        """
+        if int(factor) != factor:
+            raise ValueError("homomorphic scaling requires an integer factor")
+        factor = int(factor)
+        if factor == 1:
+            return a.copy()
+        bs = a.block_size
+        nonconst = np.nonzero(a.code_lengths != 0)[0]
+        out_lengths = np.zeros_like(a.code_lengths)
+        if nonconst.size and factor != 0:
+            deltas = decode_selected(nonconst, a.code_lengths, a.offsets, a.payload, bs)
+            deltas *= factor
+            lens, payload_rows, offs = _encode_with_offsets(deltas, bs)
+            out_lengths[nonconst] = lens
+            out_offsets = payload_offsets(out_lengths, bs)
+            payload = np.empty(int(out_offsets[-1]), dtype=np.uint8)
+            dst = _row_copy_indices(out_offsets[nonconst], np.diff(offs))
+            payload[dst] = payload_rows
+        else:
+            out_offsets = payload_offsets(out_lengths, bs)
+            payload = np.empty(0, dtype=np.uint8)
+        return CompressedField(
+            n=a.n,
+            error_bound=a.error_bound,
+            block_size=bs,
+            n_threadblocks=a.n_threadblocks,
+            outliers=a.outliers * factor,
+            predictor=a.predictor,
+            rows=a.rows,
+            cols=a.cols,
+            code_lengths=out_lengths,
+            payload=payload,
+            _offsets=out_offsets,
+        )
+
+    def subtract(self, a: CompressedField, b: CompressedField) -> CompressedField:
+        """Homomorphic difference ``a − b``."""
+        return self.add(a, self.scale(b, -1))
+
+    def reduce(
+        self, fields: list[CompressedField], order: str = "sequential"
+    ) -> CompressedField:
+        """Homomorphic sum of ≥ 1 fields.
+
+        ``order``: ``"sequential"`` (ring-reduction order, left fold) or
+        ``"tree"`` (pairwise combining — the schedule tree-based collectives
+        use).  The compressed result is *byte-identical* either way:
+        integer addition is associative, so the schedule is pure execution
+        policy.
+        """
+        if not fields:
+            raise ValueError("reduce requires at least one field")
+        if order == "sequential":
+            acc = fields[0]
+            for nxt in fields[1:]:
+                acc = self.add(acc, nxt)
+            return acc
+        if order == "tree":
+            level = list(fields)
+            while len(level) > 1:
+                nxt_level = [
+                    self.add(level[i], level[i + 1])
+                    for i in range(0, len(level) - 1, 2)
+                ]
+                if len(level) % 2:
+                    nxt_level.append(level[-1])
+                level = nxt_level
+            return level[0]
+        raise ValueError(f"order must be 'sequential' or 'tree', got {order!r}")
+
+
+def _encode_with_offsets(
+    deltas: np.ndarray, block_size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    lens, payload = encode_blocks(deltas, block_size)
+    return lens, payload, payload_offsets(lens, block_size)
+
+
+def homomorphic_sum(
+    a: CompressedField, b: CompressedField
+) -> CompressedField:
+    """Module-level convenience: one homomorphic addition, stats discarded."""
+    return HZDynamic(collect_stats=False).add(a, b)

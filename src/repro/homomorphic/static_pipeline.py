@@ -1,0 +1,62 @@
+"""Static homomorphic pipeline (HoSZp-style) — ablation baseline.
+
+The static approach the paper contrasts against (§III-B4, Figure 4): *every*
+block is inverse fixed-length encoded into a full integer prediction array,
+the reduction is applied, and the whole array is re-encoded.  It is still
+homomorphic (no quantisation, no extra error) but pays the "partial"
+decompression/recompression for constant and copyable blocks too, and must
+allocate the full-size integer prediction arrays hZ-dynamic avoids.
+
+Used by ``benchmarks/bench_ablation_static_vs_dynamic.py`` to quantify what
+the dynamic pipeline selection is worth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compression.encoding import decode_blocks, encode_blocks, payload_offsets
+from ..compression.format import CompressedField
+
+__all__ = ["StaticHomomorphic"]
+
+
+class StaticHomomorphic:
+    """Always-IFE/FE homomorphic operator (pipeline 4 applied everywhere)."""
+
+    def add(self, a: CompressedField, b: CompressedField) -> CompressedField:
+        """Homomorphic sum via full inverse/forward fixed-length encoding."""
+        if not a.compatible_with(b):
+            raise ValueError(
+                "operands are not homomorphically compatible (need identical "
+                "length, block geometry and error bound)"
+            )
+        bs = a.block_size
+        # The large materialised integer prediction arrays are the point:
+        # this is the memory footprint hZ-dynamic's block-local walk avoids.
+        da = decode_blocks(a.code_lengths, a.payload, bs).astype(np.int64)
+        db = decode_blocks(b.code_lengths, b.payload, bs)
+        da += db
+        code_lengths, payload = encode_blocks(da, bs)
+        return CompressedField(
+            n=a.n,
+            error_bound=a.error_bound,
+            block_size=bs,
+            n_threadblocks=a.n_threadblocks,
+            outliers=a.outliers + b.outliers,
+            predictor=a.predictor,
+            rows=a.rows,
+            cols=a.cols,
+            code_lengths=code_lengths,
+            payload=payload,
+            _offsets=payload_offsets(code_lengths, bs),
+        )
+
+    def reduce(self, fields: list[CompressedField]) -> CompressedField:
+        """Sequential homomorphic sum of ≥ 1 fields."""
+        if not fields:
+            raise ValueError("reduce requires at least one field")
+        acc = fields[0]
+        for nxt in fields[1:]:
+            acc = self.add(acc, nxt)
+        return acc

@@ -1,0 +1,34 @@
+"""Simulated multi-node cluster substrate.
+
+Replaces the paper's 512-node Broadwell/Omni-Path testbed: virtual ranks
+execute collective computation bit-exactly in-process while an α–β–
+congestion model supplies communication time (see DESIGN.md §1).
+"""
+
+from .clock import BUCKETS, Breakdown, VirtualClock
+from .communicator import Communicator, Message, RankEndpoint
+from .cluster import SimCluster, measured
+from .fabrics import DragonflyNetwork, FatTreeNetwork, TorusNetwork
+from .network import OMNIPATH_100G, NetworkModel
+from .topology import Ring
+from .trace import RoundSummary, TraceEvent, TraceLog
+
+__all__ = [
+    "SimCluster",
+    "measured",
+    "NetworkModel",
+    "OMNIPATH_100G",
+    "Ring",
+    "VirtualClock",
+    "Breakdown",
+    "Communicator",
+    "Message",
+    "RankEndpoint",
+    "FatTreeNetwork",
+    "TorusNetwork",
+    "DragonflyNetwork",
+    "TraceLog",
+    "TraceEvent",
+    "RoundSummary",
+    "BUCKETS",
+]

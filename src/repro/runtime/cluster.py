@@ -1,0 +1,152 @@
+"""In-process SPMD cluster simulator.
+
+The paper evaluates on up to 512 physical nodes; here the ranks are virtual
+— each holds its own buffers and virtual clock, and the collective
+algorithms execute every rank's computation *for real* (bit-exact results)
+while **communication time is modelled** by :class:`~repro.runtime.network.
+NetworkModel` and **computation time is measured** around the actual
+kernel invocations.
+
+Time advances bulk-synchronously: ring collectives proceed in rounds, a
+round costs the slowest rank's compute plus the modelled exchange, and the
+per-bucket ledgers feed the paper-style breakdowns (Figure 2, Table VII).
+
+Thread modes: the physical testbed runs the compressor on 1 ("single-
+thread") or 18 ("multi-thread") cores.  Python measurements are inherently
+single-stream, so multi-thread mode divides measured *compression-family*
+times (CPR/DPR/HPR/CPT) by a configurable ``thread_speedup`` — the
+substitution documented in DESIGN.md.  Communication time is never scaled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..utils.validation import ensure_positive, ensure_positive_int
+from .clock import Breakdown, VirtualClock
+from .network import NetworkModel, OMNIPATH_100G
+from .trace import TraceLog
+
+__all__ = ["SimCluster", "measured"]
+
+
+@contextmanager
+def measured() -> Iterator[list[float]]:
+    """Measure a code block's wall time; result lands in the yielded list."""
+    out = [0.0]
+    start = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out[0] = time.perf_counter() - start
+
+
+@dataclass
+class SimCluster:
+    """N virtual ranks + a network model + per-rank virtual clocks.
+
+    Parameters
+    ----------
+    n_ranks : number of simulated nodes (one process per node, as in the
+        paper's runs).
+    network : interconnect model; defaults to the paper's 100 Gbps
+        Omni-Path.
+    thread_speedup : divisor applied to compute-family charges in
+        multi-thread mode (see module docstring).
+    multithread : whether collectives run in multi-thread mode.
+    """
+
+    n_ranks: int
+    network: NetworkModel = OMNIPATH_100G
+    thread_speedup: float = 6.0
+    multithread: bool = False
+    clocks: list[VirtualClock] = field(default_factory=list)
+    total_time: float = 0.0
+    #: optional execution trace (per-charge events + round boundaries)
+    trace: TraceLog | None = None
+    _round_compute: list[float] = field(default_factory=list)
+
+    _COMPUTE_BUCKETS = frozenset({"CPR", "DPR", "CPT", "HPR"})
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n_ranks, "n_ranks")
+        ensure_positive(self.thread_speedup, "thread_speedup")
+        if not self.clocks:
+            self.clocks = [VirtualClock() for _ in range(self.n_ranks)]
+        if len(self.clocks) != self.n_ranks:
+            raise ValueError("clocks length must equal n_ranks")
+        self._round_compute = [0.0] * self.n_ranks
+
+    # ------------------------------------------------------------------ #
+    # charging
+    # ------------------------------------------------------------------ #
+    def charge_compute(self, rank: int, bucket: str, seconds: float) -> None:
+        """Charge measured compute time to a rank (thread-mode scaled)."""
+        if bucket in self._COMPUTE_BUCKETS and self.multithread:
+            seconds /= self.thread_speedup
+        self.clocks[rank].charge(bucket, seconds)
+        self._round_compute[rank] += seconds
+        if self.trace is not None:
+            self.trace.record_compute(rank, bucket, seconds)
+
+    def charge_comm(self, rank: int, nbytes: int) -> float:
+        """Charge one rank's modelled transfer; returns the seconds charged."""
+        seconds = self.network.transfer_time(nbytes, self.n_ranks)
+        self.clocks[rank].charge("MPI", seconds)
+        if self.trace is not None:
+            self.trace.record_comm(rank, seconds, nbytes)
+        return seconds
+
+    @contextmanager
+    def timed(self, rank: int, bucket: str) -> Iterator[None]:
+        """Measure the enclosed kernel call and charge it to ``rank``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge_compute(rank, bucket, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # round synchronisation
+    # ------------------------------------------------------------------ #
+    def end_round(self, max_message_bytes: int) -> float:
+        """Close a bulk-synchronous round; returns the round's duration.
+
+        Round time = slowest rank's compute this round + the modelled ring
+        exchange of the largest in-flight message (full-duplex links, all
+        ranks exchanging concurrently).
+        """
+        comm = (
+            self.network.ring_round_time(max_message_bytes, self.n_ranks)
+            if max_message_bytes >= 0
+            else 0.0
+        )
+        duration = max(self._round_compute, default=0.0) + comm
+        self.total_time += duration
+        self._round_compute = [0.0] * self.n_ranks
+        if self.trace is not None:
+            self.trace.record_round(duration)
+        return duration
+
+    def end_compute_phase(self) -> float:
+        """Close a compute-only phase (no exchange), e.g. initial compression."""
+        duration = max(self._round_compute, default=0.0)
+        self.total_time += duration
+        self._round_compute = [0.0] * self.n_ranks
+        if self.trace is not None:
+            self.trace.record_round(duration)
+        return duration
+
+    # ------------------------------------------------------------------ #
+    def breakdown(self) -> Breakdown:
+        """Paper-style rank-averaged breakdown with critical-path total."""
+        return Breakdown.from_clocks(self.clocks, self.total_time)
+
+    def reset(self) -> None:
+        """Clear all clocks and accumulated time (fresh collective)."""
+        self.clocks = [VirtualClock() for _ in range(self.n_ranks)]
+        self.total_time = 0.0
+        self._round_compute = [0.0] * self.n_ranks

@@ -1,0 +1,164 @@
+"""Point-to-point message passing between virtual ranks.
+
+The paper's collectives are built on MPI point-to-point primitives; the
+bulk-synchronous implementations in :mod:`repro.collectives` model each
+ring round as one step.  This module provides the *message-level* view —
+an MPI-flavoured :class:`Communicator` with ``send``/``recv``/``sendrecv``
+over per-rank mailboxes, with virtual time attached to every message — so
+that alternative collective implementations (see
+:mod:`repro.collectives.p2p`) can be written the way MPI programs actually
+are and cross-validated against the round-synchronous ones.
+
+Timing semantics: each rank owns a scalar virtual clock.  ``send`` stamps
+the message with the sender's clock plus the modelled transfer time;
+``recv`` advances the receiver to at least that stamp (waiting on the
+wire), so causality is preserved without real threads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..utils.validation import ensure_positive_int
+from .network import NetworkModel, OMNIPATH_100G
+
+__all__ = ["Message", "Communicator", "RankEndpoint"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message: payload + wire metadata."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival_time: float  # virtual seconds at which it is available
+
+
+@dataclass
+class Communicator:
+    """Mailbox-based point-to-point layer over ``n_ranks`` virtual ranks.
+
+    The communicator is deliberately sequential (one Python process):
+    deterministic, debuggable, and sufficient because virtual time, not
+    wall time, orders events.
+    """
+
+    n_ranks: int
+    network: NetworkModel = field(default_factory=lambda: OMNIPATH_100G)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n_ranks, "n_ranks")
+        self._mailboxes: dict[tuple[int, int, int], deque[Message]] = {}
+        self.clocks = [0.0] * self.n_ranks
+        self.bytes_sent = [0] * self.n_ranks
+
+    # ------------------------------------------------------------------ #
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise IndexError(f"rank {rank} out of range (size {self.n_ranks})")
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Charge local (compute) time to a rank's virtual clock."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self.clocks[rank] += seconds
+
+    def send(
+        self, source: int, dest: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> None:
+        """Non-blocking send: enqueue with a modelled arrival stamp."""
+        self._check_rank(source)
+        self._check_rank(dest)
+        if source == dest:
+            raise ValueError("self-sends are not supported (use local state)")
+        transfer = self.network.transfer_time(nbytes, self.n_ranks)
+        message = Message(
+            source=source,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            arrival_time=self.clocks[source] + transfer,
+        )
+        self._mailboxes.setdefault((dest, source, tag), deque()).append(message)
+        self.bytes_sent[source] += nbytes
+
+    def recv(self, dest: int, source: int, tag: int = 0) -> Any:
+        """Blocking receive: advances the receiver's clock to the arrival.
+
+        Raises ``LookupError`` if no matching message was ever sent — in a
+        sequential simulation that is a deadlock, i.e. a caller bug.
+        """
+        self._check_rank(dest)
+        self._check_rank(source)
+        queue = self._mailboxes.get((dest, source, tag))
+        if not queue:
+            raise LookupError(
+                f"deadlock: rank {dest} waits for (source={source}, tag={tag}) "
+                "but no such message is in flight"
+            )
+        message = queue.popleft()
+        self.clocks[dest] = max(self.clocks[dest], message.arrival_time)
+        return message.payload
+
+    def sendrecv(
+        self,
+        rank: int,
+        dest: int,
+        payload: Any,
+        nbytes: int,
+        source: int,
+        tag: int = 0,
+    ) -> Any:
+        """MPI_Sendrecv: simultaneous exchange, full-duplex semantics."""
+        self.send(rank, dest, payload, nbytes, tag)
+        return self.recv(rank, source, tag)
+
+    def pending(self, dest: int) -> int:
+        """Number of undelivered messages addressed to ``dest``."""
+        return sum(
+            len(q) for (d, _s, _t), q in self._mailboxes.items() if d == dest
+        )
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time: the slowest rank's clock."""
+        return max(self.clocks)
+
+    def endpoint(self, rank: int) -> "RankEndpoint":
+        """A rank-scoped view for SPMD-style code."""
+        self._check_rank(rank)
+        return RankEndpoint(self, rank)
+
+
+@dataclass
+class RankEndpoint:
+    """One rank's view of a :class:`Communicator` (like ``MPI.COMM_WORLD``
+    seen from inside a rank)."""
+
+    comm: Communicator
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.comm.n_ranks
+
+    def send(self, dest: int, payload: Any, nbytes: int, tag: int = 0) -> None:
+        self.comm.send(self.rank, dest, payload, nbytes, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        return self.comm.recv(self.rank, source, tag)
+
+    def sendrecv(
+        self, dest: int, payload: Any, nbytes: int, source: int, tag: int = 0
+    ) -> Any:
+        return self.comm.sendrecv(self.rank, dest, payload, nbytes, source, tag)
+
+    def advance(self, seconds: float) -> None:
+        self.comm.advance(self.rank, seconds)

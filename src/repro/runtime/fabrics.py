@@ -1,0 +1,74 @@
+"""Interconnect-topology variants of the network model.
+
+The base :class:`~repro.runtime.network.NetworkModel` uses a logarithmic
+congestion law fitted to the paper's fat-tree Omni-Path fabric.  Real
+deployments differ, and the *shape* of the congestion law is exactly what
+decides how much a compressed collective gains at scale (Figures 10/12),
+so the benchmark harness includes a topology-sensitivity ablation.  Each
+variant only overrides :meth:`congestion_factor`:
+
+* :class:`FatTreeNetwork` — the baseline logarithmic law (over-subscription
+  grows with the number of switch levels ≈ log N).
+* :class:`TorusNetwork` — ``k``-dimensional torus: bisection per node falls
+  as ``N^(1/k)``, so per-flow slowdown grows polynomially.
+* :class:`DragonflyNetwork` — nearly flat until the global links saturate,
+  then a step up (minimal-routing cliff).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .network import NetworkModel
+
+__all__ = ["FatTreeNetwork", "TorusNetwork", "DragonflyNetwork"]
+
+
+@dataclass(frozen=True)
+class FatTreeNetwork(NetworkModel):
+    """Alias of the base logarithmic law, named for the ablation tables."""
+
+
+@dataclass(frozen=True)
+class TorusNetwork(NetworkModel):
+    """``dimensions``-D torus: congestion ∝ N^(1/dimensions)."""
+
+    dimensions: int = 3
+    torus_coefficient: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.dimensions < 1:
+            raise ValueError("dimensions must be >= 1")
+        if self.torus_coefficient < 0:
+            raise ValueError("torus_coefficient must be >= 0")
+
+    def congestion_factor(self, n_nodes: int) -> float:
+        if n_nodes <= 2:
+            return 1.0
+        return 1.0 + self.torus_coefficient * (
+            n_nodes ** (1.0 / self.dimensions) - 2 ** (1.0 / self.dimensions)
+        )
+
+
+@dataclass(frozen=True)
+class DragonflyNetwork(NetworkModel):
+    """Dragonfly: flat until ``saturation_nodes``, then a routing cliff."""
+
+    saturation_nodes: int = 128
+    cliff_factor: float = 2.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.saturation_nodes < 2:
+            raise ValueError("saturation_nodes must be >= 2")
+        if self.cliff_factor < 1.0:
+            raise ValueError("cliff_factor must be >= 1")
+
+    def congestion_factor(self, n_nodes: int) -> float:
+        if n_nodes <= self.saturation_nodes:
+            return 1.0 + 0.05 * math.log2(max(n_nodes, 2))
+        # past saturation: the cliff plus a gentle continuing slope
+        excess = math.log2(n_nodes / self.saturation_nodes)
+        return self.cliff_factor * (1.0 + 0.1 * excess)

@@ -1,0 +1,70 @@
+"""Ring topology helpers for the collective algorithms.
+
+The paper's collectives are the classic bandwidth-optimal ring algorithms
+(Thakur et al.; Patarasuk & Yuan): in round ``j`` every rank sends one data
+block to its successor and receives one from its predecessor.  These
+helpers centralise the index arithmetic so the three collective
+implementations (MPI / C-Coll / hZCCL) stay literal transcriptions of the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Ring"]
+
+
+@dataclass(frozen=True)
+class Ring:
+    """Ring of ``n`` ranks with the standard reduce-scatter block schedule."""
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("ring needs at least one rank")
+
+    def successor(self, rank: int) -> int:
+        return (rank + 1) % self.n
+
+    def predecessor(self, rank: int) -> int:
+        return (rank - 1) % self.n
+
+    def send_block(self, rank: int, round_index: int) -> int:
+        """Block index rank ``rank`` sends in round ``round_index`` (0-based).
+
+        Standard ring reduce-scatter: in round ``j`` rank ``i`` sends block
+        ``(i − j) mod n`` and receives block ``(i − j − 1) mod n``; after
+        ``n − 1`` rounds rank ``i`` owns the fully reduced block
+        ``(i + 1) mod n``.
+        """
+        self._check(rank, round_index)
+        return (rank - round_index) % self.n
+
+    def recv_block(self, rank: int, round_index: int) -> int:
+        """Block index rank ``rank`` receives (and reduces) in a round."""
+        self._check(rank, round_index)
+        return (rank - round_index - 1) % self.n
+
+    def owned_block(self, rank: int) -> int:
+        """Block each rank holds fully reduced after reduce-scatter."""
+        return (rank + 1) % self.n
+
+    def allgather_send_block(self, rank: int, round_index: int) -> int:
+        """Block sent in round ``j`` of the ring allgather that follows.
+
+        Rank ``i`` starts by sending its owned block and then forwards what
+        it received in the previous round.
+        """
+        self._check(rank, round_index)
+        return (rank + 1 - round_index) % self.n
+
+    def _check(self, rank: int, round_index: int) -> None:
+        if not 0 <= rank < self.n:
+            raise IndexError(f"rank {rank} out of range for ring of {self.n}")
+        if not 0 <= round_index < max(self.n - 1, 1):
+            raise IndexError(
+                f"round {round_index} out of range (ring of {self.n} has "
+                f"{self.n - 1} rounds)"
+            )

@@ -1,0 +1,122 @@
+"""Execution tracing for simulated collectives.
+
+A :class:`TraceLog` attached to a :class:`~repro.runtime.cluster.SimCluster`
+records every compute charge, transfer, and round boundary.  Traces back
+the breakdown figures with per-round detail (which round was
+compute-bound? how did message sizes shrink as the reduction compressed
+better?) and export to JSON for external timeline viewers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["TraceEvent", "RoundSummary", "TraceLog"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence inside a collective."""
+
+    kind: str  # "compute" | "comm" | "round"
+    round_index: int
+    rank: int  # -1 for round boundaries
+    bucket: str  # CPR/DPR/CPT/HPR/MPI; "ROUND" for boundaries
+    seconds: float
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Aggregated view of one bulk-synchronous round."""
+
+    round_index: int
+    duration: float
+    max_compute: float
+    comm_time: float
+    bytes_moved: int
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.max_compute > self.comm_time
+
+
+@dataclass
+class TraceLog:
+    """Append-only event log with round bookkeeping."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    _round: int = 0
+
+    def record_compute(self, rank: int, bucket: str, seconds: float) -> None:
+        self.events.append(
+            TraceEvent("compute", self._round, rank, bucket, seconds)
+        )
+
+    def record_comm(self, rank: int, seconds: float, nbytes: int) -> None:
+        self.events.append(
+            TraceEvent("comm", self._round, rank, "MPI", seconds, nbytes)
+        )
+
+    def record_round(self, duration: float) -> None:
+        self.events.append(
+            TraceEvent("round", self._round, -1, "ROUND", duration)
+        )
+        self._round += 1
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rounds(self) -> int:
+        return self._round
+
+    def round_summaries(self) -> list[RoundSummary]:
+        """Per-round digest: duration, bottleneck side, bytes moved."""
+        out = []
+        for r in range(self._round):
+            in_round = [e for e in self.events if e.round_index == r]
+            boundary = next(e for e in in_round if e.kind == "round")
+            per_rank: dict[int, float] = {}
+            comm = 0.0
+            moved = 0
+            for e in in_round:
+                if e.kind == "compute":
+                    per_rank[e.rank] = per_rank.get(e.rank, 0.0) + e.seconds
+                elif e.kind == "comm":
+                    comm = max(comm, e.seconds)
+                    moved += e.nbytes
+            out.append(
+                RoundSummary(
+                    round_index=r,
+                    duration=boundary.seconds,
+                    max_compute=max(per_rank.values(), default=0.0),
+                    comm_time=comm,
+                    bytes_moved=moved,
+                )
+            )
+        return out
+
+    def bytes_per_round(self) -> list[int]:
+        """Total bytes moved in each round (shows compression-size drift)."""
+        return [s.bytes_moved for s in self.round_summaries()]
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise the trace; optionally also write it to ``path``."""
+        document = json.dumps(
+            {"schema": 1, "events": [asdict(e) for e in self.events]}, indent=2
+        )
+        if path is not None:
+            Path(path).write_text(document)
+        return document
+
+    @classmethod
+    def from_json(cls, document: str) -> "TraceLog":
+        data = json.loads(document)
+        if data.get("schema") != 1:
+            raise ValueError("unsupported trace schema")
+        log = cls()
+        for raw in data["events"]:
+            log.events.append(TraceEvent(**raw))
+        log._round = sum(1 for e in log.events if e.kind == "round")
+        return log

@@ -1,0 +1,34 @@
+"""Shared low-level utilities (validation, partitioning, deterministic RNG)."""
+
+from .chunking import (
+    iter_threadblocks,
+    num_blocks,
+    pad_to_multiple,
+    threadblock_bounds,
+    threadblock_slices,
+)
+from .rng import derive_rng, make_rng
+from .validation import (
+    ensure_float_array,
+    ensure_in,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_power_of_two,
+    ensure_same_shape,
+)
+
+__all__ = [
+    "threadblock_bounds",
+    "threadblock_slices",
+    "iter_threadblocks",
+    "num_blocks",
+    "pad_to_multiple",
+    "make_rng",
+    "derive_rng",
+    "ensure_float_array",
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_power_of_two",
+    "ensure_in",
+    "ensure_same_shape",
+]

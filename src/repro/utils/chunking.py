@@ -1,0 +1,74 @@
+"""Thread-block chunking helpers.
+
+fZ-light's multi-layer partitioning first splits the input into ``N`` large
+contiguous *thread-blocks* (one per worker thread) and then subdivides each
+thread-block into small fixed-size *blocks*.  These helpers compute the
+partition boundaries exactly the way the paper describes (Section III-B2):
+each thread gets ``D // N`` elements and the last thread additionally takes
+the ``D % N`` remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .validation import ensure_positive_int
+
+__all__ = [
+    "threadblock_bounds",
+    "threadblock_slices",
+    "iter_threadblocks",
+    "num_blocks",
+    "pad_to_multiple",
+]
+
+
+def threadblock_bounds(total: int, n_threads: int) -> np.ndarray:
+    """Return ``(n_threads + 1,)`` boundary offsets of the thread-blocks.
+
+    The first ``n_threads - 1`` thread-blocks hold ``total // n_threads``
+    elements; the last one also takes the remainder (paper: "the last D%N
+    data points are managed by the (N-1)-th thread").  If ``total`` is
+    smaller than ``n_threads``, trailing thread-blocks are empty.
+    """
+    total = ensure_positive_int(total, "total")
+    n_threads = ensure_positive_int(n_threads, "n_threads")
+    base = total // n_threads
+    bounds = np.arange(n_threads + 1, dtype=np.int64) * base
+    bounds[-1] = total
+    return bounds
+
+
+def threadblock_slices(total: int, n_threads: int) -> list[slice]:
+    """Return the per-thread slices implied by :func:`threadblock_bounds`."""
+    bounds = threadblock_bounds(total, n_threads)
+    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(n_threads)]
+
+
+def iter_threadblocks(data: np.ndarray, n_threads: int) -> Iterator[np.ndarray]:
+    """Yield contiguous views (never copies) of each non-empty thread-block."""
+    for sl in threadblock_slices(data.size, n_threads):
+        view = data[sl]
+        if view.size:
+            yield view
+
+
+def num_blocks(length: int, block_size: int) -> int:
+    """Number of fixed-size blocks covering ``length`` elements (ceil div)."""
+    return -(-length // block_size)
+
+
+def pad_to_multiple(data: np.ndarray, multiple: int, fill: float = 0.0) -> np.ndarray:
+    """Return ``data`` padded at the end so its length divides ``multiple``.
+
+    Returns the input unchanged (no copy) when already aligned.
+    """
+    rem = data.size % multiple
+    if rem == 0:
+        return data
+    out = np.empty(data.size + (multiple - rem), dtype=data.dtype)
+    out[: data.size] = data
+    out[data.size:] = fill
+    return out

@@ -1,0 +1,66 @@
+"""Tests for the JSON experiment-record store."""
+
+import json
+
+import pytest
+
+from repro.bench.results import ExperimentRecord, load_records, save_records
+
+
+@pytest.fixture()
+def records():
+    return [
+        ExperimentRecord(
+            experiment="fig10",
+            kernel="hzccl",
+            parameters={"nodes": 64, "mt": True},
+            metrics={"speedup": 4.32, "total_s": 0.08},
+        ),
+        ExperimentRecord(
+            experiment="table3",
+            kernel="fzlight",
+            parameters={"dataset": "nyx", "rel": 1e-3},
+            metrics={"ratio": 118.77, "nrmse": 2.16e-5},
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, records, tmp_path):
+        path = tmp_path / "results.json"
+        save_records(records, path, note="unit test")
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[0].experiment == "fig10"
+        assert loaded[0].metrics["speedup"] == pytest.approx(4.32)
+        assert loaded[1].parameters["dataset"] == "nyx"
+
+    def test_environment_metadata(self, records, tmp_path):
+        path = tmp_path / "results.json"
+        save_records(records, path)
+        document = json.loads(path.read_text())
+        assert "python" in document["environment"]
+        assert document["schema_version"] == 1
+
+    def test_note_persisted(self, records, tmp_path):
+        path = tmp_path / "results.json"
+        save_records(records, path, note="run A")
+        assert json.loads(path.read_text())["note"] == "run A"
+
+    def test_rejects_wrong_schema(self, records, tmp_path):
+        path = tmp_path / "results.json"
+        save_records(records, path)
+        document = json.loads(path.read_text())
+        document["schema_version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="schema"):
+            load_records(path)
+
+    def test_record_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentRecord.from_dict({"experiment": "x", "kernel": "y"})
+
+    def test_empty_records(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_records([], path)
+        assert load_records(path) == []

@@ -1,0 +1,51 @@
+"""Tests for the STREAM benchmark harness."""
+
+import pytest
+
+from repro.bench.stream import StreamResult, memory_bandwidth_efficiency, run_stream
+
+
+class TestRunStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # small arrays: we test plumbing, not the machine
+        return run_stream(n_elements=200_000, repeats=2)
+
+    def test_all_kernels_positive(self, result):
+        assert result.copy_Bps > 0
+        assert result.scale_Bps > 0
+        assert result.add_Bps > 0
+        assert result.triad_Bps > 0
+
+    def test_peak_is_max(self, result):
+        assert result.peak_Bps == max(
+            result.copy_Bps, result.scale_Bps, result.add_Bps, result.triad_Bps
+        )
+
+    def test_plausible_magnitude(self, result):
+        # any machine: between 100 MB/s and 10 TB/s
+        assert 1e8 < result.peak_Bps < 1e13
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_stream(n_elements=0)
+        with pytest.raises(ValueError):
+            run_stream(repeats=0)
+
+
+class TestEfficiency:
+    def test_formula(self):
+        stream = StreamResult(1e9, 1e9, 1e9, 2e9)
+        # 2 passes over 1 GB in 2 s = 1 GB/s achieved vs 2 GB/s peak
+        assert memory_bandwidth_efficiency(10**9, 2.0, stream) == pytest.approx(0.5)
+
+    def test_passes_parameter(self):
+        stream = StreamResult(1e9, 1e9, 1e9, 1e9)
+        eff1 = memory_bandwidth_efficiency(10**9, 1.0, stream, passes=1)
+        eff3 = memory_bandwidth_efficiency(10**9, 1.0, stream, passes=3)
+        assert eff3 == pytest.approx(3 * eff1)
+
+    def test_rejects_zero_time(self):
+        stream = StreamResult(1e9, 1e9, 1e9, 1e9)
+        with pytest.raises(ValueError):
+            memory_bandwidth_efficiency(10**9, 0.0, stream)

@@ -1,0 +1,65 @@
+"""Tests for the shared collective helpers and result types."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.base import (
+    CollectiveResult,
+    split_blocks,
+    validate_local_data,
+)
+from repro.runtime.clock import Breakdown
+
+
+class TestValidateLocalData:
+    def test_casts_to_float32(self):
+        out = validate_local_data([np.arange(4, dtype=np.float64)])
+        assert out[0].dtype == np.float32
+
+    def test_flattens(self):
+        out = validate_local_data([np.ones((2, 3), dtype=np.float32)])
+        assert out[0].shape == (6,)
+
+    def test_contiguous(self):
+        strided = np.ones(20, dtype=np.float32)[::2]
+        out = validate_local_data([strided])
+        assert out[0].flags["C_CONTIGUOUS"]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            validate_local_data([np.ones(3), np.ones(4)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_local_data([])
+
+
+class TestSplitBlocks:
+    @pytest.mark.parametrize("n,k", [(10, 3), (7, 7), (100, 1), (5, 8)])
+    def test_cover_and_order(self, n, k):
+        data = np.arange(n, dtype=np.float32)
+        blocks = split_blocks(data, k)
+        assert len(blocks) == k
+        np.testing.assert_array_equal(np.concatenate(blocks), data)
+
+    def test_block_sizes_differ_by_at_most_one(self):
+        sizes = [b.size for b in split_blocks(np.arange(100), 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_blocks_are_contiguous(self):
+        for block in split_blocks(np.arange(50, dtype=np.float32), 4):
+            assert block.flags["C_CONTIGUOUS"]
+
+
+class TestCollectiveResult:
+    def test_total_time_delegates_to_breakdown(self):
+        res = CollectiveResult(
+            outputs=[np.zeros(1)],
+            breakdown=Breakdown(total_time=1.25),
+        )
+        assert res.total_time == 1.25
+
+    def test_defaults(self):
+        res = CollectiveResult(outputs=[], breakdown=Breakdown())
+        assert res.bytes_on_wire == 0
+        assert res.pipeline_stats is None

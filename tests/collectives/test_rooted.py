@@ -1,0 +1,112 @@
+"""Tests for the root-based collectives (Reduce, Bcast)."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    compressed_bcast,
+    hzccl_reduce,
+    mpi_bcast,
+    mpi_reduce,
+)
+from repro.compression.common import dequantize, quantize
+from repro.core.config import CollectiveConfig
+from repro.runtime.cluster import SimCluster
+
+
+def rank_data(rng, n, size=6007):
+    return [rng.normal(0, 1, size).astype(np.float32) for _ in range(n)]
+
+
+@pytest.fixture()
+def config(fast_network):
+    return CollectiveConfig(error_bound=1e-4, network=fast_network)
+
+
+class TestMpiReduce:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_root_gets_full_sum(self, rng, fast_network, root):
+        local = rank_data(rng, 4)
+        res = mpi_reduce(SimCluster(4, network=fast_network), local, root=root)
+        exact = np.sum(np.stack(local).astype(np.float64), axis=0)
+        assert np.abs(res.outputs[root].astype(np.float64) - exact).max() < 1e-3
+
+    def test_non_root_gets_nothing(self, rng, fast_network):
+        local = rank_data(rng, 4)
+        res = mpi_reduce(SimCluster(4, network=fast_network), local, root=1)
+        assert res.outputs[0] is None
+        assert res.outputs[1] is not None
+
+    def test_bad_root(self, rng, fast_network):
+        with pytest.raises(IndexError):
+            mpi_reduce(SimCluster(4, network=fast_network), rank_data(rng, 4), root=4)
+
+
+class TestHzcclReduce:
+    def test_matches_integer_oracle(self, rng, fast_network, config):
+        local = rank_data(rng, 4)
+        res = hzccl_reduce(SimCluster(4, network=fast_network), local, config, root=0)
+        eb = config.error_bound
+        oracle = dequantize(
+            sum(quantize(a, eb).astype(np.int64) for a in local), eb
+        )
+        np.testing.assert_array_equal(res.outputs[0], oracle)
+
+    def test_only_root_pays_decompression(self, rng, fast_network, config):
+        """The structural claim: non-root ranks never decompress."""
+        cluster = SimCluster(4, network=fast_network)
+        hzccl_reduce(cluster, rank_data(rng, 4), config, root=2)
+        for i in range(4):
+            dpr = cluster.clocks[i].buckets["DPR"]
+            if i == 2:
+                assert dpr > 0
+            else:
+                assert dpr == 0
+
+    def test_fewer_bytes_than_mpi(self, rng, fast_network, config):
+        local = rank_data(rng, 4)
+        hz = hzccl_reduce(SimCluster(4, network=fast_network), local, config)
+        mpi = mpi_reduce(SimCluster(4, network=fast_network), local)
+        assert hz.bytes_on_wire < mpi.bytes_on_wire
+
+    def test_pipeline_stats_present(self, rng, fast_network, config):
+        res = hzccl_reduce(SimCluster(4, network=fast_network), rank_data(rng, 4), config)
+        assert res.pipeline_stats is not None
+
+
+class TestBcast:
+    def test_mpi_bcast_all_ranks_identical(self, rng, fast_network):
+        data = rng.normal(0, 1, 5000).astype(np.float32)
+        res = mpi_bcast(SimCluster(5, network=fast_network), data)
+        for out in res.outputs:
+            np.testing.assert_array_equal(out, data)
+
+    def test_mpi_bcast_log_rounds_wire(self, rng, fast_network):
+        data = rng.normal(0, 1, 1000).astype(np.float32)
+        res = mpi_bcast(SimCluster(8, network=fast_network), data)
+        # binomial tree: exactly N−1 copies move in total
+        assert res.bytes_on_wire == 7 * data.nbytes
+
+    def test_compressed_bcast_error_bounded(self, rng, fast_network, config):
+        data = np.cumsum(rng.normal(0, 0.05, 20_000)).astype(np.float32)
+        res = compressed_bcast(SimCluster(4, network=fast_network), data, config)
+        for i, out in enumerate(res.outputs):
+            if i == 0:
+                np.testing.assert_array_equal(out, data)  # root keeps exact
+            else:
+                assert np.abs(out - data).max() <= config.error_bound * 1.01
+
+    def test_compressed_bcast_fewer_bytes(self, rng, fast_network, config):
+        data = np.cumsum(rng.normal(0, 0.05, 20_000)).astype(np.float32)
+        cb = compressed_bcast(SimCluster(8, network=fast_network), data, config)
+        mb = mpi_bcast(SimCluster(8, network=fast_network), data)
+        assert cb.bytes_on_wire < mb.bytes_on_wire
+
+    def test_compressed_bcast_one_cpr(self, rng, fast_network, config):
+        data = rng.normal(0, 1, 5000).astype(np.float32)
+        cluster = SimCluster(4, network=fast_network)
+        compressed_bcast(cluster, data, config, root=1)
+        assert cluster.clocks[1].buckets["CPR"] > 0
+        for i in (0, 2, 3):
+            assert cluster.clocks[i].buckets["CPR"] == 0
+            assert cluster.clocks[i].buckets["DPR"] > 0

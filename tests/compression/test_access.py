@@ -1,0 +1,117 @@
+"""Tests for random access and compressed concatenation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import FZLight, FZLight2D
+from repro.compression.access import concat_fields, decompress_range
+
+
+@pytest.fixture(scope="module")
+def field_and_data():
+    rng = np.random.default_rng(4)
+    data = np.cumsum(rng.normal(0, 0.02, 100_003)).astype(np.float32)
+    comp = FZLight(n_threadblocks=9)
+    return comp.compress(data, abs_eb=1e-4), comp.decompress(
+        comp.compress(data, abs_eb=1e-4)
+    )
+
+
+class TestDecompressRange:
+    @pytest.mark.parametrize(
+        "start,stop",
+        [(0, 100), (0, 100_003), (50_000, 50_001), (99_000, 100_003), (11_111, 44_444)],
+    )
+    def test_matches_full_decompression(self, field_and_data, start, stop):
+        field, full = field_and_data
+        part = decompress_range(field, start, stop)
+        np.testing.assert_array_equal(part, full[start:stop])
+
+    def test_single_element(self, field_and_data):
+        field, full = field_and_data
+        np.testing.assert_array_equal(
+            decompress_range(field, 12_345, 12_346), full[12_345:12_346]
+        )
+
+    def test_out_of_bounds(self, field_and_data):
+        field, _ = field_and_data
+        with pytest.raises(IndexError):
+            decompress_range(field, -1, 10)
+        with pytest.raises(IndexError):
+            decompress_range(field, 0, field.n + 1)
+        with pytest.raises(IndexError):
+            decompress_range(field, 10, 10)
+
+    def test_rejects_2d_stream(self):
+        img = np.outer(
+            np.sin(np.arange(32, dtype=np.float32)),
+            np.cos(np.arange(32, dtype=np.float32)),
+        )
+        field = FZLight2D().compress(img, abs_eb=1e-3)
+        with pytest.raises(ValueError, match="1-D"):
+            decompress_range(field, 0, 10)
+
+    @given(start=st.integers(0, 99_000), length=st.integers(1, 900))
+    @settings(max_examples=40, deadline=None)
+    def test_range_property(self, field_and_data, start, length):
+        field, full = field_and_data
+        stop = min(start + length, field.n)
+        np.testing.assert_array_equal(
+            decompress_range(field, start, stop), full[start:stop]
+        )
+
+
+class TestConcatFields:
+    def _aligned_pieces(self, rng, n_pieces=3, piece=32 * 36 * 4):
+        comp = FZLight(n_threadblocks=36)
+        arrays = [
+            np.cumsum(rng.normal(0, 0.02, piece)).astype(np.float32)
+            for _ in range(n_pieces)
+        ]
+        fields = [comp.compress(a, abs_eb=1e-4) for a in arrays]
+        return comp, arrays, fields
+
+    def test_concat_equals_piecewise_decompression(self, rng):
+        comp, arrays, fields = self._aligned_pieces(rng)
+        joined = concat_fields(fields)
+        expected = np.concatenate([comp.decompress(f) for f in fields])
+        decoder = FZLight(n_threadblocks=joined.n_threadblocks)
+        np.testing.assert_array_equal(decoder.decompress(joined), expected)
+
+    def test_concat_metadata(self, rng):
+        _, _, fields = self._aligned_pieces(rng)
+        joined = concat_fields(fields)
+        assert joined.n == sum(f.n for f in fields)
+        assert joined.n_threadblocks == sum(f.n_threadblocks for f in fields)
+        joined.validate()
+
+    def test_single_field_passthrough(self, rng):
+        comp, _, fields = self._aligned_pieces(rng, n_pieces=1)
+        joined = concat_fields(fields[:1])
+        np.testing.assert_array_equal(
+            FZLight(n_threadblocks=joined.n_threadblocks).decompress(joined),
+            comp.decompress(fields[0]),
+        )
+
+    def test_mismatched_eb_rejected(self, rng):
+        comp = FZLight(n_threadblocks=2)
+        data = np.ones(256, dtype=np.float32)
+        a = comp.compress(data, abs_eb=1e-4)
+        b = comp.compress(data, abs_eb=1e-3)
+        with pytest.raises(ValueError, match="error bounds"):
+            concat_fields([a, b])
+
+    def test_unaligned_pieces_rejected(self, rng):
+        """Pieces whose geometry cannot chain uniformly are refused rather
+        than silently mis-decoded."""
+        comp = FZLight(n_threadblocks=3)
+        a = comp.compress(np.ones(1000, dtype=np.float32), abs_eb=1e-4)
+        b = comp.compress(np.ones(77, dtype=np.float32), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="geometry"):
+            concat_fields([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_fields([])

@@ -1,0 +1,138 @@
+"""Unit + property tests for quantisation and Lorenzo prediction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.common import (
+    dequantize,
+    lorenzo_decode,
+    lorenzo_encode,
+    quantize,
+    resolve_error_bound,
+)
+
+
+class TestResolveErrorBound:
+    def test_absolute_passthrough(self):
+        assert resolve_error_bound(np.ones(3), abs_eb=0.5) == 0.5
+
+    def test_relative_uses_range(self):
+        data = np.array([0.0, 10.0], dtype=np.float32)
+        assert resolve_error_bound(data, rel_eb=1e-2) == pytest.approx(0.1)
+
+    def test_requires_exactly_one(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            resolve_error_bound(np.ones(3))
+        with pytest.raises(ValueError, match="exactly one"):
+            resolve_error_bound(np.ones(3), abs_eb=0.1, rel_eb=0.1)
+
+    def test_constant_field_relative(self):
+        eb = resolve_error_bound(np.full(10, 3.0, dtype=np.float32), rel_eb=1e-3)
+        assert eb > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_error_bound(np.ones(3), abs_eb=0.0)
+
+
+class TestQuantize:
+    def test_error_bounded(self):
+        data = np.linspace(-5, 5, 1000).astype(np.float32)
+        eb = 1e-3
+        rec = dequantize(quantize(data, eb), eb)
+        assert np.abs(rec - data).max() <= eb * 1.0001
+
+    def test_zero_maps_to_zero(self):
+        assert quantize(np.zeros(5, dtype=np.float32), 1e-4).sum() == 0
+
+    def test_int32_fast_path(self):
+        codes = quantize(np.linspace(0, 1, 100).astype(np.float32), 1e-3)
+        assert codes.dtype == np.int32
+
+    def test_int64_fallback(self):
+        data = np.linspace(0, 1e6, 100).astype(np.float32)
+        codes = quantize(data, 1e-7)
+        assert codes.dtype == np.int64
+
+    def test_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            quantize(np.array([1e30], dtype=np.float32), 1e-9)
+
+    def test_rounding_is_nearest(self):
+        # 0.9·(2eb) rounds to 1, 0.4·(2eb) rounds to 0
+        eb = 0.5
+        codes = quantize(np.array([0.9, 0.4], dtype=np.float32), eb)
+        np.testing.assert_array_equal(codes, [1, 0])
+
+    @given(
+        data=arrays(
+            np.float32,
+            st.integers(1, 300),
+            elements=st.floats(-1e4, 1e4, width=32),
+        ),
+        eb=st.floats(1e-4, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_error_bound_property(self, data, eb):
+        rec = dequantize(quantize(data, eb), eb)
+        tol = eb + float(np.spacing(np.float32(np.abs(rec).max() if rec.size else 0)))
+        assert np.abs(rec - data).max() <= tol
+
+
+class TestLorenzo:
+    def test_roundtrip_single_threadblock(self):
+        codes = np.array([5, 7, 7, 2, -3], dtype=np.int64)
+        deltas, outliers, bounds = lorenzo_encode(codes, 1)
+        assert outliers[0] == 5
+        assert deltas[0] == 0
+        np.testing.assert_array_equal(lorenzo_decode(deltas, outliers, bounds), codes)
+
+    def test_roundtrip_multi_threadblock(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(-1000, 1000, 101).astype(np.int64)
+        deltas, outliers, bounds = lorenzo_encode(codes, 7)
+        np.testing.assert_array_equal(lorenzo_decode(deltas, outliers, bounds), codes)
+
+    def test_threadblock_starts_are_zero_delta(self):
+        codes = np.arange(20, dtype=np.int64) * 3
+        deltas, outliers, bounds = lorenzo_encode(codes, 4)
+        for start in bounds[:-1]:
+            assert deltas[start] == 0
+
+    def test_outliers_are_first_codes(self):
+        codes = np.arange(100, dtype=np.int64)
+        _, outliers, bounds = lorenzo_encode(codes, 5)
+        np.testing.assert_array_equal(outliers, codes[bounds[:-1]])
+
+    def test_empty_threadblocks(self):
+        codes = np.array([9, 11], dtype=np.int64)
+        deltas, outliers, bounds = lorenzo_encode(codes, 6)
+        np.testing.assert_array_equal(lorenzo_decode(deltas, outliers, bounds), codes)
+
+    def test_preserves_int32_dtype(self):
+        codes = np.array([1, 2, 3], dtype=np.int32)
+        deltas, _, _ = lorenzo_encode(codes, 1)
+        assert deltas.dtype == np.int32
+
+    def test_linearity(self):
+        """The property the homomorphic engine relies on."""
+        rng = np.random.default_rng(4)
+        a = rng.integers(-100, 100, 50).astype(np.int64)
+        b = rng.integers(-100, 100, 50).astype(np.int64)
+        da, oa, bounds = lorenzo_encode(a, 4)
+        db, ob, _ = lorenzo_encode(b, 4)
+        dsum, osum, _ = lorenzo_encode(a + b, 4)
+        np.testing.assert_array_equal(da + db, dsum)
+        np.testing.assert_array_equal(oa + ob, osum)
+
+    @given(
+        codes=arrays(np.int64, st.integers(1, 400), elements=st.integers(-(2**40), 2**40)),
+        n_tb=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, codes, n_tb):
+        deltas, outliers, bounds = lorenzo_encode(codes, n_tb)
+        np.testing.assert_array_equal(lorenzo_decode(deltas, outliers, bounds), codes)

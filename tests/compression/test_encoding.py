@@ -1,0 +1,176 @@
+"""Unit + property tests for the fixed-length codec (paper §III-B3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.encoding import (
+    DEFAULT_BLOCK_SIZE,
+    MAX_CODE_LENGTH,
+    block_payload_nbytes,
+    decode_blocks,
+    decode_selected,
+    encode_blocks,
+    encode_into,
+    payload_offsets,
+    required_bits,
+)
+
+
+class TestRequiredBits:
+    @pytest.mark.parametrize(
+        "value,bits",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (255, 8),
+         (256, 9), (2**31 - 1, 31), (2**31, 32), (2**32 - 1, 32)],
+    )
+    def test_exact_boundaries(self, value, bits):
+        assert required_bits(np.array([value]))[0] == bits
+
+    def test_vectorised(self):
+        out = required_bits(np.array([0, 1, 5, 1024]))
+        np.testing.assert_array_equal(out, [0, 1, 3, 11])
+
+    def test_dtype_is_uint8(self):
+        assert required_bits(np.array([3])).dtype == np.uint8
+
+
+class TestPayloadSizes:
+    def test_constant_block_free(self):
+        assert block_payload_nbytes(np.array([0]), 32)[0] == 0
+
+    @pytest.mark.parametrize("c", [1, 7, 8, 9, 31, 32])
+    def test_size_formula(self, c):
+        # 32 sign bits (4 bytes) + 32·c magnitude bits (4·c bytes)
+        assert block_payload_nbytes(np.array([c]), 32)[0] == 4 * (1 + c)
+
+    def test_offsets_prefix_sum(self):
+        offs = payload_offsets(np.array([0, 2, 0, 1]), 32)
+        np.testing.assert_array_equal(offs, [0, 0, 12, 12, 20])
+
+
+class TestRoundTrip:
+    def _roundtrip(self, deltas, bs=DEFAULT_BLOCK_SIZE):
+        lens, payload = encode_blocks(deltas, bs)
+        out = decode_blocks(lens, payload, bs)
+        np.testing.assert_array_equal(out, deltas)
+        return lens, payload
+
+    def test_zeros(self):
+        lens, payload = self._roundtrip(np.zeros((5, 32), dtype=np.int64))
+        assert payload.size == 0
+        assert (lens == 0).all()
+
+    def test_small_values(self):
+        deltas = np.arange(-32, 32, dtype=np.int64).reshape(2, 32)
+        self._roundtrip(deltas)
+
+    def test_all_code_lengths(self):
+        """One block per code length 1..32 (sign varied)."""
+        blocks = []
+        for c in range(1, 33):
+            row = np.zeros(32, dtype=np.int64)
+            row[0] = (1 << c) - 1
+            row[1] = -(1 << (c - 1))
+            blocks.append(row)
+        deltas = np.stack(blocks)
+        lens, _ = self._roundtrip(deltas)
+        np.testing.assert_array_equal(lens, np.arange(1, 33))
+
+    def test_mixed_lengths_interleaved(self):
+        rng = np.random.default_rng(5)
+        deltas = np.zeros((64, 32), dtype=np.int64)
+        deltas[::3] = rng.integers(-3, 4, (22, 32))
+        deltas[1::5] = rng.integers(-(2**20), 2**20, (13, 32))
+        self._roundtrip(deltas)
+
+    def test_negative_extreme(self):
+        deltas = np.full((1, 32), -(2**32 - 1), dtype=np.int64)
+        self._roundtrip(deltas)
+
+    def test_block_size_8(self):
+        deltas = np.array([[1, -2, 3, -4, 5, -6, 7, -8]], dtype=np.int64)
+        self._roundtrip(deltas, bs=8)
+
+    def test_int32_input(self):
+        deltas = np.array([[5, -5] + [0] * 30], dtype=np.int32)
+        lens, payload = encode_blocks(deltas, 32)
+        np.testing.assert_array_equal(decode_blocks(lens, payload)[0, :2], [5, -5])
+
+    def test_overflow_raises(self):
+        deltas = np.full((1, 32), 2**32, dtype=np.int64)
+        with pytest.raises(OverflowError, match="error bound"):
+            encode_blocks(deltas)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            encode_blocks(np.zeros((3, 16), dtype=np.int64), 32)
+
+    def test_rejects_non_multiple_of_8_block(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            encode_blocks(np.zeros((1, 12), dtype=np.int64), 12)
+
+    def test_decode_dtype_int32_when_possible(self):
+        deltas = np.array([[7] * 32], dtype=np.int64)
+        lens, payload = encode_blocks(deltas)
+        assert decode_blocks(lens, payload).dtype == np.int32
+
+    def test_decode_dtype_int64_for_32bit_codes(self):
+        deltas = np.full((1, 32), 2**31, dtype=np.int64)  # needs c = 32
+        lens, payload = encode_blocks(deltas)
+        assert lens[0] == 32
+        out = decode_blocks(lens, payload)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, deltas)
+
+
+class TestDecodeSelected:
+    def test_subset_matches_full(self):
+        rng = np.random.default_rng(9)
+        deltas = rng.integers(-100, 100, (40, 32)).astype(np.int64)
+        deltas[::4] = 0
+        lens, payload, offsets = encode_into(deltas)
+        idx = np.array([3, 17, 0, 39, 4])
+        sub = decode_selected(idx, lens, offsets, payload)
+        np.testing.assert_array_equal(sub, deltas[idx])
+
+    def test_empty_selection(self):
+        lens, payload, offsets = encode_into(np.ones((4, 32), dtype=np.int64))
+        out = decode_selected(np.array([], dtype=np.int64), lens, offsets, payload)
+        assert out.shape == (0, 32)
+
+    def test_constant_blocks_decode_to_zero(self):
+        deltas = np.zeros((4, 32), dtype=np.int64)
+        deltas[1] = 9
+        lens, payload, offsets = encode_into(deltas)
+        sub = decode_selected(np.array([0, 2]), lens, offsets, payload)
+        assert (sub == 0).all()
+
+
+@st.composite
+def delta_blocks(draw):
+    n_blocks = draw(st.integers(1, 12))
+    # magnitudes across the full representable range, mixed signs
+    return draw(
+        arrays(
+            np.int64,
+            (n_blocks, 32),
+            elements=st.integers(-(2**32 - 1), 2**32 - 1),
+        )
+    )
+
+
+class TestCodecProperties:
+    @given(deltas=delta_blocks())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, deltas):
+        lens, payload = encode_blocks(deltas)
+        np.testing.assert_array_equal(decode_blocks(lens, payload), deltas)
+
+    @given(deltas=delta_blocks())
+    @settings(max_examples=30, deadline=None)
+    def test_payload_size_matches_code_lengths(self, deltas):
+        lens, payload = encode_blocks(deltas)
+        assert payload.size == int(block_payload_nbytes(lens, 32).sum())
+        assert (lens <= MAX_CODE_LENGTH).all()

@@ -1,0 +1,155 @@
+"""Tests for the 2-D Lorenzo compressor extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression import FZLight, FZLight2D, check_error_bound, from_bytes
+from repro.compression.common import dequantize, quantize
+from repro.compression.format import PREDICTOR_LORENZO_2D
+from repro.homomorphic import HZDynamic
+
+
+def smooth_image(rows=120, cols=90):
+    yy, xx = np.mgrid[0:rows, 0:cols].astype(np.float32)
+    return np.sin(yy / 11.0) * np.cos(xx / 7.0) + 0.1 * (yy / rows)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("shape", [(1, 1), (1, 50), (50, 1), (7, 9), (120, 90)])
+    def test_shapes(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, shape).astype(np.float32)
+        comp = FZLight2D()
+        field = comp.compress(data, abs_eb=1e-3)
+        out = comp.decompress(field)
+        assert out.shape == shape
+        assert check_error_bound(data.ravel(), out.ravel(), 1e-3)
+
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-5])
+    def test_error_bounds(self, eb):
+        data = smooth_image()
+        comp = FZLight2D()
+        out = comp.decompress(comp.compress(data, abs_eb=eb))
+        assert check_error_bound(data.ravel(), out.ravel(), eb)
+
+    def test_relative_bound(self):
+        data = smooth_image()
+        field = FZLight2D().compress(data, rel_eb=1e-3)
+        expected = 1e-3 * float(data.max() - data.min())
+        assert field.error_bound == pytest.approx(expected)
+
+    def test_metadata(self):
+        field = FZLight2D().compress(smooth_image(64, 48), abs_eb=1e-3)
+        assert field.predictor == PREDICTOR_LORENZO_2D
+        assert field.rows == 64
+        assert field.n == 64 * 48
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FZLight2D().compress(np.ones(100, dtype=np.float32), abs_eb=1e-3)
+
+    def test_rejects_nan(self):
+        data = smooth_image()
+        data[3, 4] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            FZLight2D().compress(data, abs_eb=1e-3)
+
+    def test_decompress_rejects_1d_stream(self):
+        field = FZLight().compress(np.ones(100, dtype=np.float32), abs_eb=1e-3)
+        with pytest.raises(ValueError, match="2-D"):
+            FZLight2D().decompress(field)
+
+    def test_wire_roundtrip(self):
+        field = FZLight2D().compress(smooth_image(), abs_eb=1e-4)
+        again = from_bytes(field.to_bytes())
+        assert again.predictor == PREDICTOR_LORENZO_2D
+        assert again.rows == field.rows
+        np.testing.assert_array_equal(
+            FZLight2D().decompress(again), FZLight2D().decompress(field)
+        )
+
+
+class TestRatioAdvantage:
+    def test_beats_1d_on_smooth_2d_data(self):
+        """The point of the extension: 2-D prediction exploits the second
+        dimension's smoothness."""
+        data = smooth_image(256, 256)
+        r2d = FZLight2D().compress(data, abs_eb=1e-4).compression_ratio
+        r1d = FZLight().compress(data.ravel(), abs_eb=1e-4).compression_ratio
+        assert r2d > 1.3 * r1d
+
+    def test_no_catastrophe_on_noise(self):
+        """On white noise neither predictor helps; 2-D must stay in the
+        same band as 1-D (prediction residuals grow by at most ~2 bits)."""
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, (128, 128)).astype(np.float32)
+        r2d = FZLight2D().compress(data, abs_eb=1e-2).compression_ratio
+        r1d = FZLight().compress(data.ravel(), abs_eb=1e-2).compression_ratio
+        assert r2d > 0.6 * r1d
+
+
+class TestHomomorphic2D:
+    def test_sum_matches_integer_oracle(self):
+        rng = np.random.default_rng(2)
+        a = smooth_image()
+        b = (a * 0.3 + rng.normal(0, 0.05, a.shape)).astype(np.float32)
+        eb = 1e-4
+        comp = FZLight2D()
+        ca, cb = comp.compress(a, abs_eb=eb), comp.compress(b, abs_eb=eb)
+        total = HZDynamic().add(ca, cb)
+        oracle = dequantize(
+            quantize(a.ravel(), eb).astype(np.int64)
+            + quantize(b.ravel(), eb).astype(np.int64),
+            eb,
+        ).reshape(a.shape)
+        np.testing.assert_array_equal(comp.decompress(total), oracle)
+
+    def test_sum_preserves_2d_metadata(self):
+        comp = FZLight2D()
+        ca = comp.compress(smooth_image(), abs_eb=1e-4)
+        total = HZDynamic().add(ca, ca)
+        assert total.predictor == PREDICTOR_LORENZO_2D
+        assert total.rows == ca.rows
+
+    def test_mixing_predictors_rejected(self):
+        data = smooth_image()
+        c2d = FZLight2D().compress(data, abs_eb=1e-4)
+        c1d = FZLight(n_threadblocks=1).compress(data.ravel(), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            HZDynamic().add(c2d, c1d)
+
+    def test_mixing_shapes_rejected(self):
+        comp = FZLight2D()
+        a = comp.compress(smooth_image(60, 80), abs_eb=1e-4)
+        b = comp.compress(smooth_image(80, 60), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            HZDynamic().add(a, b)
+
+    def test_scale(self):
+        comp = FZLight2D()
+        a = smooth_image()
+        ca = comp.compress(a, abs_eb=1e-4)
+        doubled = HZDynamic().scale(ca, 2)
+        oracle = dequantize(
+            quantize(a.ravel(), 1e-4).astype(np.int64) * 2, 1e-4
+        ).reshape(a.shape)
+        np.testing.assert_array_equal(comp.decompress(doubled), oracle)
+
+
+class TestProperties:
+    @given(
+        data=arrays(
+            np.float32,
+            st.tuples(st.integers(1, 24), st.integers(1, 24)),
+            elements=st.floats(-100, 100, width=32),
+        ),
+        eb=st.sampled_from([1e-1, 1e-2, 1e-3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data, eb):
+        comp = FZLight2D(block_size=8)
+        out = comp.decompress(comp.compress(data, abs_eb=eb))
+        assert check_error_bound(data.ravel(), out.ravel(), eb)

@@ -1,0 +1,156 @@
+"""Tests for the N-dimensional Lorenzo compressor (2-D and 3-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression import FZLight, FZLightND, check_error_bound, from_bytes
+from repro.compression.common import dequantize, quantize
+from repro.compression.format import PREDICTOR_LORENZO_2D, PREDICTOR_LORENZO_3D
+from repro.compression.fzlightnd import _forward_lorenzo, _inverse_lorenzo
+from repro.homomorphic import HZDynamic
+
+
+def smooth_volume(nz=20, ny=18, nx=16):
+    zz, yy, xx = np.mgrid[0:nz, 0:ny, 0:nx].astype(np.float32)
+    return np.sin(zz / 5.0) * np.cos(yy / 4.0) * np.sin(xx / 3.0) + 0.05 * zz / nz
+
+
+class TestLorenzoOperators:
+    @pytest.mark.parametrize("shape", [(5,), (4, 7), (3, 4, 5), (2, 3, 4)])
+    def test_forward_inverse_identity(self, shape):
+        rng = np.random.default_rng(1)
+        q = rng.integers(-1000, 1000, shape).astype(np.int64)
+        np.testing.assert_array_equal(_inverse_lorenzo(_forward_lorenzo(q)), q)
+
+    def test_forward_is_linear(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-50, 50, (4, 5, 6)).astype(np.int64)
+        b = rng.integers(-50, 50, (4, 5, 6)).astype(np.int64)
+        np.testing.assert_array_equal(
+            _forward_lorenzo(a + b), _forward_lorenzo(a) + _forward_lorenzo(b)
+        )
+
+    def test_constant_volume_single_nonzero_delta(self):
+        q = np.full((4, 4, 4), 7, dtype=np.int64)
+        d = _forward_lorenzo(q)
+        assert d[0, 0, 0] == 7
+        assert np.count_nonzero(d) == 1
+
+
+class TestRoundTrip3D:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1, 1), (1, 5, 7), (8, 1, 8), (20, 18, 16)]
+    )
+    def test_shapes(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1, shape).astype(np.float32)
+        comp = FZLightND()
+        out = comp.decompress(comp.compress(data, abs_eb=1e-3))
+        assert out.shape == shape
+        assert check_error_bound(data.ravel(), out.ravel(), 1e-3)
+
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-5])
+    def test_error_bounds(self, eb):
+        data = smooth_volume()
+        comp = FZLightND()
+        out = comp.decompress(comp.compress(data, abs_eb=eb))
+        assert check_error_bound(data.ravel(), out.ravel(), eb)
+
+    def test_metadata(self):
+        field = FZLightND().compress(smooth_volume(10, 12, 14), abs_eb=1e-3)
+        assert field.predictor == PREDICTOR_LORENZO_3D
+        assert (field.rows, field.cols) == (10, 12)
+
+    def test_wire_roundtrip(self):
+        comp = FZLightND()
+        field = comp.compress(smooth_volume(), abs_eb=1e-4)
+        again = from_bytes(field.to_bytes())
+        assert (again.rows, again.cols) == (field.rows, field.cols)
+        np.testing.assert_array_equal(comp.decompress(again), comp.decompress(field))
+
+    def test_2d_mode_matches_predictor(self):
+        img = smooth_volume()[0]
+        field = FZLightND().compress(img, abs_eb=1e-3)
+        assert field.predictor == PREDICTOR_LORENZO_2D
+        assert field.cols == 0
+
+    def test_rejects_1d_and_4d(self):
+        comp = FZLightND()
+        with pytest.raises(ValueError, match="2-D and 3-D"):
+            comp.compress(np.ones(10, dtype=np.float32), abs_eb=1e-3)
+        with pytest.raises(ValueError, match="2-D and 3-D"):
+            comp.compress(np.ones((2, 2, 2, 2), dtype=np.float32), abs_eb=1e-3)
+
+    def test_decompress_rejects_1d_stream(self):
+        field = FZLight().compress(np.ones(64, dtype=np.float32), abs_eb=1e-3)
+        with pytest.raises(ValueError, match="N-D"):
+            FZLightND().decompress(field)
+
+
+class TestRatio3D:
+    def test_beats_1d_on_smooth_volume(self):
+        data = smooth_volume(48, 48, 48)
+        r3d = FZLightND().compress(data, abs_eb=1e-4).compression_ratio
+        r1d = FZLight().compress(data.ravel(), abs_eb=1e-4).compression_ratio
+        assert r3d > 1.2 * r1d
+
+    def test_dataset_volume(self):
+        """On the synthetic NYX volume the 3-D predictor must not lose."""
+        from repro.compression import resolve_error_bound
+        from repro.datasets import generate_field
+
+        data = generate_field("hurricane", 0, scale=0.005, seed=1)
+        eb = resolve_error_bound(data, rel_eb=1e-3)
+        r3d = FZLightND().compress(data, abs_eb=eb).compression_ratio
+        r1d = FZLight().compress(data.ravel(), abs_eb=eb).compression_ratio
+        assert r3d > 0.8 * r1d
+
+
+class TestHomomorphic3D:
+    def test_sum_matches_integer_oracle(self):
+        rng = np.random.default_rng(3)
+        a = smooth_volume()
+        b = (a * 0.4 + rng.normal(0, 0.02, a.shape)).astype(np.float32)
+        eb = 1e-4
+        comp = FZLightND()
+        total = HZDynamic().add(comp.compress(a, abs_eb=eb), comp.compress(b, abs_eb=eb))
+        oracle = dequantize(
+            quantize(a.ravel(), eb).astype(np.int64)
+            + quantize(b.ravel(), eb).astype(np.int64),
+            eb,
+        ).reshape(a.shape)
+        np.testing.assert_array_equal(comp.decompress(total), oracle)
+
+    def test_mixed_dims_rejected(self):
+        comp = FZLightND()
+        a = comp.compress(smooth_volume(8, 10, 12), abs_eb=1e-3)
+        b = comp.compress(smooth_volume(10, 8, 12), abs_eb=1e-3)
+        with pytest.raises(ValueError, match="compatible"):
+            HZDynamic().add(a, b)
+
+    def test_3d_vs_2d_streams_rejected(self):
+        nd = FZLightND()
+        vol = smooth_volume(4, 8, 8)
+        a = nd.compress(vol, abs_eb=1e-3)  # 3-D, n = 256
+        b = nd.compress(vol.reshape(16, 16), abs_eb=1e-3)  # 2-D, n = 256
+        with pytest.raises(ValueError, match="compatible"):
+            HZDynamic().add(a, b)
+
+
+class TestProperties:
+    @given(
+        data=arrays(
+            np.float32,
+            st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8)),
+            elements=st.floats(-50, 50, width=32),
+        ),
+        eb=st.sampled_from([1e-1, 1e-2]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data, eb):
+        comp = FZLightND(block_size=8)
+        out = comp.decompress(comp.compress(data, abs_eb=eb))
+        assert check_error_bound(data.ravel(), out.ravel(), eb)

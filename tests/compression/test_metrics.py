@@ -1,0 +1,100 @@
+"""Unit tests for the quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compression.metrics import (
+    QualityReport,
+    check_error_bound,
+    error_std,
+    evaluate_quality,
+    max_abs_error,
+    max_rel_error,
+    nrmse,
+    psnr,
+)
+
+
+class TestNrmse:
+    def test_identical_is_zero(self):
+        a = np.linspace(0, 1, 100)
+        assert nrmse(a, a) == 0.0
+
+    def test_known_value(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.1, 1.0])
+        # rmse = 0.1/sqrt(2), range = 1
+        assert nrmse(a, b) == pytest.approx(0.1 / np.sqrt(2))
+
+    def test_range_normalisation(self):
+        a = np.array([0.0, 100.0])
+        b = np.array([1.0, 100.0])
+        assert nrmse(a, b) == pytest.approx(0.01 / np.sqrt(2))
+
+    def test_constant_original_zero_error(self):
+        a = np.full(5, 2.0)
+        assert nrmse(a, a.copy()) == 0.0
+
+    def test_constant_original_nonzero_error(self):
+        assert nrmse(np.full(5, 2.0), np.full(5, 3.0)) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nrmse(np.zeros(3), np.zeros(4))
+
+
+class TestPsnr:
+    def test_identical_is_inf(self):
+        a = np.linspace(0, 1, 10)
+        assert psnr(a, a) == float("inf")
+
+    def test_inverse_of_nrmse(self):
+        a = np.linspace(0, 1, 100)
+        b = a + 1e-3
+        assert psnr(a, b) == pytest.approx(-20 * np.log10(nrmse(a, b)))
+
+    def test_better_reconstruction_higher_psnr(self):
+        a = np.linspace(0, 1, 100)
+        assert psnr(a, a + 1e-4) > psnr(a, a + 1e-2)
+
+
+class TestMaxErrors:
+    def test_max_abs(self):
+        assert max_abs_error(np.array([0.0, 1.0]), np.array([0.5, 1.0])) == 0.5
+
+    def test_max_rel_uses_range(self):
+        a = np.array([0.0, 10.0])
+        assert max_rel_error(a, np.array([1.0, 10.0])) == pytest.approx(0.1)
+
+    def test_error_std_of_uniform_error_is_zero(self):
+        a = np.linspace(0, 1, 50)
+        assert error_std(a, a + 0.01) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCheckErrorBound:
+    def test_accepts_within_bound(self):
+        a = np.linspace(0, 1, 100).astype(np.float32)
+        assert check_error_bound(a, a + 5e-4, 1e-3)
+
+    def test_rejects_violation(self):
+        a = np.linspace(0, 1, 100).astype(np.float32)
+        b = a.copy()
+        b[3] += 0.1
+        assert not check_error_bound(a, b, 1e-3)
+
+    def test_allows_one_ulp_slack(self):
+        a = np.array([1000.0], dtype=np.float32)
+        b = np.array([1000.0 + 1e-3], dtype=np.float32)
+        assert check_error_bound(a, b, 1e-3)
+
+
+class TestEvaluateQuality:
+    def test_report_fields(self):
+        a = np.linspace(0, 1, 1000).astype(np.float32)
+        b = (a + 1e-4).astype(np.float32)
+        report = evaluate_quality(a, b, compressed_nbytes=500)
+        assert isinstance(report, QualityReport)
+        assert report.compression_ratio == pytest.approx(1000 * 4 / 500)
+        assert 0 < report.nrmse < 1e-3
+        assert report.psnr > 60
+        assert report.max_abs_error == pytest.approx(1e-4, rel=1e-2)

@@ -1,0 +1,129 @@
+"""Unit tests for the ompSZp baseline (cuSZp CPU port)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression import check_error_bound
+from repro.compression.ompszp import ZERO_BLOCK_MARKER, OmpSZp
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [1, 31, 32, 33, 4096, 100_003])
+    def test_sizes(self, ompszp, n):
+        data = np.cos(np.arange(n, dtype=np.float32) * 0.02)
+        field = ompszp.compress(data, abs_eb=1e-4)
+        out = ompszp.decompress(field)
+        assert out.shape == data.shape
+        assert check_error_bound(data, out, 1e-4)
+
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-5])
+    def test_error_bounds(self, ompszp, smooth_data, eb):
+        field = ompszp.compress(smooth_data, abs_eb=eb)
+        assert check_error_bound(smooth_data, ompszp.decompress(field), eb)
+
+    def test_rough_data(self, ompszp, rough_data):
+        field = ompszp.compress(rough_data, abs_eb=1e-3)
+        assert check_error_bound(rough_data, ompszp.decompress(field), 1e-3)
+
+    def test_deterministic(self, ompszp, smooth_data):
+        a = ompszp.compress(smooth_data, abs_eb=1e-4)
+        b = ompszp.compress(smooth_data, abs_eb=1e-4)
+        np.testing.assert_array_equal(a.payload, b.payload)
+
+
+class TestZeroBlockSkip:
+    def test_zero_blocks_marked(self, ompszp, sparse_data):
+        field = ompszp.compress(sparse_data, abs_eb=1e-4)
+        assert (field.code_lengths == ZERO_BLOCK_MARKER).any()
+
+    def test_zero_blocks_reconstruct_exactly(self, ompszp, sparse_data):
+        field = ompszp.compress(sparse_data, abs_eb=1e-4)
+        out = ompszp.decompress(field)
+        zeros = sparse_data == 0
+        # skipped blocks come back as *exact* zeros, better than eb
+        block_zeros = np.repeat(
+            field.code_lengths == ZERO_BLOCK_MARKER, field.block_size
+        )[: sparse_data.size]
+        assert (out[block_zeros] == 0).all()
+        assert np.abs(out[zeros]).max() <= 1e-4
+
+    def test_all_zero_input(self, ompszp):
+        data = np.zeros(10_000, dtype=np.float32)
+        field = ompszp.compress(data, abs_eb=1e-4)
+        assert (field.code_lengths == ZERO_BLOCK_MARKER).all()
+        assert field.payload.size == 0
+        np.testing.assert_array_equal(ompszp.decompress(field), data)
+
+    def test_skip_saves_outlier_bytes(self, ompszp, rng):
+        """A zero block costs 1 byte; a constant non-zero block costs 5."""
+        zeros = np.zeros(32_000, dtype=np.float32)
+        const = np.full(32_000, 7.0, dtype=np.float32)
+        f_zero = ompszp.compress(zeros, abs_eb=1e-4)
+        f_const = ompszp.compress(const, abs_eb=1e-4)
+        assert f_zero.nbytes < f_const.nbytes
+
+
+class TestLayout:
+    def test_one_outlier_per_block(self, ompszp, smooth_data):
+        field = ompszp.compress(smooth_data, abs_eb=1e-4)
+        assert field.outliers.size == field.n_blocks
+
+    def test_interleave_order_is_permutation(self, ompszp):
+        order = ompszp._interleave_order(100)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_interleave_thread_major(self):
+        omp = OmpSZp(n_threads=4)
+        order = omp._interleave_order(8)
+        # thread 0 gets blocks 0,4; thread 1 gets 1,5; ...
+        np.testing.assert_array_equal(order, [0, 4, 1, 5, 2, 6, 3, 7])
+
+    def test_nbytes_accounting(self, ompszp, smooth_data):
+        field = ompszp.compress(smooth_data, abs_eb=1e-4)
+        stored = int((field.code_lengths != ZERO_BLOCK_MARKER).sum())
+        expected = 32 + field.n_blocks + 4 * stored + field.payload.size
+        assert field.nbytes == expected
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            OmpSZp(block_size=10)
+
+    def test_overflow_raises(self, ompszp):
+        data = np.linspace(0, 1e9, 1000).astype(np.float32)
+        with pytest.raises(OverflowError):
+            ompszp.compress(data, abs_eb=1e-5)
+
+
+class TestVsFZLight:
+    def test_same_quantisation_same_accuracy(self, ompszp, compressor, smooth_data):
+        """Both compressors share the quantiser, so NRMSE should match."""
+        eb = 1e-4
+        a = compressor.decompress(compressor.compress(smooth_data, abs_eb=eb))
+        b = ompszp.decompress(ompszp.compress(smooth_data, abs_eb=eb))
+        rms_a = np.sqrt(np.mean((a - smooth_data) ** 2))
+        rms_b = np.sqrt(np.mean((b - smooth_data) ** 2))
+        assert rms_b <= rms_a * 1.01
+
+    def test_fzlight_ratio_generally_wins(self, ompszp, compressor, smooth_data):
+        fz = compressor.compress(smooth_data, abs_eb=1e-4)
+        omp = ompszp.compress(smooth_data, abs_eb=1e-4)
+        assert fz.compression_ratio > omp.compression_ratio
+
+
+class TestProperties:
+    @given(
+        data=arrays(
+            np.float32,
+            st.integers(1, 1500),
+            elements=st.floats(-100, 100, width=32),
+        ),
+        eb=st.sampled_from([1e-1, 1e-2, 1e-3]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_bound_property(self, data, eb):
+        omp = OmpSZp(n_threads=5)
+        field = omp.compress(data, abs_eb=eb)
+        assert check_error_bound(data, omp.decompress(field), eb)

@@ -1,0 +1,75 @@
+"""Robustness of the wire-format parser against corrupted streams.
+
+A collective that receives a damaged buffer must fail with a clean
+``ValueError`` — never a segfault-style index explosion, never silently
+wrong data passed to the homomorphic engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import FZLight, from_bytes
+
+
+@pytest.fixture(scope="module")
+def stream() -> bytes:
+    data = np.sin(np.linspace(0, 20, 5000)).astype(np.float32)
+    return FZLight(n_threadblocks=4).compress(data, abs_eb=1e-4).to_bytes()
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("cut", [0, 1, 5, 20, 41, 100])
+    def test_truncated_prefixes_raise_valueerror(self, stream, cut):
+        with pytest.raises(ValueError):
+            from_bytes(stream[:cut])
+
+    def test_one_byte_short(self, stream):
+        with pytest.raises(ValueError):
+            from_bytes(stream[:-1])
+
+    def test_one_byte_long(self, stream):
+        with pytest.raises(ValueError):
+            from_bytes(stream + b"\x00")
+
+
+class TestBitCorruption:
+    @given(pos=st.integers(0, 60), value=st.integers(0, 255))
+    @settings(max_examples=120, deadline=None)
+    def test_header_corruption_never_escapes_valueerror(self, stream, pos, value):
+        """Flipping any header byte either still parses (benign — e.g. the
+        error bound changed) or raises ValueError; nothing else."""
+        blob = bytearray(stream)
+        blob[pos] = value
+        try:
+            field = from_bytes(bytes(blob))
+        except (ValueError, OverflowError):
+            return
+        # if it parsed, the structural invariants must hold
+        field.validate()
+
+    @given(pos=st.integers(0, 2**16), value=st.integers(0, 255))
+    @settings(max_examples=120, deadline=None)
+    def test_body_corruption_parses_or_valueerror(self, stream, pos, value):
+        blob = bytearray(stream)
+        blob[pos % len(blob)] = value
+        try:
+            field = from_bytes(bytes(blob))
+        except (ValueError, OverflowError):
+            return
+        field.validate()
+        # decoding a structurally valid but content-corrupted stream must
+        # not crash either (garbage values are acceptable; crashes are not)
+        FZLight(n_threadblocks=field.n_threadblocks).decompress(field)
+
+
+class TestGarbage:
+    @given(blob=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_never_parse_silently_wrong(self, blob):
+        try:
+            field = from_bytes(blob)
+        except (ValueError, OverflowError):
+            return
+        field.validate()

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Everything is seeded: any failure reproduces with the same pytest
+invocation.  Data fixtures are sized to keep the full suite fast while
+still crossing block/thread-block boundaries (sizes are deliberately not
+multiples of 32 or 36).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import FZLight, OmpSZp
+from repro.core.config import CollectiveConfig
+from repro.homomorphic import HZDynamic
+from repro.runtime import NetworkModel
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture()
+def smooth_data(rng) -> np.ndarray:
+    """Random-walk field — compresses well, exercises many code lengths."""
+    return np.cumsum(rng.normal(0, 0.01, 100_003)).astype(np.float32)
+
+
+@pytest.fixture()
+def rough_data(rng) -> np.ndarray:
+    """White noise — the hard case (pipeline 4 everywhere)."""
+    return rng.normal(0, 1, 50_021).astype(np.float32)
+
+
+@pytest.fixture()
+def sparse_data(rng) -> np.ndarray:
+    """Mostly exact zeros with a few bursts — pipeline 1/2/3 territory."""
+    data = np.zeros(80_009, dtype=np.float32)
+    burst = rng.normal(0, 1, 500).astype(np.float32)
+    data[10_000:10_500] = burst
+    data[60_000:60_500] = burst[::-1]
+    return data
+
+
+@pytest.fixture()
+def compressor() -> FZLight:
+    return FZLight()
+
+
+@pytest.fixture()
+def small_compressor() -> FZLight:
+    """Geometry that makes block/thread-block edge cases cheap to hit."""
+    return FZLight(block_size=8, n_threadblocks=3)
+
+
+@pytest.fixture()
+def ompszp() -> OmpSZp:
+    return OmpSZp()
+
+
+@pytest.fixture()
+def engine() -> HZDynamic:
+    return HZDynamic()
+
+
+@pytest.fixture()
+def fast_network() -> NetworkModel:
+    """Deterministic tiny-latency network for collective tests."""
+    return NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9, congestion_per_log2=0.1)
+
+
+@pytest.fixture()
+def config(fast_network) -> CollectiveConfig:
+    return CollectiveConfig(error_bound=1e-4, network=fast_network)

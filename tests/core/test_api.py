@@ -1,0 +1,96 @@
+"""Tests for the HZCCL facade."""
+
+import numpy as np
+import pytest
+
+from repro import HZCCL
+from repro.core.config import CollectiveConfig
+
+
+@pytest.fixture()
+def lib(fast_network):
+    return HZCCL(CollectiveConfig(error_bound=1e-4, network=fast_network))
+
+
+@pytest.fixture()
+def data(rng):
+    return [np.cumsum(rng.normal(0, 0.05, 5003)).astype(np.float32) for _ in range(4)]
+
+
+class TestCompressionSurface:
+    def test_compress_uses_config_eb(self, lib, smooth_data):
+        field = lib.compress(smooth_data)
+        assert field.error_bound == 1e-4
+
+    def test_compress_explicit_eb(self, lib, smooth_data):
+        assert lib.compress(smooth_data, abs_eb=1e-2).error_bound == 1e-2
+
+    def test_roundtrip(self, lib, smooth_data):
+        out = lib.decompress(lib.compress(smooth_data))
+        assert np.abs(out - smooth_data).max() <= 1e-4 * 1.01
+
+    def test_homomorphic_sum(self, lib, smooth_data):
+        cx = lib.compress(smooth_data)
+        total = lib.homomorphic_sum(cx, cx)
+        assert np.abs(lib.decompress(total) - 2 * smooth_data).max() <= 2.1e-4
+
+
+class TestCollectives:
+    def test_allreduce_default_kernel(self, lib, data):
+        res = lib.allreduce(data)
+        exact = np.sum(np.stack(data).astype(np.float64), axis=0)
+        assert np.abs(res.outputs[0].astype(np.float64) - exact).max() <= 5e-4
+
+    @pytest.mark.parametrize("kernel", ["hzccl", "ccoll", "mpi"])
+    def test_all_kernels_agree(self, lib, data, kernel):
+        res = lib.allreduce(data, kernel=kernel)
+        exact = np.sum(np.stack(data).astype(np.float64), axis=0)
+        assert np.abs(res.outputs[0].astype(np.float64) - exact).max() <= 1e-3
+
+    @pytest.mark.parametrize("kernel", ["hzccl", "ccoll", "mpi"])
+    def test_reduce_scatter_kernels(self, lib, data, kernel):
+        res = lib.reduce_scatter(data, kernel=kernel)
+        assert len(res.outputs) == len(data)
+
+    def test_unknown_kernel(self, lib, data):
+        with pytest.raises(ValueError, match="kernel"):
+            lib.allreduce(data, kernel="nccl")
+        with pytest.raises(ValueError, match="kernel"):
+            lib.reduce_scatter(data, kernel="nccl")
+
+    def test_rank_count_from_input(self, lib, rng):
+        data = [rng.normal(0, 1, 1000).astype(np.float32) for _ in range(6)]
+        res = lib.reduce_scatter(data)
+        assert len(res.outputs) == 6
+
+
+class TestRootedFacade:
+    def test_reduce_to_root(self, lib, data):
+        res = lib.reduce(data, root=1)
+        exact = np.sum(np.stack(data).astype(np.float64), axis=0)
+        assert res.outputs[0] is None
+        assert np.abs(res.outputs[1].astype(np.float64) - exact).max() <= 5e-4
+
+    def test_reduce_mpi_kernel(self, lib, data):
+        res = lib.reduce(data, kernel="mpi")
+        exact = np.sum(np.stack(data).astype(np.float64), axis=0)
+        assert np.abs(res.outputs[0].astype(np.float64) - exact).max() <= 1e-3
+
+    def test_reduce_rejects_ccoll(self, lib, data):
+        with pytest.raises(ValueError):
+            lib.reduce(data, kernel="ccoll")
+
+    def test_bcast(self, lib, smooth_data):
+        res = lib.bcast(smooth_data, n_ranks=4)
+        np.testing.assert_array_equal(res.outputs[0], smooth_data)
+        for out in res.outputs[1:]:
+            assert np.abs(out - smooth_data).max() <= 1e-4 * 1.01
+
+    def test_bcast_mpi_exact(self, lib, smooth_data):
+        res = lib.bcast(smooth_data, n_ranks=3, kernel="mpi")
+        for out in res.outputs:
+            np.testing.assert_array_equal(out, smooth_data)
+
+    def test_bcast_rejects_unknown(self, lib, smooth_data):
+        with pytest.raises(ValueError):
+            lib.bcast(smooth_data, n_ranks=3, kernel="nccl")

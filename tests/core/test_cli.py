@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_compress_dataset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "not-a-dataset"])
+
+    def test_scaling_defaults(self):
+        args = build_parser().parse_args(["scaling"])
+        assert args.op == "allreduce"
+        assert args.mb == 646
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "hZCCL" in out
+        assert "sim1" in out
+        assert "12.5 GB/s" in out
+
+    def test_stream_small(self, capsys):
+        assert main(["stream", "--elements", "100000", "--repeats", "1"]) == 0
+        assert "STREAM" in capsys.readouterr().out
+
+    def test_compress(self, capsys):
+        assert main(["compress", "nyx", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "fZ-light" in out
+        assert "ratio=" in out
+
+    def test_compress_with_baseline(self, capsys):
+        assert main(
+            ["compress", "hurricane", "--scale", "0.005", "--baseline"]
+        ) == 0
+        assert "ompSZp" in capsys.readouterr().out
+
+    def test_pipelines(self, capsys):
+        assert main(["pipelines", "nyx", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "P1=" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--op", "reduce_scatter", "--mb", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out
+        assert "hZCCL MT" in out
+
+    def test_stacking(self, capsys):
+        assert main(["stacking", "--ranks", "4", "--size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+        assert "cleaner" in out

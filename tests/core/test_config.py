@@ -1,0 +1,44 @@
+"""Unit tests for CollectiveConfig."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, CollectiveConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        assert DEFAULT_CONFIG.error_bound == 1e-4
+        assert DEFAULT_CONFIG.block_size == 32
+        assert DEFAULT_CONFIG.n_threadblocks == 18
+        assert DEFAULT_CONFIG.multithread is False
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.error_bound = 1.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_rejects_zero_eb(self):
+        with pytest.raises(ValueError):
+            CollectiveConfig(error_bound=0.0)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            CollectiveConfig(block_size=12)
+
+    def test_rejects_zero_threadblocks(self):
+        with pytest.raises(ValueError):
+            CollectiveConfig(n_threadblocks=0)
+
+    def test_rejects_zero_thread_speedup(self):
+        with pytest.raises(ValueError):
+            CollectiveConfig(thread_speedup=0)
+
+
+class TestWithMode:
+    def test_switches_mode_only(self):
+        st = CollectiveConfig(error_bound=5e-4)
+        mt = st.with_mode(True)
+        assert mt.multithread is True
+        assert mt.error_bound == st.error_bound
+        assert st.multithread is False

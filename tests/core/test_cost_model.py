@@ -1,0 +1,167 @@
+"""Unit tests for the §III-C analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import (
+    PAPER_BROADWELL,
+    CostRates,
+    matched_network,
+    model_ccoll_allreduce,
+    model_ccoll_reduce_scatter,
+    model_hzccl_allreduce,
+    model_hzccl_reduce_scatter,
+    model_mpi_allreduce,
+    model_mpi_reduce_scatter,
+)
+from repro.runtime.network import NetworkModel
+
+NET = NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9, congestion_per_log2=0.0)
+RATES = CostRates(
+    cpr_s_per_byte=1e-9,
+    dpr_s_per_byte=5e-10,
+    hpr_s_per_byte=2e-10,
+    cpt_s_per_byte=1e-10,
+    ratio=10.0,
+    op_overhead_s=0.0,
+)
+
+
+class TestFormulas:
+    """Hand-computed expectations for tiny cases."""
+
+    def test_mpi_reduce_scatter(self):
+        n, total = 4, 4000
+        bd = model_mpi_reduce_scatter(n, total, RATES, NET)
+        block = 1000
+        assert bd.buckets["CPT"] == pytest.approx(3 * block * 1e-10)
+        assert bd.buckets["MPI"] == pytest.approx(3 * NET.transfer_time(block, n))
+
+    def test_ccoll_reduce_scatter_counts(self):
+        n, total = 4, 4000
+        bd = model_ccoll_reduce_scatter(n, total, RATES, NET)
+        block = 1000
+        assert bd.buckets["CPR"] == pytest.approx(3 * block * 1e-9)
+        assert bd.buckets["DPR"] == pytest.approx(3 * block * 5e-10)
+        assert bd.buckets["CPT"] == pytest.approx(3 * block * 1e-10)
+
+    def test_hzccl_reduce_scatter_counts(self):
+        """N·CPR + (N−1)·HPR + 1·DPR — the paper's §III-C1 total."""
+        n, total = 4, 4000
+        bd = model_hzccl_reduce_scatter(n, total, RATES, NET)
+        block = 1000
+        assert bd.buckets["CPR"] == pytest.approx(4 * block * 1e-9)
+        assert bd.buckets["HPR"] == pytest.approx(3 * block * 2e-10)
+        assert bd.buckets["DPR"] == pytest.approx(1 * block * 5e-10)
+
+    def test_hzccl_allreduce_counts(self):
+        n, total = 4, 4000
+        bd = model_hzccl_allreduce(n, total, RATES, NET)
+        block = 1000
+        assert bd.buckets["CPR"] == pytest.approx(4 * block * 1e-9)
+        assert bd.buckets["HPR"] == pytest.approx(3 * block * 2e-10)
+        assert bd.buckets["DPR"] == pytest.approx(3 * block * 5e-10)
+
+    def test_ccoll_allreduce_counts(self):
+        """N·CPR + 2(N−1)·DPR + (N−1)·CPT (§III-C2)."""
+        n, total = 4, 4000
+        bd = model_ccoll_allreduce(n, total, RATES, NET)
+        block = 1000
+        assert bd.buckets["CPR"] == pytest.approx(4 * block * 1e-9)
+        assert bd.buckets["DPR"] == pytest.approx(6 * block * 5e-10)
+
+    def test_compressed_transfers(self):
+        n, total = 4, 40_000
+        cc = model_ccoll_reduce_scatter(n, total, RATES, NET)
+        mpi = model_mpi_reduce_scatter(n, total, RATES, NET)
+        # 10× smaller messages ⇒ MPI bucket strictly smaller
+        assert cc.buckets["MPI"] < mpi.buckets["MPI"]
+
+    def test_total_is_bucket_sum(self):
+        bd = model_hzccl_allreduce(8, 10**6, RATES, NET)
+        assert bd.total_time == pytest.approx(sum(bd.buckets.values()))
+
+
+class TestPaperShapes:
+    """The orderings the paper's figures report, under its own rates."""
+
+    @pytest.mark.parametrize("n", [8, 64, 512])
+    @pytest.mark.parametrize("mt", [False, True])
+    def test_hzccl_beats_ccoll_beats_mpi(self, n, mt):
+        from repro.runtime.network import OMNIPATH_100G
+
+        total = 646_000_000
+        mpi = model_mpi_allreduce(n, total, PAPER_BROADWELL, OMNIPATH_100G, mt).total_time
+        cc = model_ccoll_allreduce(n, total, PAPER_BROADWELL, OMNIPATH_100G, mt).total_time
+        hz = model_hzccl_allreduce(n, total, PAPER_BROADWELL, OMNIPATH_100G, mt).total_time
+        assert hz < cc
+        if n >= 64 or mt:
+            assert cc < mpi
+
+    def test_speedup_grows_with_message_size(self):
+        from repro.runtime.network import OMNIPATH_100G
+
+        speedups = []
+        for total in (10**7, 10**8, 6 * 10**8):
+            mpi = model_mpi_allreduce(64, total, PAPER_BROADWELL, OMNIPATH_100G, True)
+            hz = model_hzccl_allreduce(64, total, PAPER_BROADWELL, OMNIPATH_100G, True)
+            speedups.append(mpi.total_time / hz.total_time)
+        assert speedups == sorted(speedups)
+
+    def test_reduce_scatter_speedup_dips_at_scale(self):
+        """Fig. 10: speedup rises, peaks, then declines toward 512 nodes."""
+        from repro.runtime.network import OMNIPATH_100G
+
+        total = 646_000_000
+        speedups = {}
+        for n in (8, 128, 512):
+            mpi = model_mpi_reduce_scatter(n, total, PAPER_BROADWELL, OMNIPATH_100G, True)
+            hz = model_hzccl_reduce_scatter(n, total, PAPER_BROADWELL, OMNIPATH_100G, True)
+            speedups[n] = mpi.total_time / hz.total_time
+        assert speedups[128] > speedups[8]
+        assert speedups[512] < speedups[128]
+
+    def test_multithread_faster(self):
+        from repro.runtime.network import OMNIPATH_100G
+
+        st = model_hzccl_allreduce(64, 10**8, PAPER_BROADWELL, OMNIPATH_100G, False)
+        mt = model_hzccl_allreduce(64, 10**8, PAPER_BROADWELL, OMNIPATH_100G, True)
+        assert mt.total_time < st.total_time
+
+
+class TestRates:
+    def test_scaled_divides_compute_only(self):
+        mt = RATES.scaled(4.0)
+        assert mt.cpr_s_per_byte == RATES.cpr_s_per_byte / 4
+        assert mt.ratio == RATES.ratio
+        assert mt.op_overhead_s == RATES.op_overhead_s
+
+    def test_measure_returns_positive_rates(self, smooth_data):
+        half = smooth_data[: smooth_data.size // 2]
+        rates = CostRates.measure(half, half[::-1].copy(), 1e-4, repeats=1)
+        assert rates.cpr_s_per_byte > 0
+        assert rates.dpr_s_per_byte > 0
+        assert rates.hpr_s_per_byte > 0
+        assert rates.ratio > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostRates(0, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            CostRates(1, 1, 1, 1, 0)
+
+    def test_matched_network_scales_bandwidth(self):
+        slow = CostRates(
+            cpr_s_per_byte=PAPER_BROADWELL.cpr_s_per_byte * 10,
+            dpr_s_per_byte=1e-9,
+            hpr_s_per_byte=1e-9,
+            cpt_s_per_byte=1e-9,
+            ratio=5,
+        )
+        net = matched_network(NET, slow)
+        assert net.bandwidth_Bps == pytest.approx(NET.bandwidth_Bps / 10)
+
+    def test_matched_network_rejects_absurd_scale(self):
+        absurd = CostRates(1e3, 1, 1, 1, 1)  # 1000 s per byte
+        with pytest.raises(ValueError):
+            matched_network(NET, absurd)

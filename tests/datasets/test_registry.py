@@ -1,0 +1,56 @@
+"""Tests for the Table-I dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, DatasetSpec, dataset_names, get_spec
+
+
+class TestRegistry:
+    def test_five_datasets(self):
+        assert len(DATASETS) == 5
+
+    def test_table1_order(self):
+        assert dataset_names() == ["sim1", "sim2", "nyx", "cesm", "hurricane"]
+
+    def test_paper_dims(self):
+        assert get_spec("sim1").dims == (449, 449, 235)
+        assert get_spec("sim2").dims == (849, 849, 235)
+        assert get_spec("nyx").dims == (512, 512, 512)
+        assert get_spec("cesm").dims == (1800, 3600)
+        assert get_spec("hurricane").dims == (100, 500, 500)
+
+    def test_paper_field_counts(self):
+        assert get_spec("sim1").n_fields == 3601
+        assert get_spec("nyx").n_fields == 6
+        assert get_spec("hurricane").n_fields == 13
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="sim1"):
+            get_spec("does-not-exist")
+
+    def test_field_elements(self):
+        assert get_spec("nyx").field_elements == 512**3
+
+
+class TestScaledDims:
+    def test_identity_scale(self):
+        assert get_spec("nyx").scaled_dims(1.0) == (512, 512, 512)
+
+    def test_volume_scales_roughly_linearly(self):
+        spec = get_spec("nyx")
+        small = np.prod(spec.scaled_dims(0.1))
+        assert 0.05 * spec.field_elements < small < 0.2 * spec.field_elements
+
+    def test_axes_floor(self):
+        dims = get_spec("hurricane").scaled_dims(1e-6)
+        assert all(d >= 16 for d in dims)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            get_spec("nyx").scaled_dims(0.0)
+        with pytest.raises(ValueError):
+            get_spec("nyx").scaled_dims(2.0)
+
+    def test_preserves_ndim(self):
+        assert len(get_spec("cesm").scaled_dims(0.1)) == 2

@@ -1,0 +1,150 @@
+"""Tests for the synthetic dataset generators.
+
+Beyond shape/determinism, these tests pin the *block statistics* each
+generator was designed to reproduce (DESIGN.md's substitution argument):
+zero fractions, dynamic range, and the dominant hZ-dynamic pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import FZLight, resolve_error_bound
+from repro.datasets import dataset_names, generate_field, generate_pair
+from repro.homomorphic import HZDynamic
+
+SCALE = 0.01  # keep generator tests fast
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_dtype_and_shape(self, name):
+        field = generate_field(name, 0, scale=SCALE, seed=1)
+        assert field.dtype == np.float32
+        assert field.ndim == (2 if name == "cesm" else 3)
+        assert np.isfinite(field).all()
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic(self, name):
+        a = generate_field(name, 2, scale=SCALE, seed=5)
+        b = generate_field(name, 2, scale=SCALE, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_field_index_changes_content(self, name):
+        a = generate_field(name, 0, scale=SCALE, seed=5)
+        b = generate_field(name, 1, scale=SCALE, seed=5)
+        assert not np.array_equal(a, b)
+
+    def test_explicit_dims(self):
+        field = generate_field("nyx", 0, dims=(32, 32, 32), seed=1)
+        assert field.shape == (32, 32, 32)
+
+    def test_cesm_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            generate_field("cesm", 0, dims=(8, 8, 8), seed=1)
+
+    def test_generate_pair(self):
+        a, b = generate_pair("sim1", scale=SCALE, seed=3)
+        assert a.shape == b.shape
+        assert not np.array_equal(a, b)
+
+
+class TestBlockStatistics:
+    def test_seismic_fields_have_zero_halo(self):
+        for name in ("sim1", "sim2"):
+            field = generate_field(name, 0, scale=SCALE, seed=3)
+            assert (field == 0).mean() > 0.3, name
+
+    def test_nyx_dynamic_range(self):
+        """NYX-like: range spans ≳ 4 decades (paper: ~6)."""
+        field = generate_field("nyx", 0, scale=SCALE, seed=3)
+        positive = field[field > 0]
+        assert positive.max() / positive.min() > 1e4
+
+    def test_hurricane_moisture_fields_sparse(self):
+        wind = generate_field("hurricane", 0, scale=SCALE, seed=3)
+        moisture = generate_field("hurricane", 1, scale=SCALE, seed=3)
+        assert (moisture == 0).mean() > 0.5
+        assert (wind == 0).mean() < 0.1
+
+    def test_cesm_everywhere_varying(self):
+        field = generate_field("cesm", 0, scale=SCALE, seed=3)
+        assert (field == 0).mean() < 0.01
+
+
+class TestPipelineCharacter:
+    """Dominant hZ-dynamic pipeline per dataset at REL 1e-3 (Table V)."""
+
+    @pytest.fixture()
+    def mixes(self):
+        comp = FZLight()
+        out = {}
+        for name in dataset_names():
+            a, b = generate_pair(name, scale=SCALE, seed=3)
+            eb = resolve_error_bound(a, rel_eb=1e-3)
+            ca = comp.compress(a, abs_eb=eb)
+            cb = comp.compress(b.ravel(), abs_eb=eb)
+            hz = HZDynamic()
+            hz.add(ca, cb)
+            out[name] = hz.stats.percentages
+        return out
+
+    def test_nyx_pipeline1_dominates(self, mixes):
+        assert mixes["nyx"][0] > 80
+
+    def test_cesm_pipeline4_dominates(self, mixes):
+        assert mixes["cesm"][3] > 80
+
+    def test_hurricane_one_sided_dominates(self, mixes):
+        assert mixes["hurricane"][1] + mixes["hurricane"][2] > 70
+
+    def test_sim1_constant_plus_one_sided(self, mixes):
+        p = mixes["sim1"]
+        assert p[0] + p[1] + p[2] > 60
+
+    def test_sim2_pipeline1_heavy(self, mixes):
+        assert mixes["sim2"][0] > 50
+
+
+class TestRatioOrdering:
+    def test_sim2_and_nyx_compress_best(self):
+        """Paper Table III: Sim-2 and NYX carry the highest ratios."""
+        comp = FZLight()
+        ratios = {}
+        for name in dataset_names():
+            field = generate_field(name, 0, scale=SCALE, seed=3)
+            ratios[name] = comp.compress(field, rel_eb=1e-3).compression_ratio
+        assert ratios["sim2"] > ratios["cesm"]
+        assert ratios["sim2"] > ratios["hurricane"]
+        assert ratios["nyx"] > ratios["cesm"]
+
+    def test_ratio_decreases_with_tighter_bound(self):
+        comp = FZLight()
+        field = generate_field("sim1", 0, scale=SCALE, seed=3)
+        r = [
+            comp.compress(field, rel_eb=rel).compression_ratio
+            for rel in (1e-1, 1e-2, 1e-3, 1e-4)
+        ]
+        assert r == sorted(r, reverse=True)
+
+
+class TestSnapshotSeries:
+    def test_series_length_and_shapes(self):
+        from repro.datasets import snapshot_series
+
+        series = snapshot_series("sim1", 4, scale=SCALE, seed=3)
+        assert len(series) == 4
+        assert all(s.shape == series[0].shape for s in series)
+
+    def test_series_members_distinct(self):
+        from repro.datasets import snapshot_series
+
+        series = snapshot_series("hurricane", 3, scale=SCALE, seed=3)
+        assert not np.array_equal(series[0], series[1])
+        assert not np.array_equal(series[1], series[2])
+
+    def test_series_rejects_zero(self):
+        from repro.datasets import snapshot_series
+
+        with pytest.raises(ValueError):
+            snapshot_series("nyx", 0, scale=SCALE)

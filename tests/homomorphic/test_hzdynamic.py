@@ -1,0 +1,303 @@
+"""Unit + property tests for the hZ-dynamic homomorphic engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.common import dequantize, quantize
+from repro.compression.fzlight import FZLight
+from repro.homomorphic.hzdynamic import HZDynamic, PipelineStats, homomorphic_sum
+
+
+def exact_sum(x, y, eb):
+    """Ground truth: dequantised sum of the two operands' codes."""
+    return dequantize(
+        quantize(x, eb).astype(np.int64) + quantize(y, eb).astype(np.int64), eb
+    )
+
+
+class TestAddExactness:
+    @pytest.mark.parametrize("n", [1, 32, 33, 1000, 50_011])
+    def test_matches_integer_oracle(self, compressor, engine, rng, n):
+        x = np.cumsum(rng.normal(0, 0.1, n)).astype(np.float32)
+        y = np.cumsum(rng.normal(0, 0.1, n)).astype(np.float32)
+        eb = 1e-3
+        csum = engine.add(compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb))
+        np.testing.assert_array_equal(compressor.decompress(csum), exact_sum(x, y, eb))
+
+    def test_no_additional_error(self, compressor, engine, smooth_data):
+        """§III-B4: the homomorphic sum is within 2·eb of the float sum —
+        only the original per-operand quantisation error, nothing extra."""
+        eb = 1e-4
+        x, y = smooth_data, smooth_data[::-1].copy()
+        csum = engine.add(
+            compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb)
+        )
+        err = np.abs(
+            compressor.decompress(csum).astype(np.float64)
+            - (x.astype(np.float64) + y.astype(np.float64))
+        ).max()
+        assert err <= 2 * eb * 1.001
+
+    def test_commutative(self, compressor, engine, rough_data):
+        eb = 1e-3
+        ca = compressor.compress(rough_data, abs_eb=eb)
+        cb = compressor.compress(rough_data[::-1].copy(), abs_eb=eb)
+        ab = engine.add(ca, cb)
+        ba = engine.add(cb, ca)
+        assert ab.to_bytes() == ba.to_bytes()
+
+    def test_associative(self, compressor, engine, rng):
+        eb = 1e-3
+        fields = [
+            compressor.compress(
+                np.cumsum(rng.normal(0, 0.1, 5000)).astype(np.float32), abs_eb=eb
+            )
+            for _ in range(3)
+        ]
+        left = engine.add(engine.add(fields[0], fields[1]), fields[2])
+        right = engine.add(fields[0], engine.add(fields[1], fields[2]))
+        assert left.to_bytes() == right.to_bytes()
+
+    def test_zero_identity(self, compressor, engine, smooth_data):
+        eb = 1e-4
+        cx = compressor.compress(smooth_data, abs_eb=eb)
+        zero = compressor.compress(np.zeros_like(smooth_data), abs_eb=eb)
+        total = engine.add(cx, zero)
+        np.testing.assert_array_equal(
+            compressor.decompress(total), compressor.decompress(cx)
+        )
+
+    def test_output_is_valid_field(self, compressor, engine, smooth_data):
+        eb = 1e-4
+        cx = compressor.compress(smooth_data, abs_eb=eb)
+        out = engine.add(cx, cx)
+        out.validate()
+
+    def test_serialised_output_roundtrips(self, compressor, engine, smooth_data):
+        from repro.compression.format import from_bytes
+
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        out = engine.add(cx, cx)
+        again = from_bytes(out.to_bytes())
+        np.testing.assert_array_equal(
+            compressor.decompress(again), compressor.decompress(out)
+        )
+
+
+class TestIncompatibleOperands:
+    def test_different_length(self, compressor, engine):
+        a = compressor.compress(np.ones(100, dtype=np.float32), abs_eb=1e-4)
+        b = compressor.compress(np.ones(101, dtype=np.float32), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            engine.add(a, b)
+
+    def test_different_eb(self, compressor, engine):
+        data = np.ones(100, dtype=np.float32)
+        a = compressor.compress(data, abs_eb=1e-4)
+        b = compressor.compress(data, abs_eb=1e-3)
+        with pytest.raises(ValueError, match="compatible"):
+            engine.add(a, b)
+
+    def test_different_geometry(self, engine):
+        data = np.sin(np.arange(500, dtype=np.float32))
+        a = FZLight(n_threadblocks=2).compress(data, abs_eb=1e-4)
+        b = FZLight(n_threadblocks=3).compress(data, abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            engine.add(a, b)
+
+
+class TestPipelineSelection:
+    def test_both_constant_pipeline1(self, compressor, engine):
+        zero = np.zeros(10_000, dtype=np.float32)
+        cz = compressor.compress(zero, abs_eb=1e-4)
+        engine.reset_stats()
+        engine.add(cz, cz)
+        assert engine.stats.counts[0] == engine.stats.total
+        assert engine.stats.total > 0
+
+    def test_one_sided_pipeline2(self, compressor, engine, rough_data):
+        zero = np.zeros_like(rough_data)
+        cz = compressor.compress(zero, abs_eb=1e-3)
+        cr = compressor.compress(rough_data, abs_eb=1e-3)
+        engine.reset_stats()
+        engine.add(cz, cr)  # first constant, second not → pipeline 2
+        pct = engine.stats.percentages
+        assert pct[1] > 90
+
+    def test_one_sided_pipeline3(self, compressor, engine, rough_data):
+        zero = np.zeros_like(rough_data)
+        cz = compressor.compress(zero, abs_eb=1e-3)
+        cr = compressor.compress(rough_data, abs_eb=1e-3)
+        engine.reset_stats()
+        engine.add(cr, cz)
+        pct = engine.stats.percentages
+        assert pct[2] > 90
+
+    def test_both_rough_pipeline4(self, compressor, engine, rough_data):
+        cr = compressor.compress(rough_data, abs_eb=1e-3)
+        engine.reset_stats()
+        engine.add(cr, cr)
+        pct = engine.stats.percentages
+        assert pct[3] > 90
+
+    def test_stats_accumulate_across_calls(self, compressor, engine, rough_data):
+        cr = compressor.compress(rough_data, abs_eb=1e-3)
+        engine.reset_stats()
+        engine.add(cr, cr)
+        one = engine.stats.total
+        engine.add(cr, cr)
+        assert engine.stats.total == 2 * one
+
+    def test_stats_disabled(self, compressor, rough_data):
+        eng = HZDynamic(collect_stats=False)
+        cr = compressor.compress(rough_data, abs_eb=1e-3)
+        eng.add(cr, cr)
+        assert eng.stats.total == 0
+
+    def test_percentages_sum_to_100(self, compressor, engine, sparse_data, rough_data):
+        engine.reset_stats()
+        cs = compressor.compress(sparse_data, abs_eb=1e-3)
+        cr = compressor.compress(rough_data[: sparse_data.size].repeat(2)[: sparse_data.size], abs_eb=1e-3)
+        # force same geometry by compressing same-length data
+        engine.add(cs, compressor.compress(np.zeros_like(sparse_data), abs_eb=1e-3))
+        assert engine.stats.percentages.sum() == pytest.approx(100.0)
+
+
+class TestLinearExtensions:
+    def test_scale_by_two(self, compressor, engine, smooth_data):
+        eb = 1e-4
+        cx = compressor.compress(smooth_data, abs_eb=eb)
+        doubled = engine.scale(cx, 2)
+        np.testing.assert_array_equal(
+            compressor.decompress(doubled),
+            dequantize(quantize(smooth_data, eb).astype(np.int64) * 2, eb),
+        )
+
+    def test_scale_by_one_is_copy(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        out = engine.scale(cx, 1)
+        assert out.to_bytes() == cx.to_bytes()
+
+    def test_scale_by_zero(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        out = engine.scale(cx, 0)
+        assert (compressor.decompress(out) == 0).all()
+
+    def test_scale_rejects_fractional(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        with pytest.raises(ValueError, match="integer"):
+            engine.scale(cx, 0.5)
+
+    def test_subtract_self_is_zero(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        diff = engine.subtract(cx, cx)
+        assert (compressor.decompress(diff) == 0).all()
+
+    def test_subtract_matches_oracle(self, compressor, engine, rng):
+        eb = 1e-3
+        x = rng.normal(0, 1, 3000).astype(np.float32)
+        y = rng.normal(0, 1, 3000).astype(np.float32)
+        diff = engine.subtract(
+            compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb)
+        )
+        oracle = dequantize(
+            quantize(x, eb).astype(np.int64) - quantize(y, eb).astype(np.int64), eb
+        )
+        np.testing.assert_array_equal(compressor.decompress(diff), oracle)
+
+
+class TestReduce:
+    def test_reduce_many(self, compressor, engine, rng):
+        eb = 1e-3
+        arrays_ = [rng.normal(0, 1, 2000).astype(np.float32) for _ in range(6)]
+        fields = [compressor.compress(a, abs_eb=eb) for a in arrays_]
+        total = engine.reduce(fields)
+        oracle = dequantize(
+            sum(quantize(a, eb).astype(np.int64) for a in arrays_), eb
+        )
+        np.testing.assert_array_equal(compressor.decompress(total), oracle)
+
+    def test_reduce_single(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        assert engine.reduce([cx]) is cx
+
+    def test_reduce_empty_raises(self, engine):
+        with pytest.raises(ValueError, match="at least one"):
+            engine.reduce([])
+
+
+class TestModuleHelpers:
+    def test_homomorphic_sum(self, compressor, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        out = homomorphic_sum(cx, cx)
+        np.testing.assert_array_equal(
+            compressor.decompress(out),
+            dequantize(quantize(smooth_data, 1e-4).astype(np.int64) * 2, 1e-4),
+        )
+
+    def test_pipeline_stats_empty(self):
+        stats = PipelineStats()
+        assert stats.total == 0
+        assert (stats.percentages == 0).all()
+
+    def test_pipeline_stats_merge(self):
+        a, b = PipelineStats(), PipelineStats()
+        a.counts[0] = 3
+        b.counts[3] = 1
+        a.merge(b)
+        assert a.counts[0] == 3 and a.counts[3] == 1
+
+
+class TestProperties:
+    @given(
+        x=arrays(np.float32, st.integers(1, 800), elements=st.floats(-50, 50, width=32)),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_add_matches_integer_oracle_property(self, x, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(0, 10, x.size).astype(np.float32)
+        eb = 1e-2
+        comp = FZLight(n_threadblocks=4)
+        engine = HZDynamic()
+        out = engine.add(comp.compress(x, abs_eb=eb), comp.compress(y, abs_eb=eb))
+        np.testing.assert_array_equal(comp.decompress(out), exact_sum(x, y, eb))
+
+
+class TestReduceSchedules:
+    def test_tree_matches_sequential_bytes(self, compressor, engine, rng):
+        eb = 1e-3
+        fields = [
+            compressor.compress(rng.normal(0, 1, 3000).astype(np.float32), abs_eb=eb)
+            for _ in range(7)  # odd count exercises the carry leg
+        ]
+        seq = engine.reduce(list(fields), order="sequential")
+        tree = engine.reduce(list(fields), order="tree")
+        assert seq.to_bytes() == tree.to_bytes()
+
+    def test_tree_single_field(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        assert engine.reduce([cx], order="tree") is cx
+
+    def test_unknown_order(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        with pytest.raises(ValueError, match="order"):
+            engine.reduce([cx, cx], order="butterfly")
+
+    @given(n=st.integers(2, 9))
+    @settings(max_examples=10, deadline=None)
+    def test_schedule_equivalence_property(self, n):
+        rng = np.random.default_rng(n)
+        comp = FZLight(n_threadblocks=3)
+        engine = HZDynamic(collect_stats=False)
+        fields = [
+            comp.compress(rng.normal(0, 1, 500).astype(np.float32), abs_eb=1e-2)
+            for _ in range(n)
+        ]
+        assert (
+            engine.reduce(list(fields), order="sequential").to_bytes()
+            == engine.reduce(list(fields), order="tree").to_bytes()
+        )

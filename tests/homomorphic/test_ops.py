@@ -1,0 +1,128 @@
+"""Tests for the higher-level homomorphic operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.common import dequantize, quantize
+from repro.compression.fzlight import FZLight
+from repro.homomorphic import (
+    difference_energy,
+    linear_combination,
+    mean_of,
+    supported_ops,
+)
+
+EB = 1e-3
+
+
+@pytest.fixture()
+def fields(rng, compressor):
+    data = [rng.normal(0, 1, 4003).astype(np.float32) for _ in range(4)]
+    return data, [compressor.compress(x, abs_eb=EB) for x in data]
+
+
+class TestLinearCombination:
+    def test_matches_integer_oracle(self, fields, compressor):
+        data, cf = fields
+        weights = [1, -2, 3, 5]
+        out = compressor.decompress(linear_combination(cf, weights))
+        oracle = dequantize(
+            sum(w * quantize(x, EB).astype(np.int64) for w, x in zip(weights, data)),
+            EB,
+        )
+        np.testing.assert_array_equal(out, oracle)
+
+    def test_zero_weights(self, fields, compressor):
+        _, cf = fields
+        out = compressor.decompress(linear_combination(cf, [0, 0, 0, 0]))
+        assert (out == 0).all()
+
+    def test_length_mismatch(self, fields):
+        _, cf = fields
+        with pytest.raises(ValueError, match="same length"):
+            linear_combination(cf, [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            linear_combination([], [])
+
+    @given(weights=st.lists(st.integers(-5, 5), min_size=3, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_property(self, weights):
+        rng = np.random.default_rng(11)
+        comp = FZLight(n_threadblocks=3)
+        data = [rng.normal(0, 1, 600).astype(np.float32) for _ in range(3)]
+        cf = [comp.compress(x, abs_eb=EB) for x in data]
+        out = comp.decompress(linear_combination(cf, weights))
+        oracle = dequantize(
+            sum(w * quantize(x, EB).astype(np.int64) for w, x in zip(weights, data)),
+            EB,
+        )
+        np.testing.assert_array_equal(out, oracle)
+
+
+class TestMean:
+    def test_exact_mean(self, fields):
+        data, cf = fields
+        mean = mean_of(cf)
+        oracle = dequantize(
+            sum(quantize(x, EB).astype(np.int64) for x in data), EB / len(data)
+        )
+        np.testing.assert_array_equal(mean, oracle)
+
+    def test_close_to_float_mean(self, fields):
+        data, cf = fields
+        mean = mean_of(cf)
+        float_mean = np.mean(np.stack(data).astype(np.float64), axis=0)
+        # each input contributes ≤ eb, the mean divides by N ⇒ ≤ eb total
+        assert np.abs(mean - float_mean).max() <= EB * 1.001
+
+    def test_single_field(self, fields, compressor):
+        data, cf = fields
+        np.testing.assert_array_equal(
+            mean_of([cf[0]]), compressor.decompress(cf[0])
+        )
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_of([])
+
+
+class TestDifferenceEnergy:
+    def test_zero_for_identical(self, fields):
+        _, cf = fields
+        assert difference_energy(cf[0], cf[0]) == 0.0
+
+    def test_matches_decompressed_norm(self, fields, compressor):
+        _, cf = fields
+        energy = difference_energy(cf[0], cf[1])
+        a = compressor.decompress(cf[0]).astype(np.float64)
+        b = compressor.decompress(cf[1]).astype(np.float64)
+        assert energy == pytest.approx(float(np.sum((a - b) ** 2)), rel=1e-5)
+
+    def test_symmetric(self, fields):
+        _, cf = fields
+        assert difference_energy(cf[0], cf[1]) == pytest.approx(
+            difference_energy(cf[1], cf[0])
+        )
+
+
+class TestSupportedOps:
+    def test_linear_supported_nonlinear_not(self):
+        ops = supported_ops()
+        assert ops["sum"] is True
+        assert ops["min"] is False
+        assert ops["max"] is False
+        assert ops["prod"] is False
+
+
+class TestNDGuard:
+    def test_mean_of_rejects_nd_streams(self):
+        from repro.compression import FZLightND
+
+        vol = np.ones((8, 8, 8), dtype=np.float32)
+        field = FZLightND().compress(vol, abs_eb=1e-3)
+        with pytest.raises(ValueError, match="1-D"):
+            mean_of([field, field])

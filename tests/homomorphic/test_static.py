@@ -1,0 +1,62 @@
+"""Tests for the static homomorphic baseline (ablation reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.compression.fzlight import FZLight
+from repro.homomorphic import HZDynamic, StaticHomomorphic
+
+
+class TestStaticEqualsDynamic:
+    """The two pipelines must produce byte-identical compressed sums —
+    the dynamic engine is purely a *performance* optimisation."""
+
+    @pytest.mark.parametrize("kind", ["smooth", "rough", "sparse", "zeros"])
+    def test_byte_identical(self, compressor, kind, rng):
+        n = 20_011
+        makers = {
+            "smooth": lambda: np.cumsum(rng.normal(0, 0.01, n)).astype(np.float32),
+            "rough": lambda: rng.normal(0, 1, n).astype(np.float32),
+            "sparse": lambda: np.where(
+                np.arange(n) % 700 < 30, rng.normal(0, 1, n), 0.0
+            ).astype(np.float32),
+            "zeros": lambda: np.zeros(n, dtype=np.float32),
+        }
+        x, y = makers[kind](), makers[kind]()
+        eb = 1e-3
+        cx, cy = compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb)
+        dyn = HZDynamic().add(cx, cy)
+        sta = StaticHomomorphic().add(cx, cy)
+        assert dyn.to_bytes() == sta.to_bytes()
+
+    def test_reduce_matches(self, compressor, rng):
+        fields = [
+            compressor.compress(rng.normal(0, 1, 4000).astype(np.float32), abs_eb=1e-3)
+            for _ in range(4)
+        ]
+        dyn = HZDynamic().reduce(list(fields))
+        sta = StaticHomomorphic().reduce(list(fields))
+        assert dyn.to_bytes() == sta.to_bytes()
+
+    def test_incompatible_raises(self, compressor):
+        a = compressor.compress(np.ones(10, dtype=np.float32), abs_eb=1e-4)
+        b = compressor.compress(np.ones(11, dtype=np.float32), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            StaticHomomorphic().add(a, b)
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            StaticHomomorphic().reduce([])
+
+    @given(
+        x=arrays(np.float32, st.integers(1, 400), elements=st.floats(-20, 20, width=32))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, x):
+        comp = FZLight(n_threadblocks=3)
+        cx = comp.compress(x, abs_eb=1e-2)
+        cy = comp.compress((x * 0.5).astype(np.float32), abs_eb=1e-2)
+        assert HZDynamic().add(cx, cy).to_bytes() == StaticHomomorphic().add(cx, cy).to_bytes()

@@ -1,0 +1,134 @@
+"""End-to-end integration tests: datasets → compression → collectives.
+
+These runs chain the whole system the way the benchmark harness does,
+at test-friendly scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HZCCL
+from repro.collectives import split_blocks
+from repro.compression import FZLight, OmpSZp, check_error_bound, evaluate_quality
+from repro.core.config import CollectiveConfig
+from repro.datasets import dataset_names, generate_field, generate_pair
+from repro.homomorphic import HZDynamic
+from repro.runtime.cluster import SimCluster
+from repro.runtime.topology import Ring
+
+SCALE = 0.005
+
+
+class TestCompressionOnAllDatasets:
+    @pytest.mark.parametrize("name", dataset_names())
+    @pytest.mark.parametrize("rel", [1e-2, 1e-4])
+    def test_both_compressors_bound_error(self, name, rel):
+        data = generate_field(name, 0, scale=SCALE, seed=7).ravel()
+        for comp in (FZLight(), OmpSZp()):
+            from repro.compression.common import resolve_error_bound
+
+            eb = resolve_error_bound(data, rel_eb=rel)
+            field = comp.compress(data, abs_eb=eb)
+            out = comp.decompress(field)
+            assert check_error_bound(data, out, eb), (name, type(comp).__name__)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_quality_report_consistent(self, name):
+        data = generate_field(name, 0, scale=SCALE, seed=7).ravel()
+        comp = FZLight()
+        field = comp.compress(data, rel_eb=1e-3)
+        report = evaluate_quality(data, comp.decompress(field), field.nbytes)
+        assert report.compression_ratio == pytest.approx(field.compression_ratio)
+        assert report.max_rel_error <= 1.1e-3
+        assert report.nrmse <= report.max_rel_error
+
+
+class TestHomomorphicOnAllDatasets:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_reduce_two_fields(self, name):
+        a, b = generate_pair(name, scale=SCALE, seed=7)
+        a, b = a.ravel(), b.ravel()
+        comp = FZLight()
+        from repro.compression.common import dequantize, quantize, resolve_error_bound
+
+        eb = resolve_error_bound(a, rel_eb=1e-3)
+        csum = HZDynamic().add(comp.compress(a, abs_eb=eb), comp.compress(b, abs_eb=eb))
+        oracle = dequantize(
+            quantize(a, eb).astype(np.int64) + quantize(b, eb).astype(np.int64), eb
+        )
+        np.testing.assert_array_equal(comp.decompress(csum), oracle)
+
+
+class TestCollectivePipelines:
+    @pytest.fixture()
+    def lib(self, fast_network):
+        return HZCCL(CollectiveConfig(error_bound=1e-4, network=fast_network))
+
+    def test_allreduce_on_seismic_snapshots(self, lib):
+        local = [
+            generate_field("sim1", i, scale=SCALE, seed=7).ravel() for i in range(4)
+        ]
+        res = lib.allreduce(local)
+        exact = np.sum(np.stack(local).astype(np.float64), axis=0)
+        assert np.abs(res.outputs[0].astype(np.float64) - exact).max() <= 4 * 1e-4 * 1.01
+
+    def test_reduce_scatter_on_climate_fields(self, lib):
+        local = [
+            generate_field("cesm", i, scale=SCALE, seed=7).ravel() for i in range(3)
+        ]
+        res = lib.reduce_scatter(local)
+        exact = np.sum(np.stack(local).astype(np.float64), axis=0)
+        ring = Ring(3)
+        blocks = split_blocks(exact, 3)
+        for i in range(3):
+            err = np.abs(
+                res.outputs[i].astype(np.float64) - blocks[ring.owned_block(i)]
+            ).max()
+            assert err <= 3 * 1e-4 * 1.01
+
+    def test_kernels_agree_within_bounds(self, lib, rng):
+        local = [rng.normal(0, 1, 8000).astype(np.float32) for _ in range(4)]
+        hz = lib.allreduce(local, kernel="hzccl").outputs[0]
+        cc = lib.allreduce(local, kernel="ccoll").outputs[0]
+        mpi = lib.allreduce(local, kernel="mpi").outputs[0]
+        assert np.abs(hz - mpi).max() <= 5 * 1e-4
+        assert np.abs(cc - mpi).max() <= 10 * 1e-4
+
+
+class TestWireTransportSimulation:
+    def test_collective_over_serialised_stream(self, fast_network):
+        """Round-trip a compressed block through the byte stream mid-
+        collective, as real network transport would."""
+        from repro.compression.format import from_bytes
+
+        comp = FZLight(n_threadblocks=18)
+        rng = np.random.default_rng(3)
+        x = np.cumsum(rng.normal(0, 0.1, 20_000)).astype(np.float32)
+        y = np.cumsum(rng.normal(0, 0.1, 20_000)).astype(np.float32)
+        cx = comp.compress(x, abs_eb=1e-4)
+        cy = comp.compress(y, abs_eb=1e-4)
+        # serialise → bytes "on the wire" → parse → homomorphic add
+        cy_wire = from_bytes(cy.to_bytes())
+        direct = HZDynamic().add(cx, cy)
+        via_wire = HZDynamic().add(cx, cy_wire)
+        assert direct.to_bytes() == via_wire.to_bytes()
+
+
+class TestScalingBehaviour:
+    def test_more_ranks_more_rounds_more_time(self, fast_network, rng):
+        config = CollectiveConfig(error_bound=1e-4, network=fast_network)
+        times = []
+        for n in (2, 4, 8):
+            local = [rng.normal(0, 1, 4096).astype(np.float32) for _ in range(n)]
+            lib = HZCCL(config)
+            times.append(lib.allreduce(local).total_time)
+        assert times[0] < times[-1]
+
+    def test_pipeline_stats_flow_through_allreduce(self, fast_network, rng):
+        config = CollectiveConfig(error_bound=1e-4, network=fast_network)
+        lib = HZCCL(config)
+        local = [np.zeros(4096, dtype=np.float32) for _ in range(4)]
+        res = lib.allreduce(local)
+        assert res.pipeline_stats is not None
+        # all-zero data ⇒ every homomorphic block hits pipeline 1
+        assert res.pipeline_stats.percentages[0] == pytest.approx(100.0)

@@ -1,0 +1,66 @@
+"""Unit tests for virtual clocks and breakdown reports."""
+
+import pytest
+
+from repro.runtime.clock import BUCKETS, Breakdown, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.total == 0.0
+        assert set(clock.buckets) == set(BUCKETS)
+
+    def test_charge_accumulates(self):
+        clock = VirtualClock()
+        clock.charge("CPR", 0.5)
+        clock.charge("CPR", 0.25)
+        assert clock.buckets["CPR"] == 0.75
+        assert clock.total == 0.75
+
+    def test_unknown_bucket(self):
+        with pytest.raises(KeyError, match="bucket"):
+            VirtualClock().charge("XYZ", 1.0)
+
+    def test_negative_charge(self):
+        with pytest.raises(ValueError):
+            VirtualClock().charge("MPI", -1.0)
+
+    def test_copy_is_independent(self):
+        clock = VirtualClock()
+        clock.charge("DPR", 1.0)
+        other = clock.copy()
+        other.charge("DPR", 1.0)
+        assert clock.buckets["DPR"] == 1.0
+
+
+class TestBreakdown:
+    def test_from_clocks_averages(self):
+        a, b = VirtualClock(), VirtualClock()
+        a.charge("CPR", 2.0)
+        b.charge("CPR", 4.0)
+        bd = Breakdown.from_clocks([a, b], total_time=5.0)
+        assert bd.buckets["CPR"] == 3.0
+        assert bd.total_time == 5.0
+
+    def test_percentages(self):
+        clock = VirtualClock()
+        clock.charge("MPI", 3.0)
+        clock.charge("CPR", 1.0)
+        bd = Breakdown.from_clocks([clock], total_time=4.0)
+        pct = bd.percentages()
+        assert pct["MPI"] == pytest.approx(75.0)
+        assert pct["CPR"] == pytest.approx(25.0)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_percentages_empty(self):
+        pct = Breakdown().percentages()
+        assert all(v == 0.0 for v in pct.values())
+
+    def test_doc_time_includes_hpr(self):
+        clock = VirtualClock()
+        for bucket, value in [("CPR", 1.0), ("DPR", 2.0), ("CPT", 3.0), ("HPR", 4.0), ("MPI", 100.0)]:
+            clock.charge(bucket, value)
+        bd = Breakdown.from_clocks([clock], total_time=110.0)
+        assert bd.doc_time == 10.0
+        assert bd.mpi_time == 100.0

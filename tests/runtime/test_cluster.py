@@ -1,0 +1,93 @@
+"""Unit tests for the SPMD cluster simulator."""
+
+import time
+
+import pytest
+
+from repro.runtime.cluster import SimCluster, measured
+from repro.runtime.network import NetworkModel
+
+
+@pytest.fixture()
+def cluster(fast_network):
+    return SimCluster(n_ranks=4, network=fast_network)
+
+
+class TestCharging:
+    def test_compute_charge_lands_in_bucket(self, cluster):
+        cluster.charge_compute(0, "CPR", 0.5)
+        assert cluster.clocks[0].buckets["CPR"] == 0.5
+
+    def test_multithread_scales_compute(self, fast_network):
+        mt = SimCluster(4, network=fast_network, multithread=True, thread_speedup=5.0)
+        mt.charge_compute(0, "DPR", 1.0)
+        assert mt.clocks[0].buckets["DPR"] == pytest.approx(0.2)
+
+    def test_multithread_never_scales_comm(self, fast_network):
+        st = SimCluster(4, network=fast_network)
+        mt = SimCluster(4, network=fast_network, multithread=True)
+        assert st.charge_comm(0, 10**6) == mt.charge_comm(0, 10**6)
+
+    def test_comm_uses_network_model(self, cluster, fast_network):
+        seconds = cluster.charge_comm(1, 10**6)
+        assert seconds == fast_network.transfer_time(10**6, 4)
+        assert cluster.clocks[1].buckets["MPI"] == seconds
+
+    def test_timed_context_measures(self, cluster):
+        with cluster.timed(2, "CPT"):
+            time.sleep(0.01)
+        assert cluster.clocks[2].buckets["CPT"] >= 0.009
+
+
+class TestRounds:
+    def test_round_takes_max_compute_plus_comm(self, cluster, fast_network):
+        cluster.charge_compute(0, "CPR", 0.1)
+        cluster.charge_compute(1, "CPR", 0.4)
+        duration = cluster.end_round(max_message_bytes=10**6)
+        assert duration == pytest.approx(0.4 + fast_network.ring_round_time(10**6, 4))
+        assert cluster.total_time == pytest.approx(duration)
+
+    def test_round_resets_compute_accumulator(self, cluster):
+        cluster.charge_compute(0, "CPR", 0.4)
+        cluster.end_round(0)
+        d2 = cluster.end_round(0)
+        assert d2 == pytest.approx(cluster.network.ring_round_time(0, 4))
+
+    def test_compute_phase_has_no_comm(self, cluster):
+        cluster.charge_compute(3, "CPR", 0.2)
+        assert cluster.end_compute_phase() == pytest.approx(0.2)
+
+    def test_reset(self, cluster):
+        cluster.charge_compute(0, "CPR", 1.0)
+        cluster.end_compute_phase()
+        cluster.reset()
+        assert cluster.total_time == 0.0
+        assert cluster.clocks[0].total == 0.0
+
+
+class TestBreakdown:
+    def test_breakdown_averages_ranks(self, cluster):
+        cluster.charge_compute(0, "HPR", 2.0)
+        cluster.charge_compute(1, "HPR", 4.0)
+        bd = cluster.breakdown()
+        assert bd.buckets["HPR"] == pytest.approx(1.5)  # (2+4+0+0)/4
+
+    def test_breakdown_total_is_critical_path(self, cluster):
+        cluster.charge_compute(0, "CPR", 0.3)
+        cluster.end_round(0)
+        assert cluster.breakdown().total_time == cluster.total_time
+
+
+class TestValidation:
+    def test_rejects_zero_ranks(self, fast_network):
+        with pytest.raises(ValueError):
+            SimCluster(0, network=fast_network)
+
+    def test_rejects_bad_thread_speedup(self, fast_network):
+        with pytest.raises(ValueError):
+            SimCluster(2, network=fast_network, thread_speedup=0)
+
+    def test_measured_helper(self):
+        with measured() as out:
+            time.sleep(0.005)
+        assert out[0] >= 0.004

@@ -1,0 +1,110 @@
+"""Unit tests for the point-to-point communicator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.communicator import Communicator
+from repro.runtime.network import NetworkModel
+
+NET = NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9, congestion_per_log2=0)
+
+
+@pytest.fixture()
+def comm():
+    return Communicator(4, network=NET)
+
+
+class TestSendRecv:
+    def test_payload_roundtrip(self, comm):
+        comm.send(0, 1, {"x": 3}, nbytes=100)
+        assert comm.recv(1, 0) == {"x": 3}
+
+    def test_fifo_per_channel(self, comm):
+        comm.send(0, 1, "first", nbytes=10)
+        comm.send(0, 1, "second", nbytes=10)
+        assert comm.recv(1, 0) == "first"
+        assert comm.recv(1, 0) == "second"
+
+    def test_tags_separate_channels(self, comm):
+        comm.send(0, 1, "a", nbytes=10, tag=1)
+        comm.send(0, 1, "b", nbytes=10, tag=2)
+        assert comm.recv(1, 0, tag=2) == "b"
+        assert comm.recv(1, 0, tag=1) == "a"
+
+    def test_missing_message_is_deadlock(self, comm):
+        with pytest.raises(LookupError, match="deadlock"):
+            comm.recv(2, 3)
+
+    def test_self_send_rejected(self, comm):
+        with pytest.raises(ValueError, match="self-send"):
+            comm.send(1, 1, "x", nbytes=1)
+
+    def test_rank_bounds(self, comm):
+        with pytest.raises(IndexError):
+            comm.send(0, 4, "x", nbytes=1)
+        with pytest.raises(IndexError):
+            comm.recv(4, 0)
+
+    def test_sendrecv_exchange(self, comm):
+        comm.send(1, 0, "from-1", nbytes=8)
+        got = comm.sendrecv(0, dest=1, payload="from-0", nbytes=8, source=1)
+        assert got == "from-1"
+        assert comm.recv(1, 0) == "from-0"
+
+    def test_pending_counts(self, comm):
+        comm.send(0, 2, "x", nbytes=1)
+        comm.send(1, 2, "y", nbytes=1)
+        assert comm.pending(2) == 2
+        comm.recv(2, 0)
+        assert comm.pending(2) == 1
+
+
+class TestVirtualTime:
+    def test_recv_waits_for_arrival(self, comm):
+        comm.advance(0, 1.0)  # sender is ahead
+        comm.send(0, 1, "x", nbytes=10**6)
+        comm.recv(1, 0)
+        assert comm.clocks[1] >= 1.0 + 10**6 / 1e9
+
+    def test_receiver_ahead_keeps_own_clock(self, comm):
+        comm.send(0, 1, "x", nbytes=10)
+        comm.advance(1, 5.0)
+        comm.recv(1, 0)
+        assert comm.clocks[1] == 5.0
+
+    def test_advance_rejects_negative(self, comm):
+        with pytest.raises(ValueError):
+            comm.advance(0, -1.0)
+
+    def test_makespan(self, comm):
+        comm.advance(3, 2.5)
+        assert comm.makespan == 2.5
+
+    def test_bytes_accounting(self, comm):
+        comm.send(0, 1, "x", nbytes=128)
+        comm.send(0, 2, "y", nbytes=64)
+        assert comm.bytes_sent[0] == 192
+
+    def test_causality_chain(self, comm):
+        """0 → 1 → 2: rank 2's clock includes both hops."""
+        comm.send(0, 1, "x", nbytes=10**6)
+        payload = comm.recv(1, 0)
+        comm.send(1, 2, payload, nbytes=10**6)
+        comm.recv(2, 1)
+        assert comm.clocks[2] >= 2 * (10**6 / 1e9)
+
+
+class TestEndpoint:
+    def test_endpoint_view(self, comm):
+        ep0, ep1 = comm.endpoint(0), comm.endpoint(1)
+        assert ep0.size == 4
+        ep0.send(1, "hello", nbytes=5)
+        assert ep1.recv(0) == "hello"
+
+    def test_endpoint_advance(self, comm):
+        comm.endpoint(2).advance(0.25)
+        assert comm.clocks[2] == 0.25
+
+    def test_endpoint_bounds(self, comm):
+        with pytest.raises(IndexError):
+            comm.endpoint(9)

@@ -1,0 +1,72 @@
+"""Tests for the topology-variant network models."""
+
+import pytest
+
+from repro.runtime.fabrics import DragonflyNetwork, FatTreeNetwork, TorusNetwork
+
+
+class TestFatTree:
+    def test_is_base_law(self):
+        from repro.runtime.network import NetworkModel
+
+        fat = FatTreeNetwork(congestion_per_log2=0.5)
+        base = NetworkModel(congestion_per_log2=0.5)
+        for n in (2, 16, 512):
+            assert fat.congestion_factor(n) == base.congestion_factor(n)
+
+
+class TestTorus:
+    def test_no_congestion_at_two(self):
+        assert TorusNetwork().congestion_factor(2) == 1.0
+
+    def test_monotone(self):
+        torus = TorusNetwork()
+        factors = [torus.congestion_factor(n) for n in (2, 8, 64, 512, 4096)]
+        assert factors == sorted(factors)
+
+    def test_dimension_effect(self):
+        """Lower-dimensional tori congest faster (less bisection)."""
+        t1 = TorusNetwork(dimensions=1)
+        t3 = TorusNetwork(dimensions=3)
+        assert t1.congestion_factor(512) > t3.congestion_factor(512)
+
+    def test_polynomial_growth(self):
+        torus = TorusNetwork(dimensions=3)
+        # N^(1/3): factor increments grow with N, unlike a log law
+        inc_small = torus.congestion_factor(16) - torus.congestion_factor(8)
+        inc_large = torus.congestion_factor(1024) - torus.congestion_factor(512)
+        assert inc_large > inc_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TorusNetwork(dimensions=0)
+        with pytest.raises(ValueError):
+            TorusNetwork(torus_coefficient=-1)
+
+    def test_transfer_time_uses_topology(self):
+        torus = TorusNetwork()
+        assert torus.transfer_time(10**7, 512) > torus.transfer_time(10**7, 2)
+
+
+class TestDragonfly:
+    def test_flat_below_saturation(self):
+        fly = DragonflyNetwork(saturation_nodes=128)
+        assert fly.congestion_factor(64) < 1.5
+
+    def test_cliff_at_saturation(self):
+        fly = DragonflyNetwork(saturation_nodes=128, cliff_factor=2.5)
+        below = fly.congestion_factor(128)
+        above = fly.congestion_factor(129)
+        assert above > below * 1.5
+
+    def test_gentle_slope_past_cliff(self):
+        fly = DragonflyNetwork(saturation_nodes=128)
+        assert fly.congestion_factor(512) > fly.congestion_factor(256)
+        # but far less than another cliff
+        assert fly.congestion_factor(512) < fly.congestion_factor(256) * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DragonflyNetwork(saturation_nodes=1)
+        with pytest.raises(ValueError):
+            DragonflyNetwork(cliff_factor=0.5)

@@ -1,0 +1,71 @@
+"""Unit tests for the α–β–congestion network model."""
+
+import pytest
+
+from repro.runtime.network import OMNIPATH_100G, NetworkModel
+
+
+class TestTransferTime:
+    def test_latency_floor(self):
+        net = NetworkModel(latency_s=1e-5, bandwidth_Bps=1e9, min_message_bytes=1)
+        assert net.transfer_time(0) >= 1e-5
+
+    def test_linear_in_bytes(self):
+        net = NetworkModel(latency_s=0.0001, bandwidth_Bps=1e9, congestion_per_log2=0)
+        t1 = net.transfer_time(10**6)
+        t2 = net.transfer_time(2 * 10**6)
+        assert t2 - t1 == pytest.approx(10**6 / 1e9)
+
+    def test_bandwidth_term(self):
+        net = NetworkModel(latency_s=1e-9, bandwidth_Bps=2e9, congestion_per_log2=0)
+        assert net.transfer_time(2 * 10**9) == pytest.approx(1.0, rel=1e-3)
+
+    def test_min_message_floor(self):
+        net = NetworkModel(min_message_bytes=4096)
+        assert net.transfer_time(1) == net.transfer_time(4096)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+
+class TestCongestion:
+    def test_no_congestion_at_two_nodes(self):
+        assert NetworkModel().congestion_factor(2) == 1.0
+
+    def test_grows_with_nodes(self):
+        net = NetworkModel(congestion_per_log2=0.5)
+        factors = [net.congestion_factor(n) for n in (2, 8, 64, 512)]
+        assert factors == sorted(factors)
+        assert factors[-1] > factors[0]
+
+    def test_zero_coefficient_disables(self):
+        net = NetworkModel(congestion_per_log2=0.0)
+        assert net.congestion_factor(512) == 1.0
+
+    def test_affects_transfer_time(self):
+        net = NetworkModel(congestion_per_log2=0.5)
+        assert net.transfer_time(10**7, 64) > net.transfer_time(10**7, 2)
+
+    def test_omnipath_calibration(self):
+        """Effective per-flow bandwidth at 512 ranks lands near 1.4 GB/s."""
+        eff = OMNIPATH_100G.bandwidth_Bps / OMNIPATH_100G.congestion_factor(512)
+        assert 1.0e9 < eff < 2.5e9
+
+    def test_ring_round_equals_transfer(self):
+        net = NetworkModel()
+        assert net.ring_round_time(10**6, 8) == net.transfer_time(10**6, 8)
+
+
+class TestValidation:
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_Bps=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1)
+
+    def test_rejects_negative_congestion(self):
+        with pytest.raises(ValueError):
+            NetworkModel(congestion_per_log2=-0.1)

@@ -1,0 +1,106 @@
+"""Unit + property tests for the ring schedule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.topology import Ring
+
+
+class TestNeighbours:
+    def test_successor_wraps(self):
+        ring = Ring(4)
+        assert ring.successor(3) == 0
+        assert ring.predecessor(0) == 3
+
+    def test_two_ranks(self):
+        ring = Ring(2)
+        assert ring.successor(0) == 1
+        assert ring.predecessor(1) == 0
+
+
+class TestReduceScatterSchedule:
+    def test_send_recv_relationship(self):
+        """What rank i receives in round j is what its predecessor sends."""
+        ring = Ring(5)
+        for j in range(4):
+            for i in range(5):
+                assert ring.recv_block(i, j) == ring.send_block(ring.predecessor(i), j)
+
+    def test_owned_block_reduced_last(self):
+        """The block a rank owns is the one it receives in the final round."""
+        ring = Ring(6)
+        for i in range(6):
+            assert ring.recv_block(i, 5 - 1) == ring.owned_block(i)
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 16])
+    def test_owned_block_accumulates_all_contributions(self, n):
+        """Abstract simulation: after N−1 rounds the owned block's partial
+        carries contributions from every rank."""
+        ring = Ring(n)
+        # partial[i][k] = set of ranks whose data is folded into rank i's
+        # current partial of block k
+        partial = [{k: {i} for k in range(n)} for i in range(n)]
+        for j in range(n - 1):
+            outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
+            for i in range(n):
+                blk = ring.recv_block(i, j)
+                partial[i][blk] = partial[i][blk] | outbox[ring.predecessor(i)]
+        for i in range(n):
+            assert partial[i][ring.owned_block(i)] == set(range(n))
+
+    def test_owned_blocks_are_distinct(self):
+        n = 7
+        ring = Ring(n)
+        assert len({ring.owned_block(i) for i in range(n)}) == n
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(IndexError):
+            Ring(4).send_block(4, 0)
+
+    def test_out_of_range_round(self):
+        with pytest.raises(IndexError):
+            Ring(4).send_block(0, 3)
+
+    def test_single_rank_ring(self):
+        ring = Ring(1)
+        assert ring.owned_block(0) == 0
+
+
+class TestAllgatherSchedule:
+    def test_first_round_sends_owned(self):
+        ring = Ring(5)
+        for i in range(5):
+            assert ring.allgather_send_block(i, 0) == ring.owned_block(i)
+
+    def test_forwards_previous_receipt(self):
+        """In round j > 0, rank i forwards the block it received in j−1."""
+        ring = Ring(5)
+        for j in range(1, 4):
+            for i in range(5):
+                received = ring.allgather_send_block(ring.predecessor(i), j - 1)
+                assert ring.allgather_send_block(i, j) == received
+
+    @given(n=st.integers(2, 64))
+    def test_every_rank_gets_every_block(self, n):
+        ring = Ring(n)
+        for i in range(n):
+            got = {ring.owned_block(i)}
+            for j in range(n - 1):
+                got.add(ring.allgather_send_block(ring.predecessor(i), j))
+            assert got == set(range(n))
+
+
+class TestValidation:
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+    @given(n=st.integers(2, 32), j=st.integers(0, 30))
+    def test_schedule_is_valid_block(self, n, j):
+        ring = Ring(n)
+        if j >= n - 1:
+            return
+        for i in range(n):
+            assert 0 <= ring.send_block(i, j) < n
+            assert 0 <= ring.recv_block(i, j) < n

@@ -1,0 +1,95 @@
+"""Tests for the execution-trace subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import hzccl_allreduce, mpi_reduce_scatter
+from repro.core.config import CollectiveConfig
+from repro.runtime.cluster import SimCluster
+from repro.runtime.network import NetworkModel
+from repro.runtime.trace import TraceLog
+
+NET = NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9, congestion_per_log2=0.1)
+
+
+class TestTraceLog:
+    def test_round_counter(self):
+        log = TraceLog()
+        log.record_compute(0, "CPR", 0.1)
+        log.record_round(0.2)
+        log.record_comm(1, 0.05, 1000)
+        log.record_round(0.1)
+        assert log.n_rounds == 2
+
+    def test_round_summaries(self):
+        log = TraceLog()
+        log.record_compute(0, "CPR", 0.10)
+        log.record_compute(1, "CPR", 0.30)
+        log.record_comm(0, 0.05, 4096)
+        log.record_round(0.35)
+        (summary,) = log.round_summaries()
+        assert summary.max_compute == pytest.approx(0.30)
+        assert summary.comm_time == pytest.approx(0.05)
+        assert summary.bytes_moved == 4096
+        assert summary.compute_bound
+
+    def test_comm_bound_round(self):
+        log = TraceLog()
+        log.record_compute(0, "HPR", 0.01)
+        log.record_comm(0, 0.5, 10**6)
+        log.record_round(0.51)
+        assert not log.round_summaries()[0].compute_bound
+
+    def test_json_roundtrip(self, tmp_path):
+        log = TraceLog()
+        log.record_compute(2, "DPR", 0.25)
+        log.record_comm(2, 0.1, 512)
+        log.record_round(0.35)
+        path = tmp_path / "trace.json"
+        log.to_json(path)
+        again = TraceLog.from_json(path.read_text())
+        assert again.n_rounds == 1
+        assert again.events == log.events
+
+    def test_from_json_rejects_bad_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            TraceLog.from_json('{"schema": 9, "events": []}')
+
+
+class TestClusterIntegration:
+    def test_collective_produces_trace(self, rng):
+        local = [rng.normal(0, 1, 4003).astype(np.float32) for _ in range(4)]
+        cluster = SimCluster(4, network=NET, trace=TraceLog())
+        mpi_reduce_scatter(cluster, local)
+        assert cluster.trace.n_rounds == 3  # N − 1 ring rounds
+        summaries = cluster.trace.round_summaries()
+        assert all(s.bytes_moved > 0 for s in summaries)
+
+    def test_round_durations_sum_to_total(self, rng):
+        local = [rng.normal(0, 1, 4003).astype(np.float32) for _ in range(4)]
+        cluster = SimCluster(4, network=NET, trace=TraceLog())
+        res = mpi_reduce_scatter(cluster, local)
+        total = sum(s.duration for s in cluster.trace.round_summaries())
+        assert total == pytest.approx(res.total_time)
+
+    def test_hzccl_trace_shows_compression_phases(self, rng):
+        local = [
+            np.cumsum(rng.normal(0, 0.05, 8003)).astype(np.float32) for _ in range(4)
+        ]
+        config = CollectiveConfig(error_bound=1e-4, network=NET)
+        cluster = SimCluster(4, network=NET, trace=TraceLog())
+        hzccl_allreduce(cluster, local, config)
+        buckets = {e.bucket for e in cluster.trace.events if e.kind == "compute"}
+        assert {"CPR", "HPR", "DPR"} <= buckets
+
+    def test_bytes_per_round_available(self, rng):
+        local = [rng.normal(0, 1, 4003).astype(np.float32) for _ in range(3)]
+        cluster = SimCluster(3, network=NET, trace=TraceLog())
+        mpi_reduce_scatter(cluster, local)
+        per_round = cluster.trace.bytes_per_round()
+        assert len(per_round) == 2
+
+    def test_no_trace_by_default(self, rng):
+        cluster = SimCluster(3, network=NET)
+        assert cluster.trace is None
+        mpi_reduce_scatter(cluster, [rng.normal(0, 1, 99).astype(np.float32)] * 3)

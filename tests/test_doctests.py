@@ -1,0 +1,32 @@
+"""Run the public-API doctests as part of the suite.
+
+The examples embedded in docstrings are the first thing a user copies;
+they must stay executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.compression.fzlight
+import repro.compression.fzlight2d
+import repro.compression.fzlightnd
+import repro.core.api
+import repro.homomorphic.hzdynamic
+
+MODULES = [
+    repro,
+    repro.compression.fzlight,
+    repro.compression.fzlight2d,
+    repro.compression.fzlightnd,
+    repro.core.api,
+    repro.homomorphic.hzdynamic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"
+    assert result.attempted > 0, f"no doctests collected from {module.__name__}"

@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils.chunking — the paper's partitioning rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.chunking import (
+    iter_threadblocks,
+    num_blocks,
+    pad_to_multiple,
+    threadblock_bounds,
+    threadblock_slices,
+)
+
+
+class TestThreadblockBounds:
+    def test_even_split(self):
+        np.testing.assert_array_equal(threadblock_bounds(12, 4), [0, 3, 6, 9, 12])
+
+    def test_remainder_goes_to_last_thread(self):
+        # Paper: "the last D%N data points are managed by the (N-1)-th thread"
+        bounds = threadblock_bounds(14, 4)
+        np.testing.assert_array_equal(bounds, [0, 3, 6, 9, 14])
+        assert bounds[-1] - bounds[-2] == 3 + 14 % 4
+
+    def test_single_thread(self):
+        np.testing.assert_array_equal(threadblock_bounds(7, 1), [0, 7])
+
+    def test_more_threads_than_data(self):
+        bounds = threadblock_bounds(2, 5)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert (np.diff(bounds) >= 0).all()
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            threadblock_bounds(0, 4)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            threadblock_bounds(10, 0)
+
+    @given(total=st.integers(1, 10_000), n=st.integers(1, 64))
+    def test_partition_property(self, total, n):
+        """Bounds are monotone, start at 0, end at total."""
+        bounds = threadblock_bounds(total, n)
+        assert bounds[0] == 0
+        assert bounds[-1] == total
+        assert (np.diff(bounds) >= 0).all()
+        # first n-1 chunks are exactly total // n long
+        assert all(np.diff(bounds)[:-1] == total // n)
+
+
+class TestSlicesAndIter:
+    def test_slices_cover_everything(self):
+        data = np.arange(17)
+        got = np.concatenate([data[s] for s in threadblock_slices(17, 5)])
+        np.testing.assert_array_equal(got, data)
+
+    def test_iter_yields_views_not_copies(self):
+        data = np.arange(20)
+        for view in iter_threadblocks(data, 3):
+            assert view.base is data
+
+    def test_iter_skips_empty(self):
+        data = np.arange(2)
+        chunks = list(iter_threadblocks(data, 5))
+        assert all(c.size > 0 for c in chunks)
+        assert sum(c.size for c in chunks) == 2
+
+
+class TestNumBlocks:
+    @pytest.mark.parametrize(
+        "length,bs,expected", [(32, 32, 1), (33, 32, 2), (1, 32, 1), (64, 32, 2)]
+    )
+    def test_values(self, length, bs, expected):
+        assert num_blocks(length, bs) == expected
+
+
+class TestPadToMultiple:
+    def test_no_copy_when_aligned(self):
+        data = np.arange(8, dtype=np.float32)
+        assert pad_to_multiple(data, 4) is data
+
+    def test_pads_with_fill(self):
+        out = pad_to_multiple(np.ones(5, dtype=np.float32), 4, fill=7.0)
+        assert out.size == 8
+        np.testing.assert_array_equal(out[5:], [7.0, 7.0, 7.0])
+
+    def test_preserves_dtype(self):
+        out = pad_to_multiple(np.ones(5, dtype=np.int64), 4)
+        assert out.dtype == np.int64
+
+    @given(n=st.integers(1, 500), mult=st.integers(1, 64))
+    def test_result_is_multiple(self, n, mult):
+        out = pad_to_multiple(np.ones(n, dtype=np.float32), mult)
+        assert out.size % mult == 0
+        assert out.size >= n

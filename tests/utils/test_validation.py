@@ -1,0 +1,104 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_float_array,
+    ensure_in,
+    ensure_positive,
+    ensure_positive_int,
+    ensure_power_of_two,
+    ensure_same_shape,
+)
+
+
+class TestEnsureFloatArray:
+    def test_passthrough_float32(self):
+        a = np.ones(4, dtype=np.float32)
+        out = ensure_float_array(a)
+        assert out.dtype == np.float32
+        assert out.shape == (4,)
+
+    def test_converts_float64(self):
+        out = ensure_float_array(np.ones(4, dtype=np.float64))
+        assert out.dtype == np.float32
+
+    def test_converts_int(self):
+        out = ensure_float_array(np.arange(5))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, np.arange(5, dtype=np.float32))
+
+    def test_flattens_c_order(self):
+        a = np.arange(6, dtype=np.float32).reshape(2, 3)
+        np.testing.assert_array_equal(ensure_float_array(a), np.arange(6))
+
+    def test_accepts_list(self):
+        out = ensure_float_array([1.0, 2.0, 3.0])
+        assert out.shape == (3,)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="numeric"):
+            ensure_float_array(np.array(["a", "b"]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ensure_float_array(np.array([], dtype=np.float32))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ensure_float_array(np.array([1.0, np.nan], dtype=np.float32))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            ensure_float_array(np.array([np.inf], dtype=np.float32))
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="payload"):
+            ensure_float_array(np.array([np.nan]), name="payload")
+
+
+class TestScalarValidators:
+    def test_positive_ok(self):
+        assert ensure_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_positive(bad, "x")
+
+    def test_positive_int_ok(self):
+        assert ensure_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -2, 2.5])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ensure_positive_int(bad, "n")
+
+    def test_positive_int_accepts_integral_float(self):
+        assert ensure_positive_int(4.0, "n") == 4
+
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+    def test_power_of_two_ok(self, value):
+        assert ensure_power_of_two(value, "p") == value
+
+    @pytest.mark.parametrize("bad", [3, 6, 12, 100])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ValueError, match="power of two"):
+            ensure_power_of_two(bad, "p")
+
+    def test_ensure_in_ok(self):
+        assert ensure_in("b", ("a", "b"), "opt") == "b"
+
+    def test_ensure_in_rejects(self):
+        with pytest.raises(ValueError, match="opt"):
+            ensure_in("z", ("a", "b"), "opt")
+
+
+class TestEnsureSameShape:
+    def test_ok(self):
+        ensure_same_shape(np.zeros(3), np.ones(3))
+
+    def test_rejects(self):
+        with pytest.raises(ValueError, match="shape"):
+            ensure_same_shape(np.zeros(3), np.zeros(4))
