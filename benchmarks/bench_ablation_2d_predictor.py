@@ -13,7 +13,6 @@ bit-exact against the integer oracle.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps.image_stacking import make_scene
 from repro.bench.tables import format_table

@@ -11,7 +11,6 @@ isolates the access-pattern cost with everything else held constant:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.bench.timing import best_of

@@ -14,7 +14,6 @@ DESIGN.md design decision 1.  Two sweeps:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.compression import FZLight, check_error_bound, resolve_error_bound

@@ -12,7 +12,6 @@ Outputs are asserted byte-identical: the heuristic is pure performance.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.bench.timing import best_of

@@ -12,7 +12,6 @@ fabric congests — strongest on the torus, cliff-shaped on the dragonfly.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.cost_model import (

@@ -14,7 +14,6 @@ the MPI share rises.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import format_table
 from repro.collectives import ccoll_allreduce

@@ -20,7 +20,6 @@ EXPERIMENTS.md §Fig. 7 for the analysis.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import format_table
 from repro.collectives import ccoll_reduce_scatter, hzccl_reduce_scatter

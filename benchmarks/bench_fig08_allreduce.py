@@ -14,7 +14,6 @@ Allreduce must charge strictly less DPR+CPR than an unfused composition.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import format_table
 from repro.collectives import (

@@ -11,7 +11,6 @@ shape assertions) and this machine's measured rates (reported).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.cost_model import (

@@ -12,7 +12,6 @@ axis; all three shape features are asserted.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.cost_model import (

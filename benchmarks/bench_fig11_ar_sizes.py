@@ -6,7 +6,6 @@ growing with the data size, and beats C-Coll everywhere.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.cost_model import (

@@ -8,7 +8,6 @@ Allreduce output size does not shrink with the node count — still 1.88× /
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.cost_model import (

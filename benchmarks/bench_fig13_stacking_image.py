@@ -14,7 +14,6 @@ from __future__ import annotations
 import os
 
 import numpy as np
-import pytest
 
 from repro.apps.image_stacking import make_exposures, stack_images
 from repro.bench.tables import format_table

@@ -1,0 +1,115 @@
+"""Fused k-way homomorphic reduction vs. sequential pairwise fold.
+
+The fused kernel (``HZDynamic.reduce_fused``) classifies blocks once
+across all ``k`` operands, copies single-contributor blocks verbatim, and
+for genuinely shared blocks decodes each operand's deltas exactly once
+into one int64 accumulator before a single re-encode: ``k`` decodes + 1
+encode, versus the pairwise fold's ``(k−1)·(2 decodes + 1 encode)``.  The
+advantage therefore grows with both the fan-in ``k`` and the fraction of
+blocks that actually accumulate.
+
+Operands are synthetic: each block of each operand is "active" (noisy,
+well above the error bound) with probability ``p`` and constant-zero
+otherwise, so ``p`` directly controls the block-zero density and which
+engine strategy (sparse gather vs. dense full-stream) engages:
+
+* ``sparse`` (p = 0.05) — most blocks constant or single-owner copies;
+* ``mixed``  (p = 0.50) — balanced pipeline mix;
+* ``dense``  (p = 1.00) — every block accumulates; the fused kernel takes
+  its dense full-stream path (accumulate fraction > ``DENSE_THRESHOLD``).
+
+Both schedules must produce byte-identical streams — the homomorphism is
+exact in the integer domain and the encoder is deterministic — so each
+cell of the table is also a correctness check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of, throughput_gbps
+from repro.compression import FZLight
+from repro.homomorphic import HZDynamic
+
+N_ELEMENTS = 400_000
+BLOCK_SIZE = 32
+ABS_EB = 1e-3
+K_VALUES = (2, 4, 8, 16)
+DENSITIES = (("sparse", 0.05), ("mixed", 0.50), ("dense", 1.00))
+SEED = 20240624
+
+
+def make_operands(k: int, p_active: float, rng: np.random.Generator):
+    """``k`` compressed fields whose blocks are active with probability p."""
+    comp = FZLight(block_size=BLOCK_SIZE)
+    n_blocks = (N_ELEMENTS + BLOCK_SIZE - 1) // BLOCK_SIZE
+    fields = []
+    for _ in range(k):
+        active = rng.random(n_blocks) < p_active
+        data = np.zeros(N_ELEMENTS, dtype=np.float32)
+        for b in np.nonzero(active)[0]:
+            lo = int(b) * BLOCK_SIZE
+            hi = min(lo + BLOCK_SIZE, N_ELEMENTS)
+            data[lo:hi] = rng.normal(0.0, 50.0 * ABS_EB, hi - lo)
+        fields.append(comp.compress(data, abs_eb=ABS_EB))
+    return fields
+
+
+def measure():
+    rng = np.random.default_rng(SEED)
+    rows, speedups = [], {}
+    for kind, p in DENSITIES:
+        for k in K_VALUES:
+            fields = make_operands(k, p, rng)
+            engine = HZDynamic(collect_stats=False)
+            fold = best_of(
+                lambda: engine.reduce(fields, order="sequential"), repeats=3
+            ).seconds
+            fused = best_of(lambda: engine.reduce_fused(fields), repeats=3).seconds
+            # correctness: the two schedules must agree byte for byte
+            a = engine.reduce(fields, order="sequential")
+            b = engine.reduce_fused(fields)
+            assert np.array_equal(a.payload, b.payload), (kind, k)
+            assert np.array_equal(a.code_lengths, b.code_lengths), (kind, k)
+            assert np.array_equal(a.outliers, b.outliers), (kind, k)
+            processed = k * N_ELEMENTS * 4
+            speedups[kind, k] = fold / fused
+            rows.append(
+                [
+                    kind,
+                    k,
+                    fold * 1e3,
+                    fused * 1e3,
+                    fold / fused,
+                    throughput_gbps(processed, fused),
+                ]
+            )
+    return rows, speedups
+
+
+def test_fused_reduce_speedup(benchmark):
+    rows, speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["density", "k", "fold ms", "fused ms", "speedup", "fused GB/s"],
+            rows,
+            title="Fused k-way reduction vs sequential pairwise fold",
+        )
+    )
+    # the fused kernel must clearly beat the fold at full fan-in ...
+    for kind, _ in DENSITIES:
+        assert speedups[kind, 16] >= 2.0, (kind, speedups[kind, 16])
+    # ... and its advantage must grow with k
+    for kind, _ in DENSITIES:
+        assert speedups[kind, 16] > speedups[kind, 2], kind
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rows, _ = measure()
+    print(
+        format_table(
+            ["density", "k", "fold ms", "fused ms", "speedup", "fused GB/s"], rows
+        )
+    )

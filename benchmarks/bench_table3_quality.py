@@ -12,7 +12,6 @@ identical-to-better NRMSE everywhere (both use the same quantiser).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.compression import FZLight, OmpSZp, evaluate_quality, resolve_error_bound

@@ -13,7 +13,6 @@ the *ordering* is the reproduced claim.)
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.stream import memory_bandwidth_efficiency, run_stream
 from repro.bench.tables import format_table

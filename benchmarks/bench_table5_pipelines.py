@@ -21,7 +21,6 @@ smallest (but > 1) speedup.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.tables import format_table
 from repro.bench.timing import best_of, throughput_gbps

@@ -13,7 +13,6 @@ relative bounds.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import format_table
 from repro.bench.timing import best_of, throughput_gbps

@@ -12,7 +12,6 @@ scale.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps.image_stacking import make_exposures, stack_images
 from repro.bench.tables import format_table

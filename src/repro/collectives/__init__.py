@@ -18,7 +18,13 @@ from .hzccl import (
     hzccl_reduce_scatter,
 )
 from .ring import mpi_allgather, mpi_allreduce, mpi_reduce_scatter
-from .rooted import compressed_bcast, hzccl_reduce, mpi_bcast, mpi_reduce
+from .rooted import (
+    compressed_bcast,
+    hzccl_reduce,
+    hzccl_reduce_direct,
+    mpi_bcast,
+    mpi_reduce,
+)
 
 __all__ = [
     "CollectiveResult",
@@ -38,6 +44,7 @@ __all__ = [
     "p2p_hzccl_allreduce",
     "mpi_reduce",
     "hzccl_reduce",
+    "hzccl_reduce_direct",
     "mpi_bcast",
     "compressed_bcast",
     "rabenseifner_allreduce",

@@ -11,7 +11,7 @@ All three families (plain MPI, C-Coll, hZCCL) share:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

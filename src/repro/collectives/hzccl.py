@@ -90,7 +90,9 @@ def hzccl_reduce_scatter(
             max_msg = max(max_msg, nbytes)
             blk = ring.recv_block(i, j)
             with cluster.timed(i, "HPR"):
-                partial[i][blk] = engine.add(partial[i][blk], incoming)
+                # one fused fold of the local partial with the incoming
+                # compressed block (k = 2 instance of the k-way kernel)
+                partial[i][blk] = engine.reduce_fused((partial[i][blk], incoming))
         cluster.end_round(max_msg)
 
     reduced = [partial[i][ring.owned_block(i)] for i in range(n)]

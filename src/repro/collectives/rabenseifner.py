@@ -63,6 +63,13 @@ def rabenseifner_allreduce(
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     levels = _check_power_of_two(n)
     segs = [split_blocks(a, n) for a in arrays]
+    schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
+    # halving ranges nest, so a segment is folded again in later rounds;
+    # once a rank owns a freshly allocated partial it accumulates in place
+    # (the initial segments are views into caller arrays and must not be
+    # mutated).  Partners read disjoint halves from the snapshot, so the
+    # in-place update never races a concurrent reader.
+    owned = [[False] * n for _ in range(n)]
     wire = 0
 
     # phase 1: recursive halving reduce-scatter.  All exchanges of a round
@@ -71,7 +78,7 @@ def rabenseifner_allreduce(
         snapshot = [list(s) for s in segs]
         max_msg = 0
         for i in range(n):
-            _, partner, keep, _send = list(_segment_ranges(n, i, levels))[k]
+            _, partner, keep, _send = schedules[i][k]
             nbytes = sum(
                 snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
             )
@@ -80,7 +87,11 @@ def rabenseifner_allreduce(
             max_msg = max(max_msg, nbytes)
             with cluster.timed(i, "CPT"):
                 for j in range(keep[0], keep[1]):
-                    segs[i][j] = snapshot[i][j] + snapshot[partner][j]
+                    if owned[i][j]:
+                        np.add(segs[i][j], snapshot[partner][j], out=segs[i][j])
+                    else:
+                        segs[i][j] = snapshot[i][j] + snapshot[partner][j]
+                        owned[i][j] = True
         cluster.end_round(max_msg)
 
     # after halving, rank i holds the full sum of exactly segment i
@@ -129,11 +140,12 @@ def hzccl_rabenseifner_allreduce(
             segs.append([comp.compress(b, abs_eb=eb) for b in split_blocks(arrays[i], n)])
     cluster.end_compute_phase()
 
+    schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
     for k in range(levels):
         snapshot = [list(s) for s in segs]
         max_msg = 0
         for i in range(n):
-            _, partner, keep, _ = list(_segment_ranges(n, i, levels))[k]
+            _, partner, keep, _ = schedules[i][k]
             nbytes = sum(
                 snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
             )
@@ -142,7 +154,9 @@ def hzccl_rabenseifner_allreduce(
             max_msg = max(max_msg, nbytes)
             with cluster.timed(i, "HPR"):
                 for j in range(keep[0], keep[1]):
-                    segs[i][j] = engine.add(snapshot[i][j], snapshot[partner][j])
+                    segs[i][j] = engine.reduce_fused(
+                        (snapshot[i][j], snapshot[partner][j])
+                    )
         cluster.end_round(max_msg)
 
     gathered: list[dict[int, CompressedField]] = [{i: segs[i][i]} for i in range(n)]

@@ -46,8 +46,11 @@ def mpi_reduce_scatter(
             cluster.charge_comm(i, nbytes)
             wire += nbytes
             max_msg = max(max_msg, nbytes)
+            blk = ring.recv_block(i, j)
             with cluster.timed(i, "CPT"):
-                blk = ring.recv_block(i, j)
+                # each slot is folded exactly once per schedule and the
+                # initial blocks are views into caller arrays, so the fold
+                # must allocate rather than accumulate in place
                 bufs[i][blk] = bufs[i][blk] + incoming
         cluster.end_round(max_msg)
 

@@ -8,6 +8,13 @@ that compose naturally with the ring machinery:
   blocks to the root.  The hZCCL variant gathers the blocks *compressed*
   and decompresses only at the root: non-root ranks never run a single
   decompression, an even stronger asymmetry than the Allreduce fusion.
+* **Direct Reduce** — every rank compresses its full vector once, the
+  compressed streams gather to the root in one flat exchange, and the root
+  folds all ``N`` operands with **one fused k-way homomorphic reduction**
+  (``N`` decodes + 1 encode, instead of the ``(N−1)·(2 decodes + 1
+  encode)`` a pairwise fold pays) before decompressing once.  The best
+  schedule at small/medium scale, where the flat gather's incast is cheaper
+  than ``N − 1`` ring latencies.
 * **Bcast** — root compresses once, the bytes ride a binomial tree, every
   rank decompresses once: ``1·CPR + (N−1 messages) + N−1 parallel DPR``.
 """
@@ -18,13 +25,20 @@ import numpy as np
 
 from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
+from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
 from ..runtime.topology import Ring
 from .base import CollectiveResult, validate_local_data
 from .hzccl import hzccl_reduce_scatter
 from .ring import mpi_reduce_scatter
 
-__all__ = ["mpi_reduce", "hzccl_reduce", "mpi_bcast", "compressed_bcast"]
+__all__ = [
+    "mpi_reduce",
+    "hzccl_reduce",
+    "hzccl_reduce_direct",
+    "mpi_bcast",
+    "compressed_bcast",
+]
 
 
 def _gather_blocks(cluster, ring, items, nbytes_of, root):
@@ -92,6 +106,58 @@ def hzccl_reduce(
         breakdown=cluster.breakdown(),
         bytes_on_wire=wire,
         pipeline_stats=rs.pipeline_stats,
+    )
+
+
+def hzccl_reduce_direct(
+    cluster: SimCluster, local_data: list[np.ndarray], config, root: int = 0
+) -> CollectiveResult:
+    """hZCCL direct Reduce: flat compressed gather + one fused k-way fold.
+
+    ``N·CPR (parallel) + gather + 1 fused N-way HPR + 1·DPR`` — the fused
+    reduction engine folds all operands in a single pass, so the root's
+    homomorphic work no longer scales with ``N`` decode/encode round trips.
+    The result is byte-identical to any pairwise schedule.
+    """
+    arrays = validate_local_data(local_data)
+    n = cluster.n_ranks
+    if len(arrays) != n:
+        raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
+    if not 0 <= root < n:
+        raise IndexError(f"root {root} out of range for {n} ranks")
+    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
+    engine = HZDynamic()
+    fields: list[CompressedField] = []
+    for i in range(n):
+        with cluster.timed(i, "CPR"):
+            fields.append(comp.compress(arrays[i], abs_eb=config.error_bound))
+    cluster.end_compute_phase()
+
+    # flat gather of the compressed streams to the root (concurrent sends)
+    wire = 0
+    max_msg = 0
+    for i in range(n):
+        if i == root:
+            continue
+        nbytes = fields[i].nbytes
+        cluster.charge_comm(i, nbytes)
+        wire += nbytes
+        max_msg = max(max_msg, nbytes)
+    cluster.end_round(max_msg)
+
+    with cluster.timed(root, "HPR"):
+        total = engine.reduce_fused(fields)
+    with cluster.timed(root, "DPR"):
+        result = comp.decompress(total)
+    cluster.end_compute_phase()
+
+    outputs: list = [None] * n
+    outputs[root] = result
+    return CollectiveResult(
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        pipeline_stats=engine.stats,
     )
 
 

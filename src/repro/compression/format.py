@@ -26,7 +26,7 @@ from functools import cached_property
 import numpy as np
 
 from ..utils.chunking import num_blocks, threadblock_bounds
-from .encoding import DEFAULT_BLOCK_SIZE, payload_offsets
+from .encoding import payload_offsets
 
 __all__ = [
     "BlockStructure",

@@ -22,6 +22,7 @@ NumPy kernels release the GIL).
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -35,11 +36,32 @@ from .common import quantize, resolve_error_bound
 from .encoding import DEFAULT_BLOCK_SIZE, decode_blocks, encode_blocks
 from .format import BlockStructure, CompressedField, block_structure
 
-__all__ = ["FZLight", "compress", "decompress", "DEFAULT_THREADBLOCKS"]
+__all__ = [
+    "FZLight",
+    "compress",
+    "decompress",
+    "resolve_workers",
+    "DEFAULT_THREADBLOCKS",
+]
 
 #: The paper fixes compression at 36 threads (two Broadwell sockets) for the
 #: compressor studies and 18 (one socket) inside collectives.
 DEFAULT_THREADBLOCKS = 36
+
+
+def resolve_workers(n_tasks: int, max_workers: int | None = None) -> int:
+    """Thread-pool width for ``n_tasks`` per-thread-block chunks.
+
+    Defaults to the host's CPU count — the previous silent hard cap of 16
+    workers ignored both the machine and configurations like the paper's
+    ``n_threadblocks=36`` two-socket runs.  Pass ``max_workers`` to pin the
+    width explicitly (e.g. 36 to mirror the paper's compressor studies on a
+    wide enough host).
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    ensure_positive_int(max_workers, "max_workers")
+    return max(1, min(int(n_tasks), max_workers))
 
 
 @dataclass(frozen=True)
@@ -54,6 +76,8 @@ class FZLight:
     parallel : when True, encode/decode thread-blocks on a thread pool
         (multi-thread mode); when False, one vectorised sweep
         (single-thread mode).
+    max_workers : thread-pool cap in parallel mode; ``None`` (default)
+        derives it from ``os.cpu_count()`` via :func:`resolve_workers`.
 
     Examples
     --------
@@ -69,9 +93,12 @@ class FZLight:
     block_size: int = DEFAULT_BLOCK_SIZE
     n_threadblocks: int = DEFAULT_THREADBLOCKS
     parallel: bool = False
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.n_threadblocks, "n_threadblocks")
+        if self.max_workers is not None:
+            ensure_positive_int(self.max_workers, "max_workers")
         if self.block_size % 8 or self.block_size <= 0:
             raise ValueError("block_size must be a positive multiple of 8")
 
@@ -138,7 +165,8 @@ class FZLight:
             for t in range(self.n_threadblocks)
             if starts[t] < starts[t + 1]
         ]
-        with ThreadPoolExecutor(max_workers=min(len(chunks), 16)) as pool:
+        workers = resolve_workers(len(chunks), self.max_workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             parts = list(pool.map(lambda b: encode_blocks(b, self.block_size), chunks))
         code_lengths = np.concatenate([p[0] for p in parts])
         payload = np.concatenate([p[1] for p in parts])
@@ -189,7 +217,8 @@ class FZLight:
             chunk_codes = compressed.code_lengths[lo:hi]
             chunk_payload = compressed.payload[int(offsets[lo]) : int(offsets[hi])]
             tasks.append((chunk_codes, chunk_payload))
-        with ThreadPoolExecutor(max_workers=min(len(tasks), 16)) as pool:
+        workers = resolve_workers(len(tasks), self.max_workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             parts = list(
                 pool.map(lambda t: decode_blocks(t[0], t[1], self.block_size), tasks)
             )

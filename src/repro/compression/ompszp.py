@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils.chunking import num_blocks, pad_to_multiple
+from ..utils.chunking import pad_to_multiple
 from ..utils.validation import ensure_float_array, ensure_positive_int
 from .common import dequantize, quantize, resolve_error_bound
 from .encoding import DEFAULT_BLOCK_SIZE, MAX_CODE_LENGTH, required_bits

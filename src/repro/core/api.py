@@ -25,6 +25,7 @@ from ..collectives import (
     compressed_bcast,
     hzccl_allreduce,
     hzccl_reduce,
+    hzccl_reduce_direct,
     hzccl_reduce_scatter,
     mpi_allreduce,
     mpi_bcast,
@@ -123,13 +124,23 @@ class HZCCL:
     def reduce(
         self, local_data: list[np.ndarray], root: int = 0, kernel: str = "hzccl"
     ) -> CollectiveResult:
-        """SUM Reduce to ``root`` (non-root outputs are ``None``)."""
+        """SUM Reduce to ``root`` (non-root outputs are ``None``).
+
+        ``hzccl`` runs the ring Reduce_scatter + compressed gather;
+        ``hzccl-direct`` gathers whole compressed vectors and folds them at
+        the root with one fused k-way homomorphic reduction (best at
+        small/medium rank counts); ``mpi`` is the plain baseline.
+        """
         cluster = self._cluster(len(local_data))
         if kernel == "hzccl":
             return hzccl_reduce(cluster, local_data, self.config, root=root)
+        if kernel == "hzccl-direct":
+            return hzccl_reduce_direct(cluster, local_data, self.config, root=root)
         if kernel == "mpi":
             return mpi_reduce(cluster, local_data, root=root)
-        raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")
+        raise ValueError(
+            f"kernel must be 'hzccl', 'hzccl-direct' or 'mpi', got {kernel!r}"
+        )
 
     def bcast(
         self, data: np.ndarray, n_ranks: int, root: int = 0, kernel: str = "hzccl"

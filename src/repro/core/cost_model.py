@@ -46,6 +46,7 @@ __all__ = [
     "model_ccoll_allreduce",
     "model_hzccl_reduce_scatter",
     "model_hzccl_allreduce",
+    "model_hzccl_reduce",
 ]
 
 
@@ -69,6 +70,13 @@ class CostRates:
     #: (Fig. 10): blocks shrink with N while the per-op count grows, so the
     #: compression-frequency overhead the paper describes starts to bite.
     op_overhead_s: float = 1e-4
+    #: Per-operand decode (inverse fixed-length encode) and one-shot encode
+    #: rates behind the fused k-way fold: a fused reduce of ``k`` operands
+    #: charges ``k·IFE + 1·FE`` per byte instead of ``(k−1)·HPR``.  When
+    #: left ``None`` they are derived from ``hpr_s_per_byte`` so that the
+    #: pairwise case is unchanged: ``fused_hpr_s_per_byte(2) == hpr``.
+    ife_s_per_byte: float | None = None
+    fe_s_per_byte: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("cpr_s_per_byte", "dpr_s_per_byte", "hpr_s_per_byte", "cpt_s_per_byte"):
@@ -76,6 +84,24 @@ class CostRates:
         ensure_positive(self.ratio, "ratio")
         if self.op_overhead_s < 0:
             raise ValueError("op_overhead_s must be >= 0")
+        if self.ife_s_per_byte is None:
+            object.__setattr__(self, "ife_s_per_byte", self.hpr_s_per_byte / 4.0)
+        if self.fe_s_per_byte is None:
+            object.__setattr__(self, "fe_s_per_byte", self.hpr_s_per_byte / 2.0)
+        ensure_positive(self.ife_s_per_byte, "ife_s_per_byte")
+        ensure_positive(self.fe_s_per_byte, "fe_s_per_byte")
+
+    def fused_hpr_s_per_byte(self, k: int) -> float:
+        """Per-byte charge for one fused ``k``-way homomorphic fold.
+
+        The fused kernel decodes each operand's deltas once and re-encodes
+        the accumulated sum once — ``k·IFE + 1·FE`` — versus the pairwise
+        fold's ``(k−1)·(2·IFE + FE) = (k−1)·HPR``.  With the derived
+        default split the two agree at ``k = 2`` and the fused charge grows
+        sub-linearly in ``k`` relative to the fold.
+        """
+        ensure_positive_int(k, "k")
+        return k * self.ife_s_per_byte + self.fe_s_per_byte
 
     def scaled(self, thread_speedup: float) -> "CostRates":
         """Multi-thread rates (compute family divided by the speedup)."""
@@ -86,6 +112,8 @@ class CostRates:
             dpr_s_per_byte=self.dpr_s_per_byte / thread_speedup,
             hpr_s_per_byte=self.hpr_s_per_byte / thread_speedup,
             cpt_s_per_byte=self.cpt_s_per_byte / thread_speedup,
+            ife_s_per_byte=self.ife_s_per_byte / thread_speedup,
+            fe_s_per_byte=self.fe_s_per_byte / thread_speedup,
         )
 
     # ------------------------------------------------------------------ #
@@ -129,12 +157,20 @@ class CostRates:
         t_dpr = best(lambda: comp.decompress(ca))
         t_hpr = best(lambda: engine.add(ca, cb))
         t_cpt = best(lambda: np.add(da, db))
+        # the fused k-way fold's IFE/FE split, measured on the raw codec
+        from ..compression.encoding import decode_blocks, encode_blocks
+
+        deltas = decode_blocks(ca.code_lengths, ca.payload, block_size)
+        t_ife = best(lambda: decode_blocks(ca.code_lengths, ca.payload, block_size))
+        t_fe = best(lambda: encode_blocks(deltas, block_size))
         return cls(
             cpr_s_per_byte=t_cpr / nbytes,
             dpr_s_per_byte=t_dpr / nbytes,
             hpr_s_per_byte=t_hpr / nbytes,
             cpt_s_per_byte=t_cpt / nbytes,
             ratio=ca.compression_ratio,
+            ife_s_per_byte=t_ife / nbytes,
+            fe_s_per_byte=t_fe / nbytes,
         )
 
 
@@ -391,5 +427,39 @@ def model_hzccl_allreduce(
             "HPR": m.compute(m.rates.hpr_s_per_byte, rounds),
             "DPR": m.compute(m.rates.dpr_s_per_byte, rounds, invocations=1),
             "MPI": 2 * rounds * m.net(m.compressed_bytes),
+        }
+    )
+
+
+def model_hzccl_reduce(
+    n_nodes: int,
+    total_bytes: int,
+    rates: CostRates,
+    network: NetworkModel,
+    multithread: bool = False,
+    thread_speedup: float = 6.0,
+) -> Breakdown:
+    """hZCCL direct rooted Reduce: flat gather + one fused ``N``-way fold.
+
+    Every rank compresses its full vector in parallel (one CPR over
+    ``total_bytes``), the ``N − 1`` compressed streams converge on the root
+    (incast: the root's link serialises the messages), and the root pays a
+    single fused homomorphic reduction — ``N·IFE + 1·FE`` per byte via
+    :meth:`CostRates.fused_hpr_s_per_byte` instead of the pairwise fold's
+    ``(N−1)·HPR`` — followed by one decompression.
+    """
+    ensure_positive_int(n_nodes, "n_nodes")
+    ensure_positive(total_bytes, "total_bytes")
+    if multithread:
+        rates = rates.scaled(thread_speedup)
+    compressed = total_bytes / rates.ratio
+    incast = (n_nodes - 1) * network.transfer_time(int(compressed), n_nodes)
+    return _result(
+        {
+            "CPR": total_bytes * rates.cpr_s_per_byte + rates.op_overhead_s,
+            "MPI": incast,
+            "HPR": total_bytes * rates.fused_hpr_s_per_byte(n_nodes)
+            + rates.op_overhead_s,
+            "DPR": total_bytes * rates.dpr_s_per_byte + rates.op_overhead_s,
         }
     )

@@ -28,7 +28,7 @@ import numpy as np
 from scipy import ndimage
 
 from ..utils.rng import make_rng
-from .registry import DATASETS, get_spec
+from .registry import get_spec
 
 __all__ = [
     "seismic_setting1",

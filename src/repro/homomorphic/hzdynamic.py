@@ -1,8 +1,8 @@
 """hZ-dynamic: the dynamic homomorphic compression pipeline (paper §III-B4).
 
-Reductions run *directly* on two fZ-light compressed streams.  For every
-small block the engine inspects the pair of code lengths ``(x, y)`` and
-routes the block to the cheapest possible pipeline:
+Reductions run *directly* on fZ-light compressed streams.  For every small
+block the engine inspects the operands' code lengths and routes the block
+to the cheapest possible pipeline.  For a pair ``(x, y)``:
 
 =========  ==================  =================================================
 Pipeline   Condition           Work performed
@@ -16,24 +16,36 @@ Pipeline   Condition           Work performed
                                homomorphic pipeline does for every block)
 =========  ==================  =================================================
 
+The same classification generalises to ``k`` operands (:meth:`HZDynamic.
+reduce_fused`): blocks that are constant in *every* operand cost nothing
+(pipeline 1), blocks that are non-constant in *exactly one* operand copy
+that operand's bytes verbatim (pipelines 2/3), and only blocks with two or
+more non-constant operands pay the IFE→accumulate→FE round trip — and they
+pay it **once** for all ``k`` operands (``k`` decodes + 1 encode) instead
+of the ``(k−1)·(2 decodes + 1 encode)`` a pairwise left fold costs.
+
 Thread-block outliers are simply added.  Correctness rests on linearity:
 quantisation codes and Lorenzo deltas are both linear in the input, so the
-homomorphic sum decompresses to exactly the sum of the two operands'
+homomorphic sum decompresses to exactly the sum of the operands'
 decompressed values — no additional quantisation, hence no additional error
 (§III-B4, last paragraph).
 
 Besides ``sum`` the same linearity gives ``subtract`` and scalar ``scale``
-for free; non-linear reductions (min/max) are *not* homomorphic in this
-representation and are rejected explicitly.
+for free; :meth:`HZDynamic.reduce_fused` accepts per-operand integer
+weights so a weighted combination (including negation) fuses into the
+single accumulation pass.  Non-linear reductions (min/max) are *not*
+homomorphic in this representation and are rejected explicitly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..compression.encoding import (
+    decode_blocks,
     decode_selected,
     encode_blocks,
     payload_offsets,
@@ -47,12 +59,30 @@ __all__ = ["PipelineStats", "HZDynamic", "homomorphic_sum"]
 class PipelineStats:
     """Per-pipeline block counts for one or more homomorphic operations.
 
-    ``percentages`` reproduces the Table V columns.
+    ``counts`` holds the classic pairwise pipeline 1–4 block counts
+    (``percentages`` reproduces the Table V columns).  A fused k-way
+    reduction records the counts its *pairwise-fold equivalent* would have
+    recorded — one classification per block per fold step, cancellation
+    included — so the statistics are comparable across execution
+    strategies.
+
+    ``kway`` additionally records the fused classification itself:
+    ``[constant, copy, accumulate]`` block counts, i.e. how many blocks
+    were constant in every operand, non-constant in exactly one operand
+    (verbatim copy), or accumulated through the shared int64 buffer.
+    ``fused_calls`` / ``fused_operands`` count engine invocations and
+    their total operand count (``fused_operands / fused_calls`` is the
+    mean reduction width k).
     """
 
     counts: np.ndarray = field(
         default_factory=lambda: np.zeros(4, dtype=np.int64)
     )
+    kway: np.ndarray = field(
+        default_factory=lambda: np.zeros(3, dtype=np.int64)
+    )
+    fused_calls: int = 0
+    fused_operands: int = 0
 
     @property
     def total(self) -> int:
@@ -66,8 +96,18 @@ class PipelineStats:
             return np.zeros(4)
         return 100.0 * self.counts / total
 
+    @property
+    def mean_fanin(self) -> float:
+        """Mean operand count per fused engine invocation (2 = pairwise)."""
+        if self.fused_calls == 0:
+            return 0.0
+        return self.fused_operands / self.fused_calls
+
     def merge(self, other: "PipelineStats") -> "PipelineStats":
         self.counts += other.counts
+        self.kway += other.kway
+        self.fused_calls += other.fused_calls
+        self.fused_operands += other.fused_operands
         return self
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -117,7 +157,7 @@ def _block_runs(idx: np.ndarray) -> list[tuple[int, int]]:
 
 
 class HZDynamic:
-    """Dynamic homomorphic operator over :class:`CompressedField` pairs.
+    """Dynamic homomorphic operator over :class:`CompressedField` operands.
 
     Parameters
     ----------
@@ -143,13 +183,13 @@ class HZDynamic:
     True
     """
 
-    #: When pipeline 4 would cover more than this fraction of blocks, the
-    #: engine processes the whole stream through one contiguous
-    #: IFE→add→FE pass instead of per-pipeline gathers: with almost no
-    #: copyable blocks to exploit, the gather bookkeeping costs more than
-    #: it saves.  This is part of the run-time heuristic — the dynamic
-    #: selector picks the cheapest *execution strategy*, not just the
-    #: cheapest per-block pipeline.
+    #: When the accumulate class (generalised pipeline 4) would cover more
+    #: than this fraction of blocks, the engine processes the whole stream
+    #: through one contiguous IFE→accumulate→FE pass per operand instead of
+    #: per-pipeline gathers: with almost no copyable blocks to exploit, the
+    #: gather bookkeeping costs more than it saves.  This is part of the
+    #: run-time heuristic — the dynamic selector picks the cheapest
+    #: *execution strategy*, not just the cheapest per-block pipeline.
     DENSE_THRESHOLD = 0.75
 
     def __init__(self, collect_stats: bool = True) -> None:
@@ -162,145 +202,24 @@ class HZDynamic:
     # ------------------------------------------------------------------ #
     def add(self, a: CompressedField, b: CompressedField) -> CompressedField:
         """Homomorphic sum of two compatible compressed fields."""
-        if not a.compatible_with(b):
-            raise ValueError(
-                "operands are not homomorphically compatible (need identical "
-                "length, block geometry and error bound)"
-            )
-        bs = a.block_size
-        ca = a.code_lengths
-        cb = b.code_lengths
-        a_zero = ca == 0
-        b_zero = cb == 0
+        return self.reduce_fused((a, b))
 
-        p2 = a_zero & ~b_zero
-        p3 = ~a_zero & b_zero
-        p4 = ~a_zero & ~b_zero
+    def subtract(self, a: CompressedField, b: CompressedField) -> CompressedField:
+        """Homomorphic difference ``a − b``.
 
-        # Pipeline statistics are defined by the block classification,
-        # independent of which execution strategy computes the result.
-        if self.collect_stats:
-            self.stats.counts += np.array(
-                [
-                    int((a_zero & b_zero).sum()),
-                    int(p2.sum()),
-                    int(p3.sum()),
-                    int(p4.sum()),
-                ],
-                dtype=np.int64,
-            )
-
-        if int(p4.sum()) > self.DENSE_THRESHOLD * ca.size:
-            return self._add_dense(a, b)
-
-        out_lengths = np.zeros_like(ca)
-        out_lengths[p2] = cb[p2]
-        out_lengths[p3] = ca[p3]
-
-        # Pipeline 4 first: its re-encoded code lengths decide output sizes.
-        idx4 = np.nonzero(p4)[0]
-        if idx4.size:
-            da = decode_selected(idx4, ca, a.offsets, a.payload, bs)
-            db = decode_selected(idx4, cb, b.offsets, b.payload, bs)
-            da += db  # int64 accumulation; overflow detected on re-encode
-            lens4, payload4, offsets4 = _encode_with_offsets(da, bs)
-            out_lengths[idx4] = lens4
-
-        out_offsets = payload_offsets(out_lengths, bs)
-        payload = np.empty(int(out_offsets[-1]), dtype=np.uint8)
-
-        self._copy_pipeline(payload, out_offsets, p2, b, out_lengths, bs)
-        self._copy_pipeline(payload, out_offsets, p3, a, out_lengths, bs)
-        if idx4.size:
-            # payload4 rows are consecutive for consecutive idx4 entries,
-            # so each run is one contiguous slice on both sides.
-            if _count_runs(idx4) <= idx4.size // 8 + 64:
-                for s, e in _block_runs(idx4):
-                    dst_lo = int(out_offsets[idx4[s]])
-                    dst_hi = int(out_offsets[idx4[e - 1] + 1])
-                    payload[dst_lo:dst_hi] = payload4[
-                        int(offsets4[s]) : int(offsets4[e])
-                    ]
-            else:
-                sizes4 = np.diff(offsets4)
-                dst = _row_copy_indices(out_offsets[idx4], sizes4)
-                payload[dst] = payload4
-
-        return CompressedField(
-            n=a.n,
-            error_bound=a.error_bound,
-            block_size=bs,
-            n_threadblocks=a.n_threadblocks,
-            outliers=a.outliers + b.outliers,
-            predictor=a.predictor,
-            rows=a.rows,
-            cols=a.cols,
-            code_lengths=out_lengths,
-            payload=payload,
-            _offsets=out_offsets,
-        )
-
-    @staticmethod
-    def _add_dense(a: CompressedField, b: CompressedField) -> CompressedField:
-        """Contiguous full-stream IFE→add→FE pass (dense operand pairs)."""
-        from ..compression.encoding import decode_blocks
-
-        bs = a.block_size
-        da = decode_blocks(a.code_lengths, a.payload, bs).astype(np.int64)
-        db = decode_blocks(b.code_lengths, b.payload, bs)
-        da += db
-        code_lengths, payload, offsets = _encode_with_offsets(da, bs)
-        return CompressedField(
-            n=a.n,
-            error_bound=a.error_bound,
-            block_size=bs,
-            n_threadblocks=a.n_threadblocks,
-            outliers=a.outliers + b.outliers,
-            predictor=a.predictor,
-            rows=a.rows,
-            cols=a.cols,
-            code_lengths=code_lengths,
-            payload=payload,
-            _offsets=offsets,
-        )
-
-    @staticmethod
-    def _copy_pipeline(
-        payload: np.ndarray,
-        out_offsets: np.ndarray,
-        mask: np.ndarray,
-        source: CompressedField,
-        out_lengths: np.ndarray,
-        block_size: int,
-    ) -> None:
-        """Pipelines 2/3: verbatim byte copy of the non-constant operand.
-
-        Runs of consecutive blocks copy as single slices (quiet/active
-        regions are spatially coherent in real fields); heavily fragmented
-        masks fall back to one vectorised gather/scatter.
+        The negation fuses into the accumulation pass (weight −1): no
+        scaled intermediate copy of ``b`` is ever materialised.
         """
-        idx = np.nonzero(mask)[0]
-        if not idx.size:
-            return
-        src_offsets = source.offsets
-        if _count_runs(idx) <= idx.size // 8 + 64:
-            for s, e in _block_runs(idx):
-                lo, hi = int(idx[s]), int(idx[e - 1] + 1)
-                payload[int(out_offsets[lo]) : int(out_offsets[hi])] = source.payload[
-                    int(src_offsets[lo]) : int(src_offsets[hi])
-                ]
-        else:
-            sizes = (block_size // 8) * (1 + out_lengths[idx].astype(np.int64))
-            src = _row_copy_indices(src_offsets[idx], sizes)
-            dst = _row_copy_indices(out_offsets[idx], sizes)
-            payload[dst] = source.payload[src]
+        return self.reduce_fused((a, b), weights=(1, -1))
 
     # ------------------------------------------------------------------ #
     def scale(self, a: CompressedField, factor: int) -> CompressedField:
         """Homomorphic integer scaling (linearity extension).
 
-        Only integer factors keep the representation exact; use
-        ``subtract(zero, a)`` via ``factor=-1`` for negation.
+        Only integer factors keep the representation exact.  For fused
+        weighted combinations prefer :meth:`reduce_fused` with a
+        ``weights`` vector — it never materialises the scaled copy this
+        method returns.
         """
         if int(factor) != factor:
             raise ValueError("homomorphic scaling requires an integer factor")
@@ -336,23 +255,342 @@ class HZDynamic:
             _offsets=out_offsets,
         )
 
-    def subtract(self, a: CompressedField, b: CompressedField) -> CompressedField:
-        """Homomorphic difference ``a − b``."""
-        return self.add(a, self.scale(b, -1))
+    # ------------------------------------------------------------------ #
+    def reduce_fused(
+        self,
+        fields: Sequence[CompressedField],
+        weights: Sequence[int] | None = None,
+    ) -> CompressedField:
+        """Fused k-way homomorphic reduction ``Σ wᵢ·xᵢ`` (default ``wᵢ = 1``).
 
+        Classifies every block **once** across all ``k`` operands:
+
+        * constant in every (weight-contributing) operand → pipeline 1,
+          nothing stored;
+        * non-constant in exactly one operand with weight 1 → pipelines
+          2/3, that operand's bytes are copied verbatim;
+        * everything else → one shared int64 accumulation: each
+          contributing operand's deltas are decoded **once**, scaled by
+          their weight, accumulated, and the result re-encoded **once** —
+          ``O(k)`` decodes + 1 encode, versus ``(k−1)·(2 decodes +
+          1 encode)`` for the pairwise left fold.
+
+        When the accumulate class exceeds :data:`DENSE_THRESHOLD` of the
+        blocks, the whole stream goes through one contiguous full-stream
+        pass per operand (dense strategy), mirroring the pairwise dense
+        heuristic.  Both strategies produce **byte-identical** streams to
+        the sequential pairwise fold: integer addition is exact and
+        fixed-length encoding is deterministic, so the schedule and the
+        execution strategy are pure execution policy.
+
+        Weights must be integers; weight 0 drops an operand entirely.
+        With a single field and weight 1 the input object itself is
+        returned (matching :meth:`reduce`).
+
+        Recorded pipeline statistics are *fold-equivalent*: the 4-way
+        ``counts`` match what the sequential pairwise fold would have
+        recorded (including blocks whose partial sums cancel to a constant
+        mid-fold), while ``kway`` records the fused classification.
+        """
+        k = len(fields)
+        if k == 0:
+            raise ValueError("reduce requires at least one field")
+        if weights is None:
+            w = np.ones(k, dtype=np.int64)
+        else:
+            if len(weights) != k:
+                raise ValueError(
+                    f"got {len(weights)} weights for {k} fields"
+                )
+            for x in weights:
+                if int(x) != x:
+                    raise ValueError("homomorphic weights must be integers")
+            w = np.asarray([int(x) for x in weights], dtype=np.int64)
+        a = fields[0]
+        for f in fields[1:]:
+            if not a.compatible_with(f):
+                raise ValueError(
+                    "operands are not homomorphically compatible (need "
+                    "identical length, block geometry and error bound)"
+                )
+        if k == 1:
+            return a if w[0] == 1 else self.scale(a, int(w[0]))
+
+        bs = a.block_size
+        nb = a.code_lengths.size
+        # (k, nb) contribution matrix: operand j contributes to a block iff
+        # the block is non-constant there and the weight is non-zero
+        # (scaling by a non-zero integer preserves zero-ness exactly).
+        nzmat = np.stack([f.code_lengths != 0 for f in fields])
+        nzmat &= (w != 0)[:, None]
+        contrib = nzmat.sum(axis=0)
+
+        # first (and, for copy blocks, only) contributing operand per block
+        owner = np.argmax(nzmat, axis=0)
+        single = contrib == 1
+        copy_mask = single & (w[owner] == 1)
+        acc_mask = (contrib >= 2) | (single & ~copy_mask)
+        const_count = nb - int(copy_mask.sum()) - int(acc_mask.sum())
+
+        if self.collect_stats:
+            self.stats.fused_calls += 1
+            self.stats.fused_operands += k
+            self.stats.kway += np.array(
+                [const_count, int(copy_mask.sum()), int(acc_mask.sum())],
+                dtype=np.int64,
+            )
+
+        out_outliers = np.zeros_like(a.outliers)
+        for j, f in enumerate(fields):
+            if w[j]:
+                out_outliers += w[j] * f.outliers
+
+        dense = int(acc_mask.sum()) > self.DENSE_THRESHOLD * nb
+        if dense:
+            code_lengths, payload, out_offsets = self._accumulate_dense(
+                fields, w, nzmat, bs
+            )
+        else:
+            code_lengths, payload, out_offsets = self._accumulate_sparse(
+                fields, w, nzmat, owner, copy_mask, acc_mask, const_count, bs
+            )
+
+        return CompressedField(
+            n=a.n,
+            error_bound=a.error_bound,
+            block_size=bs,
+            n_threadblocks=a.n_threadblocks,
+            outliers=out_outliers,
+            predictor=a.predictor,
+            rows=a.rows,
+            cols=a.cols,
+            code_lengths=code_lengths,
+            payload=payload,
+            _offsets=out_offsets,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _accumulate_dense(
+        self,
+        fields: Sequence[CompressedField],
+        w: np.ndarray,
+        nzmat: np.ndarray,
+        bs: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-stream strategy: one contiguous IFE pass per operand.
+
+        With nearly every block in the accumulate class there is nothing
+        to gain from per-pipeline gathers, so each operand's whole stream
+        is decoded contiguously into the shared accumulator.  Constant and
+        single-owner blocks re-encode to byte-identical output (decoding a
+        constant block yields zeros; fixed-length encoding is
+        deterministic), so the strategy switch is invisible downstream.
+        """
+        nb = fields[0].code_lengths.size
+        acc = np.zeros((nb, bs), dtype=np.int64)
+        track = self.collect_stats
+        azero = ~nzmat[0] if track else None
+        for j, f in enumerate(fields):
+            p4 = None
+            if track and j > 0:
+                p4 = self._record_fold_step(azero, ~nzmat[j])
+            if w[j]:
+                decoded = decode_blocks(f.code_lengths, f.payload, bs)
+                if w[j] == 1:
+                    acc += decoded
+                else:
+                    acc += decoded * w[j]
+            if p4 is not None and p4.size:
+                azero[p4] = ~acc[p4].any(axis=1)
+        return _encode_with_offsets(acc, bs)
+
+    def _accumulate_sparse(
+        self,
+        fields: Sequence[CompressedField],
+        w: np.ndarray,
+        nzmat: np.ndarray,
+        owner: np.ndarray,
+        copy_mask: np.ndarray,
+        acc_mask: np.ndarray,
+        const_count: int,
+        bs: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather strategy: verbatim copies + subset accumulation."""
+        k = len(fields)
+        track = self.collect_stats
+        copy_idx = np.nonzero(copy_mask)[0]
+        acc_idx = np.nonzero(acc_mask)[0]
+
+        if track:
+            # Closed-form fold-equivalent counts for the no-cancellation
+            # classes.  A block constant everywhere is pipeline 1 at every
+            # fold step.  A block owned by operand o alone is pipeline 1
+            # until o arrives (o−1 steps), pipeline 2 when it does, and
+            # pipeline 3 afterwards (o = 0 skips straight to pipeline 3).
+            steps = k - 1
+            self.stats.counts[0] += const_count * steps
+            if copy_idx.size:
+                o = owner[copy_idx].astype(np.int64)
+                later = o >= 1
+                self.stats.counts[0] += int((o[later] - 1).sum())
+                self.stats.counts[1] += int(later.sum())
+                self.stats.counts[2] += int(
+                    np.where(later, steps - o, steps).sum()
+                )
+
+        out_lengths = np.zeros_like(fields[0].code_lengths)
+        if copy_idx.size:
+            lengths_mat = np.stack([f.code_lengths for f in fields])
+            out_lengths[copy_idx] = lengths_mat[owner[copy_idx], copy_idx]
+
+        lens_acc = payload_acc = offsets_acc = None
+        if acc_idx.size:
+            acc = np.zeros((acc_idx.size, bs), dtype=np.int64)
+            azero = ~nzmat[0][acc_idx] if track else None
+            for j, f in enumerate(fields):
+                p4 = None
+                if track and j > 0:
+                    p4 = self._record_fold_step(azero, ~nzmat[j][acc_idx])
+                if w[j]:
+                    sel = np.nonzero(nzmat[j][acc_idx])[0]
+                    if sel.size:
+                        dj = decode_selected(
+                            acc_idx[sel], f.code_lengths, f.offsets, f.payload, bs
+                        )
+                        if w[j] != 1:
+                            dj *= w[j]
+                        acc[sel] += dj
+                if p4 is not None and p4.size:
+                    azero[p4] = ~acc[p4].any(axis=1)
+            lens_acc, payload_acc, offsets_acc = _encode_with_offsets(acc, bs)
+            out_lengths[acc_idx] = lens_acc
+
+        out_offsets = payload_offsets(out_lengths, bs)
+        payload = np.empty(int(out_offsets[-1]), dtype=np.uint8)
+
+        if copy_idx.size:
+            for j in np.unique(owner[copy_idx]):
+                self._copy_pipeline(
+                    payload,
+                    out_offsets,
+                    copy_mask & (owner == j),
+                    fields[j],
+                    out_lengths,
+                    bs,
+                )
+        if acc_idx.size:
+            self._scatter_rows(payload, out_offsets, acc_idx, payload_acc, offsets_acc)
+        return out_lengths, payload, out_offsets
+
+    def _record_fold_step(self, azero: np.ndarray, bzero: np.ndarray) -> np.ndarray:
+        """Record one fold step's pipeline counts; returns pipeline-4 rows.
+
+        ``azero`` is the running "accumulated partial is constant" flag per
+        tracked block and is updated in place for the copy classes; the
+        caller refreshes the returned pipeline-4 rows from the accumulator
+        *after* folding the operand in, which is the only point where a
+        partial sum can newly cancel to a constant — exactly when the
+        pairwise fold would have re-encoded a zero code length.
+        """
+        nz_a = ~azero
+        nz_b = ~bzero
+        p4_mask = nz_a & nz_b
+        self.stats.counts += np.array(
+            [
+                int((azero & bzero).sum()),
+                int((azero & nz_b).sum()),
+                int((nz_a & bzero).sum()),
+                int(p4_mask.sum()),
+            ],
+            dtype=np.int64,
+        )
+        # pipeline 2 partials become non-constant; 1 stays constant, 3 stays
+        # non-constant, 4 is refreshed from the accumulator by the caller.
+        np.logical_and(azero, bzero, out=azero)
+        return np.nonzero(p4_mask)[0]
+
+    @staticmethod
+    def _scatter_rows(
+        payload: np.ndarray,
+        out_offsets: np.ndarray,
+        idx: np.ndarray,
+        rows_payload: np.ndarray,
+        rows_offsets: np.ndarray,
+    ) -> None:
+        """Place re-encoded rows for blocks ``idx`` into the output payload.
+
+        Rows are consecutive for consecutive ``idx`` entries, so each run
+        of adjacent blocks collapses to one contiguous slice on both sides;
+        heavily fragmented index sets fall back to a vectorised scatter.
+        """
+        if _count_runs(idx) <= idx.size // 8 + 64:
+            for s, e in _block_runs(idx):
+                dst_lo = int(out_offsets[idx[s]])
+                dst_hi = int(out_offsets[idx[e - 1] + 1])
+                payload[dst_lo:dst_hi] = rows_payload[
+                    int(rows_offsets[s]) : int(rows_offsets[e])
+                ]
+        else:
+            sizes = np.diff(rows_offsets)
+            dst = _row_copy_indices(out_offsets[idx], sizes)
+            payload[dst] = rows_payload
+
+    @staticmethod
+    def _copy_pipeline(
+        payload: np.ndarray,
+        out_offsets: np.ndarray,
+        mask: np.ndarray,
+        source: CompressedField,
+        out_lengths: np.ndarray,
+        block_size: int,
+    ) -> None:
+        """Pipelines 2/3: verbatim byte copy of the non-constant operand.
+
+        Runs of consecutive blocks copy as single slices (quiet/active
+        regions are spatially coherent in real fields); heavily fragmented
+        masks fall back to one vectorised gather/scatter.
+        """
+        idx = np.nonzero(mask)[0]
+        if not idx.size:
+            return
+        src_offsets = source.offsets
+        if _count_runs(idx) <= idx.size // 8 + 64:
+            for s, e in _block_runs(idx):
+                lo, hi = int(idx[s]), int(idx[e - 1] + 1)
+                payload[int(out_offsets[lo]) : int(out_offsets[hi])] = source.payload[
+                    int(src_offsets[lo]) : int(src_offsets[hi])
+                ]
+        else:
+            sizes = (block_size // 8) * (1 + out_lengths[idx].astype(np.int64))
+            src = _row_copy_indices(src_offsets[idx], sizes)
+            dst = _row_copy_indices(out_offsets[idx], sizes)
+            payload[dst] = source.payload[src]
+
+    # ------------------------------------------------------------------ #
     def reduce(
-        self, fields: list[CompressedField], order: str = "sequential"
+        self, fields: list[CompressedField], order: str = "fused"
     ) -> CompressedField:
         """Homomorphic sum of ≥ 1 fields.
 
-        ``order``: ``"sequential"`` (ring-reduction order, left fold) or
-        ``"tree"`` (pairwise combining — the schedule tree-based collectives
-        use).  The compressed result is *byte-identical* either way:
-        integer addition is associative, so the schedule is pure execution
-        policy.
+        ``order`` selects the execution schedule:
+
+        * ``"fused"`` (default) — the k-way kernel of
+          :meth:`reduce_fused`: one classification, ``O(k)`` decodes,
+          one encode;
+        * ``"sequential"`` — pairwise left fold in ring-reduction order;
+        * ``"tree"`` — pairwise combining, the schedule tree-based
+          collectives use.
+
+        The compressed result is *byte-identical* across all three:
+        integer addition is associative and exact, and fixed-length
+        encoding is deterministic, so both the schedule and the fused
+        execution strategy are pure execution policy — they decide cost,
+        never bytes.
         """
         if not fields:
             raise ValueError("reduce requires at least one field")
+        if order == "fused":
+            return self.reduce_fused(fields)
         if order == "sequential":
             acc = fields[0]
             for nxt in fields[1:]:
@@ -369,7 +607,9 @@ class HZDynamic:
                     nxt_level.append(level[-1])
                 level = nxt_level
             return level[0]
-        raise ValueError(f"order must be 'sequential' or 'tree', got {order!r}")
+        raise ValueError(
+            f"order must be 'fused', 'sequential' or 'tree', got {order!r}"
+        )
 
 
 def _encode_with_offsets(

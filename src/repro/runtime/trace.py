@@ -72,30 +72,36 @@ class TraceLog:
         return self._round
 
     def round_summaries(self) -> list[RoundSummary]:
-        """Per-round digest: duration, bottleneck side, bytes moved."""
-        out = []
-        for r in range(self._round):
-            in_round = [e for e in self.events if e.round_index == r]
-            boundary = next(e for e in in_round if e.kind == "round")
-            per_rank: dict[int, float] = {}
-            comm = 0.0
-            moved = 0
-            for e in in_round:
-                if e.kind == "compute":
-                    per_rank[e.rank] = per_rank.get(e.rank, 0.0) + e.seconds
-                elif e.kind == "comm":
-                    comm = max(comm, e.seconds)
-                    moved += e.nbytes
-            out.append(
-                RoundSummary(
-                    round_index=r,
-                    duration=boundary.seconds,
-                    max_compute=max(per_rank.values(), default=0.0),
-                    comm_time=comm,
-                    bytes_moved=moved,
-                )
+        """Per-round digest: duration, bottleneck side, bytes moved.
+
+        One grouped sweep over the event list — O(events), independent of
+        the round count.  (A per-round rescan is O(rounds × events), which
+        dominated trace post-processing for long collectives.)
+        """
+        durations: dict[int, float] = {}
+        max_compute: dict[int, dict[int, float]] = {}
+        comm: dict[int, float] = {}
+        moved: dict[int, int] = {}
+        for e in self.events:
+            r = e.round_index
+            if e.kind == "round":
+                durations[r] = e.seconds
+            elif e.kind == "compute":
+                ranks = max_compute.setdefault(r, {})
+                ranks[e.rank] = ranks.get(e.rank, 0.0) + e.seconds
+            elif e.kind == "comm":
+                comm[r] = max(comm.get(r, 0.0), e.seconds)
+                moved[r] = moved.get(r, 0) + e.nbytes
+        return [
+            RoundSummary(
+                round_index=r,
+                duration=durations[r],
+                max_compute=max(max_compute.get(r, {}).values(), default=0.0),
+                comm_time=comm.get(r, 0.0),
+                bytes_moved=moved.get(r, 0),
             )
-        return out
+            for r in range(self._round)
+        ]
 
     def bytes_per_round(self) -> list[int]:
         """Total bytes moved in each round (shows compression-size drift)."""

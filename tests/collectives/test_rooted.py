@@ -6,6 +6,7 @@ import pytest
 from repro.collectives import (
     compressed_bcast,
     hzccl_reduce,
+    hzccl_reduce_direct,
     mpi_bcast,
     mpi_reduce,
 )
@@ -72,6 +73,61 @@ class TestHzcclReduce:
     def test_pipeline_stats_present(self, rng, fast_network, config):
         res = hzccl_reduce(SimCluster(4, network=fast_network), rank_data(rng, 4), config)
         assert res.pipeline_stats is not None
+
+
+class TestHzcclReduceDirect:
+    @pytest.mark.parametrize("n", [2, 5, 8])
+    def test_matches_integer_oracle(self, rng, fast_network, config, n):
+        local = rank_data(rng, n)
+        res = hzccl_reduce_direct(
+            SimCluster(n, network=fast_network), local, config, root=0
+        )
+        eb = config.error_bound
+        oracle = dequantize(sum(quantize(a, eb).astype(np.int64) for a in local), eb)
+        np.testing.assert_array_equal(res.outputs[0], oracle)
+
+    def test_matches_ring_reduce(self, rng, fast_network, config):
+        """Same quantisation, exact integer folds → identical root result."""
+        local = rank_data(rng, 4)
+        direct = hzccl_reduce_direct(
+            SimCluster(4, network=fast_network), local, config, root=0
+        )
+        ring = hzccl_reduce(SimCluster(4, network=fast_network), local, config, root=0)
+        np.testing.assert_array_equal(direct.outputs[0], ring.outputs[0])
+
+    def test_non_root_outputs_none(self, rng, fast_network, config):
+        res = hzccl_reduce_direct(
+            SimCluster(4, network=fast_network), rank_data(rng, 4), config, root=2
+        )
+        assert res.outputs[2] is not None
+        assert all(res.outputs[i] is None for i in (0, 1, 3))
+
+    def test_one_fused_kway_fold(self, rng, fast_network, config):
+        """The root folds all N operands in a single fused invocation."""
+        res = hzccl_reduce_direct(
+            SimCluster(6, network=fast_network), rank_data(rng, 6), config
+        )
+        assert res.pipeline_stats is not None
+        assert res.pipeline_stats.fused_calls == 1
+        assert res.pipeline_stats.fused_operands == 6
+        assert res.pipeline_stats.mean_fanin == 6.0
+
+    def test_only_root_pays_homomorphic_work(self, rng, fast_network, config):
+        cluster = SimCluster(4, network=fast_network)
+        hzccl_reduce_direct(cluster, rank_data(rng, 4), config, root=1)
+        for i in range(4):
+            hpr = cluster.clocks[i].buckets["HPR"]
+            dpr = cluster.clocks[i].buckets["DPR"]
+            if i == 1:
+                assert hpr > 0 and dpr > 0
+            else:
+                assert hpr == 0 and dpr == 0
+
+    def test_bad_root(self, rng, fast_network, config):
+        with pytest.raises(IndexError):
+            hzccl_reduce_direct(
+                SimCluster(4, network=fast_network), rank_data(rng, 4), config, root=4
+            )
 
 
 class TestBcast:

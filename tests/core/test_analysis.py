@@ -138,7 +138,7 @@ class TestErrorBounds:
     def test_monte_carlo_validation(self, rng, fast_network):
         """Functional runs respect the bounds; RMS estimates land within a
         small factor of measurement."""
-        from repro.collectives import hzccl_allreduce, split_blocks
+        from repro.collectives import hzccl_allreduce
         from repro.core.config import CollectiveConfig
         from repro.runtime.cluster import SimCluster
 

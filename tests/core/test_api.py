@@ -76,6 +76,15 @@ class TestRootedFacade:
         exact = np.sum(np.stack(data).astype(np.float64), axis=0)
         assert np.abs(res.outputs[0].astype(np.float64) - exact).max() <= 1e-3
 
+    def test_reduce_direct_kernel_matches_ring(self, lib, data):
+        """Fused k-way schedule produces the same root result as the ring."""
+        direct = lib.reduce(data, kernel="hzccl-direct")
+        ring = lib.reduce(data, kernel="hzccl")
+        np.testing.assert_array_equal(direct.outputs[0], ring.outputs[0])
+        assert direct.outputs[1] is None
+        assert direct.pipeline_stats.fused_calls == 1
+        assert direct.pipeline_stats.mean_fanin == len(data)
+
     def test_reduce_rejects_ccoll(self, lib, data):
         with pytest.raises(ValueError):
             lib.reduce(data, kernel="ccoll")

@@ -1,6 +1,5 @@
 """Unit tests for the §III-C analytic cost model."""
 
-import numpy as np
 import pytest
 
 from repro.core.cost_model import (
@@ -10,6 +9,7 @@ from repro.core.cost_model import (
     model_ccoll_allreduce,
     model_ccoll_reduce_scatter,
     model_hzccl_allreduce,
+    model_hzccl_reduce,
     model_hzccl_reduce_scatter,
     model_mpi_allreduce,
     model_mpi_reduce_scatter,
@@ -81,6 +81,27 @@ class TestFormulas:
         bd = model_hzccl_allreduce(8, 10**6, RATES, NET)
         assert bd.total_time == pytest.approx(sum(bd.buckets.values()))
 
+    def test_hzccl_reduce_direct_counts(self):
+        """CPR on the full vector + incast + fused N-way HPR + one DPR."""
+        n, total = 4, 4000
+        bd = model_hzccl_reduce(n, total, RATES, NET)
+        assert bd.buckets["CPR"] == pytest.approx(total * 1e-9)
+        assert bd.buckets["HPR"] == pytest.approx(
+            total * RATES.fused_hpr_s_per_byte(n)
+        )
+        assert bd.buckets["DPR"] == pytest.approx(total * 5e-10)
+        assert bd.buckets["MPI"] == pytest.approx(
+            3 * NET.transfer_time(int(total / RATES.ratio), n)
+        )
+
+    def test_fused_hpr_beats_pairwise_fold_charge(self):
+        """The fused charge grows like k·IFE + FE, the fold like (k−1)·HPR."""
+        for k in (2, 4, 16):
+            fused = RATES.fused_hpr_s_per_byte(k)
+            fold = (k - 1) * RATES.hpr_s_per_byte
+            assert fused <= fold * 1.0001, k
+        assert RATES.fused_hpr_s_per_byte(16) < 15 * RATES.hpr_s_per_byte / 2
+
 
 class TestPaperShapes:
     """The orderings the paper's figures report, under its own rates."""
@@ -133,8 +154,21 @@ class TestRates:
     def test_scaled_divides_compute_only(self):
         mt = RATES.scaled(4.0)
         assert mt.cpr_s_per_byte == RATES.cpr_s_per_byte / 4
+        assert mt.ife_s_per_byte == RATES.ife_s_per_byte / 4
+        assert mt.fe_s_per_byte == RATES.fe_s_per_byte / 4
         assert mt.ratio == RATES.ratio
         assert mt.op_overhead_s == RATES.op_overhead_s
+
+    def test_derived_split_preserves_pairwise_charge(self):
+        """Defaults keep the legacy pairwise charge: fused(2) == HPR."""
+        assert RATES.fused_hpr_s_per_byte(2) == pytest.approx(
+            RATES.hpr_s_per_byte
+        )
+
+    def test_explicit_split_used_verbatim(self):
+        rates = CostRates(1e-9, 1e-9, 1e-9, 1e-9, 10.0,
+                          ife_s_per_byte=2e-10, fe_s_per_byte=3e-10)
+        assert rates.fused_hpr_s_per_byte(5) == pytest.approx(5 * 2e-10 + 3e-10)
 
     def test_measure_returns_positive_rates(self, smooth_data):
         half = smooth_data[: smooth_data.size // 2]
@@ -142,6 +176,8 @@ class TestRates:
         assert rates.cpr_s_per_byte > 0
         assert rates.dpr_s_per_byte > 0
         assert rates.hpr_s_per_byte > 0
+        assert rates.ife_s_per_byte > 0
+        assert rates.fe_s_per_byte > 0
         assert rates.ratio > 1
 
     def test_validation(self):

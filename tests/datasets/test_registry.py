@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets.registry import DATASETS, DatasetSpec, dataset_names, get_spec
+from repro.datasets.registry import DATASETS, dataset_names, get_spec
 
 
 class TestRegistry:

@@ -1,0 +1,274 @@
+"""Tests for the fused k-way reduction kernel (``HZDynamic.reduce_fused``).
+
+The load-bearing property: the fused kernel is pure execution policy.  For
+any operand set it must produce the byte-identical compressed stream the
+sequential pairwise fold produces, and record the same fold-equivalent
+pipeline statistics — including blocks whose partial sums cancel to a
+constant mid-fold and blocks where the dense full-stream strategy engages.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.common import dequantize, quantize
+from repro.compression.format import from_bytes
+from repro.compression.fzlight import FZLight
+from repro.homomorphic.hzdynamic import HZDynamic
+
+
+def _random_fields(rng, k, n, comp, eb, p_active=0.5, amplitude=10.0):
+    """k compressed operands with roughly ``p_active`` non-constant blocks."""
+    bs = comp.block_size
+    n_blocks = (n + bs - 1) // bs
+    fields, arrays_ = [], []
+    for _ in range(k):
+        data = np.zeros(n, dtype=np.float32)
+        for b in np.nonzero(rng.random(n_blocks) < p_active)[0]:
+            lo = int(b) * bs
+            hi = min(lo + bs, n)
+            data[lo:hi] = rng.normal(0, amplitude * eb, hi - lo)
+        arrays_.append(data)
+        fields.append(comp.compress(data, abs_eb=eb))
+    return fields, arrays_
+
+
+def _assert_identical(a, b):
+    np.testing.assert_array_equal(a.code_lengths, b.code_lengths)
+    np.testing.assert_array_equal(a.payload, b.payload)
+    np.testing.assert_array_equal(a.outliers, b.outliers)
+
+
+class TestFoldEquivalence:
+    @pytest.mark.parametrize("k", [2, 3, 7, 16])
+    @pytest.mark.parametrize("p_active", [0.0, 0.1, 0.5, 0.95])
+    def test_byte_identity_and_stats(self, rng, k, p_active):
+        comp = FZLight(block_size=8, n_threadblocks=3)
+        fields, _ = _random_fields(rng, k, 1111, comp, 1e-2, p_active)
+        fused_engine = HZDynamic()
+        fold_engine = HZDynamic()
+        fused = fused_engine.reduce_fused(fields)
+        acc = fields[0]
+        for nxt in fields[1:]:
+            acc = fold_engine.add(acc, nxt)
+        _assert_identical(fused, acc)
+        # fold-equivalent 4-way pipeline statistics, cancellation included
+        np.testing.assert_array_equal(
+            fused_engine.stats.counts, fold_engine.stats.counts
+        )
+
+    def test_cancellation_mid_fold(self, rng):
+        """Partial sums that cancel to constant must count as the fold would."""
+        comp = FZLight(block_size=8, n_threadblocks=2)
+        base = rng.normal(0, 1, 640).astype(np.float32)
+        eb = 1e-2
+        plus = comp.compress(base, abs_eb=eb)
+        minus = comp.compress(-base, abs_eb=eb)
+        tail = comp.compress(rng.normal(0, 1, 640).astype(np.float32), abs_eb=eb)
+        fields = [plus, minus, tail]  # plus+minus cancels before tail arrives
+        fused_engine = HZDynamic()
+        fold_engine = HZDynamic()
+        fused = fused_engine.reduce_fused(fields)
+        folded = fold_engine.add(fold_engine.add(plus, minus), tail)
+        _assert_identical(fused, folded)
+        np.testing.assert_array_equal(
+            fused_engine.stats.counts, fold_engine.stats.counts
+        )
+        # the second fold step must have seen pipeline-2 blocks (constant
+        # partial + non-constant tail), proving cancellation was tracked
+        assert fused_engine.stats.counts[1] > 0
+
+    def test_dense_strategy_engages_and_agrees(self, rng, rough_data):
+        """> 75 % accumulate blocks → full-stream pass, same bytes."""
+        comp = FZLight()
+        eb = 1e-3
+        fields = [
+            comp.compress(
+                rng.normal(0, 1, rough_data.size).astype(np.float32), abs_eb=eb
+            )
+            for _ in range(5)
+        ]
+        engine = HZDynamic()
+        fused = engine.reduce_fused(fields)
+        kway = engine.stats.kway
+        assert kway[2] > HZDynamic.DENSE_THRESHOLD * kway.sum()
+        seq = HZDynamic(collect_stats=False).reduce(fields, order="sequential")
+        _assert_identical(fused, seq)
+
+    def test_all_constant_operands(self, compressor, engine):
+        zero = np.zeros(10_000, dtype=np.float32)
+        fields = [compressor.compress(zero, abs_eb=1e-4) for _ in range(4)]
+        out = engine.reduce_fused(fields)
+        assert out.payload.size == 0
+        assert (out.code_lengths == 0).all()
+        assert (compressor.decompress(out) == 0).all()
+        assert engine.stats.kway[0] == engine.stats.kway.sum()
+
+    def test_reduce_orders_agree(self, rng):
+        comp = FZLight(block_size=8, n_threadblocks=3)
+        fields, _ = _random_fields(rng, 7, 2003, comp, 1e-2)
+        engine = HZDynamic(collect_stats=False)
+        fused = engine.reduce(fields, order="fused")
+        seq = engine.reduce(fields, order="sequential")
+        tree = engine.reduce(fields, order="tree")
+        assert fused.to_bytes() == seq.to_bytes() == tree.to_bytes()
+
+    @given(seed=st.integers(0, 2**16), k=st.integers(2, 9))
+    @settings(max_examples=25, deadline=None)
+    def test_fold_equivalence_property(self, seed, k):
+        rng = np.random.default_rng(seed)
+        comp = FZLight(block_size=8, n_threadblocks=3)
+        n = int(rng.integers(1, 900))
+        p = float(rng.random())
+        fields, _ = _random_fields(rng, k, n, comp, 1e-2, p)
+        fused_engine = HZDynamic()
+        fold_engine = HZDynamic()
+        fused = fused_engine.reduce_fused(fields)
+        acc = fields[0]
+        for nxt in fields[1:]:
+            acc = fold_engine.add(acc, nxt)
+        _assert_identical(fused, acc)
+        np.testing.assert_array_equal(
+            fused_engine.stats.counts, fold_engine.stats.counts
+        )
+
+
+class TestWeights:
+    def test_weighted_matches_oracle(self, rng):
+        comp = FZLight(n_threadblocks=2)
+        eb = 1e-2
+        arrays_ = [rng.normal(0, 1, 3001).astype(np.float32) for _ in range(3)]
+        fields = [comp.compress(a, abs_eb=eb) for a in arrays_]
+        weights = (2, -1, 3)
+        out = HZDynamic().reduce_fused(fields, weights=weights)
+        oracle = dequantize(
+            sum(
+                wj * quantize(a, eb).astype(np.int64)
+                for wj, a in zip(weights, arrays_)
+            ),
+            eb,
+        )
+        np.testing.assert_array_equal(comp.decompress(out), oracle)
+
+    def test_subtract_fuses(self, compressor, engine, rng):
+        eb = 1e-3
+        x = rng.normal(0, 1, 2000).astype(np.float32)
+        y = rng.normal(0, 1, 2000).astype(np.float32)
+        cx, cy = compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb)
+        fused = engine.reduce_fused((cx, cy), weights=(1, -1))
+        _assert_identical(fused, engine.subtract(cx, cy))
+        unfused = engine.add(cx, engine.scale(cy, -1))
+        np.testing.assert_array_equal(
+            compressor.decompress(fused), compressor.decompress(unfused)
+        )
+
+    def test_zero_weight_drops_operand(self, compressor, engine, rng):
+        eb = 1e-3
+        x = rng.normal(0, 1, 1500).astype(np.float32)
+        y = rng.normal(0, 1, 1500).astype(np.float32)
+        cx, cy = compressor.compress(x, abs_eb=eb), compressor.compress(y, abs_eb=eb)
+        out = engine.reduce_fused((cx, cy), weights=(1, 0))
+        assert out.to_bytes() == cx.to_bytes()
+
+    def test_single_field_weight_one_is_identity(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        assert engine.reduce_fused([cx]) is cx
+
+    def test_single_field_weight_scales(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        out = engine.reduce_fused([cx], weights=[3])
+        assert out.to_bytes() == engine.scale(cx, 3).to_bytes()
+
+    def test_rejects_fractional_weight(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        with pytest.raises(ValueError, match="integer"):
+            engine.reduce_fused((cx, cx), weights=(1, 0.5))
+
+    def test_rejects_weight_count_mismatch(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        with pytest.raises(ValueError, match="weights"):
+            engine.reduce_fused((cx, cx), weights=(1,))
+
+    def test_rejects_incompatible(self, compressor, engine):
+        a = compressor.compress(np.ones(100, dtype=np.float32), abs_eb=1e-4)
+        b = compressor.compress(np.ones(101, dtype=np.float32), abs_eb=1e-4)
+        with pytest.raises(ValueError, match="compatible"):
+            engine.reduce_fused((a, b))
+
+    def test_rejects_empty(self, engine):
+        with pytest.raises(ValueError, match="at least one"):
+            engine.reduce_fused(())
+
+
+class TestKwayStats:
+    def test_fanin_bookkeeping(self, compressor, rng):
+        engine = HZDynamic()
+        fields = [
+            compressor.compress(rng.normal(0, 1, 2000).astype(np.float32), abs_eb=1e-3)
+            for _ in range(5)
+        ]
+        engine.reduce_fused(fields)
+        engine.add(fields[0], fields[1])
+        assert engine.stats.fused_calls == 2
+        assert engine.stats.fused_operands == 7
+        assert engine.stats.mean_fanin == pytest.approx(3.5)
+
+    def test_kway_partition_covers_all_blocks(self, compressor, engine, sparse_data):
+        fields = [compressor.compress(sparse_data, abs_eb=1e-3) for _ in range(3)]
+        engine.reduce_fused(fields)
+        assert engine.stats.kway.sum() == fields[0].code_lengths.size
+        assert engine.stats.kway[0] > 0  # constant blocks exist in sparse data
+        assert engine.stats.kway[2] > 0  # the bursts overlap → accumulate
+
+    def test_merge_carries_kway(self):
+        from repro.homomorphic.hzdynamic import PipelineStats
+
+        a, b = PipelineStats(), PipelineStats()
+        b.kway[1] = 4
+        b.fused_calls = 2
+        b.fused_operands = 6
+        a.merge(b)
+        assert a.kway[1] == 4
+        assert a.mean_fanin == pytest.approx(3.0)
+
+
+class TestEmptyPayloadRoundTrips:
+    """Fields whose payload is empty (all-constant blocks) through every op."""
+
+    def _empty_field(self, compressor, engine, smooth_data):
+        cx = compressor.compress(smooth_data, abs_eb=1e-4)
+        return cx, engine.scale(cx, 0)
+
+    def test_scale_by_zero_validates_and_decompresses(
+        self, compressor, engine, smooth_data
+    ):
+        _, zero = self._empty_field(compressor, engine, smooth_data)
+        zero.validate()
+        assert zero.payload.size == 0
+        assert (compressor.decompress(zero) == 0).all()
+
+    def test_empty_field_is_additive_identity(self, compressor, engine, smooth_data):
+        cx, zero = self._empty_field(compressor, engine, smooth_data)
+        assert engine.add(cx, zero).to_bytes() == cx.to_bytes()
+        assert engine.add(zero, cx).to_bytes() == cx.to_bytes()
+
+    def test_empty_fields_reduce(self, compressor, engine, smooth_data):
+        _, zero = self._empty_field(compressor, engine, smooth_data)
+        out = engine.reduce([zero, zero, zero])
+        assert out.payload.size == 0
+        assert (compressor.decompress(out) == 0).all()
+
+    def test_empty_field_wire_roundtrip(self, compressor, engine, smooth_data):
+        cx, zero = self._empty_field(compressor, engine, smooth_data)
+        again = from_bytes(zero.to_bytes())
+        again.validate()
+        assert engine.add(cx, again).to_bytes() == cx.to_bytes()
+
+    def test_all_constant_compression_roundtrip(self, compressor, engine):
+        zero = compressor.compress(np.zeros(5_000, dtype=np.float32), abs_eb=1e-4)
+        assert zero.payload.size == 0
+        total = engine.reduce_fused([zero, zero])
+        assert (compressor.decompress(total) == 0).all()
+        again = from_bytes(total.to_bytes())
+        assert (compressor.decompress(again) == 0).all()

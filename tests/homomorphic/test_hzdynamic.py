@@ -157,11 +157,10 @@ class TestPipelineSelection:
         eng.add(cr, cr)
         assert eng.stats.total == 0
 
-    def test_percentages_sum_to_100(self, compressor, engine, sparse_data, rough_data):
+    def test_percentages_sum_to_100(self, compressor, engine, sparse_data):
         engine.reset_stats()
         cs = compressor.compress(sparse_data, abs_eb=1e-3)
-        cr = compressor.compress(rough_data[: sparse_data.size].repeat(2)[: sparse_data.size], abs_eb=1e-3)
-        # force same geometry by compressing same-length data
+        # same geometry: compress same-length data
         engine.add(cs, compressor.compress(np.zeros_like(sparse_data), abs_eb=1e-3))
         assert engine.stats.percentages.sum() == pytest.approx(100.0)
 

@@ -13,7 +13,6 @@ from repro.compression import FZLight, OmpSZp, check_error_bound, evaluate_quali
 from repro.core.config import CollectiveConfig
 from repro.datasets import dataset_names, generate_field, generate_pair
 from repro.homomorphic import HZDynamic
-from repro.runtime.cluster import SimCluster
 from repro.runtime.topology import Ring
 
 SCALE = 0.005

@@ -5,7 +5,6 @@ import time
 import pytest
 
 from repro.runtime.cluster import SimCluster, measured
-from repro.runtime.network import NetworkModel
 
 
 @pytest.fixture()

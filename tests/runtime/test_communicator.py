@@ -1,6 +1,5 @@
 """Unit tests for the point-to-point communicator."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.communicator import Communicator

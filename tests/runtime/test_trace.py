@@ -55,6 +55,50 @@ class TestTraceLog:
         with pytest.raises(ValueError, match="schema"):
             TraceLog.from_json('{"schema": 9, "events": []}')
 
+    def test_summaries_consume_events_once(self):
+        """Regression: ``round_summaries`` must be one sweep over the event
+        list, not a rescan per round (O(rounds × events) made long traces
+        quadratic to post-process)."""
+
+        class CountingList(list):
+            iterations = 0
+
+            def __iter__(self):
+                CountingList.iterations += 1
+                return super().__iter__()
+
+        log = TraceLog()
+        log.events = CountingList()
+        for r in range(1000):
+            log.record_compute(0, "CPR", 0.01)
+            log.record_comm(0, 0.02, 64)
+            log.record_round(0.03)
+        CountingList.iterations = 0
+        summaries = log.round_summaries()
+        assert CountingList.iterations == 1
+        assert len(summaries) == 1000
+        assert all(s.bytes_moved == 64 for s in summaries)
+
+    def test_summaries_match_naive_rescan(self):
+        """The grouped sweep must agree with a per-round rescan oracle."""
+        log = TraceLog()
+        log.record_compute(0, "CPR", 0.10)
+        log.record_compute(0, "CPR", 0.05)  # same rank accumulates
+        log.record_compute(1, "HPR", 0.12)
+        log.record_comm(0, 0.02, 128)
+        log.record_comm(1, 0.07, 256)
+        log.record_round(0.19)
+        log.record_round(0.01)  # empty round: no compute, no comm
+        log.record_comm(2, 0.30, 512)
+        log.record_round(0.30)
+        s = log.round_summaries()
+        assert [x.round_index for x in s] == [0, 1, 2]
+        assert s[0].max_compute == pytest.approx(0.15)
+        assert s[0].comm_time == pytest.approx(0.07)
+        assert s[0].bytes_moved == 384
+        assert s[1].max_compute == 0.0 and s[1].bytes_moved == 0
+        assert s[2].comm_time == pytest.approx(0.30)
+
 
 class TestClusterIntegration:
     def test_collective_produces_trace(self, rng):
