@@ -8,6 +8,7 @@ Commands
 ``pipelines``   — hZ-dynamic pipeline mix for one dataset (Table V row).
 ``scaling``     — Figure 10/12 speedup curves from the cost model.
 ``stacking``    — the image-stacking demo (Table VII / Figure 13 shapes).
+``chaos``       — run one collective under a seeded fault plan.
 """
 
 from __future__ import annotations
@@ -51,6 +52,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stacking", help="image-stacking demo")
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--size", type=int, default=256, help="square image side")
+
+    p = sub.add_parser("chaos", help="run one collective under a seeded fault plan")
+    p.add_argument("--op", choices=["allreduce", "reduce_scatter", "reduce", "bcast"],
+                   default="allreduce")
+    p.add_argument("--kernel", default="hzccl",
+                   help="hzccl | ccoll | mpi (op-dependent; see `repro chaos -h`)")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--elements", type=int, default=4096, help="elements per rank")
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument("--drop", type=float, default=0.0, help="message drop rate")
+    p.add_argument("--corrupt", type=float, default=0.0, help="payload corruption rate")
+    p.add_argument("--truncate", type=float, default=0.0, help="payload truncation rate")
+    p.add_argument("--duplicate", type=float, default=0.0, help="duplicate delivery rate")
+    p.add_argument("--straggler", type=int, action="append", default=None,
+                   metavar="RANK", help="straggler rank (repeatable)")
+    p.add_argument("--straggler-factor", type=float, default=4.0,
+                   help="compute slowdown for straggler ranks")
     return parser
 
 
@@ -170,6 +188,51 @@ def _cmd_stacking(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.core.api import HZCCL
+    from repro.core.config import CollectiveConfig
+    from repro.runtime.faults import FaultPlan
+
+    plan = FaultPlan(
+        seed=args.seed,
+        drop_rate=args.drop,
+        corrupt_rate=args.corrupt,
+        truncate_rate=args.truncate,
+        duplicate_rate=args.duplicate,
+        stragglers=tuple(args.straggler or ()),
+        straggler_factor=args.straggler_factor if args.straggler else 1.0,
+    )
+    config = CollectiveConfig().with_faults(plan)
+    lib = HZCCL(config)
+    healthy = HZCCL(CollectiveConfig())
+    rng = np.random.default_rng(args.seed)
+    data = [
+        np.cumsum(rng.standard_normal(args.elements)).astype(np.float32)
+        for _ in range(args.ranks)
+    ]
+    if args.op == "bcast":
+        result = lib.bcast(data[0], args.ranks, kernel=args.kernel)
+        baseline = healthy.bcast(data[0], args.ranks, kernel=args.kernel)
+    else:
+        op = getattr(lib, args.op)
+        result = op(data, kernel=args.kernel)
+        baseline = getattr(healthy, args.op)(data, kernel=args.kernel)
+    print(f"{args.op}/{args.kernel} over {args.ranks} ranks under {plan.describe()}")
+    print(f"degraded to plain kernel: {result.degraded}")
+    if result.fault_stats is not None:
+        counters = {
+            k: v for k, v in result.fault_stats.as_dict().items() if v
+        }
+        print(f"fault stats: {counters}")
+    print(
+        f"makespan {result.total_time * 1e3:.3f} ms "
+        f"(fault-free {baseline.total_time * 1e3:.3f} ms), "
+        f"wire {result.bytes_on_wire / 1e6:.2f} MB "
+        f"(fault-free {baseline.bytes_on_wire / 1e6:.2f} MB)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -180,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipelines": lambda: _cmd_pipelines(args),
         "scaling": lambda: _cmd_scaling(args),
         "stacking": lambda: _cmd_stacking(args),
+        "chaos": lambda: _cmd_chaos(args),
     }
     return handlers[args.command]()
 

@@ -17,9 +17,16 @@ import numpy as np
 
 from ..homomorphic.hzdynamic import PipelineStats
 from ..runtime.clock import Breakdown
+from ..runtime.cluster import SimCluster
+from ..runtime.faults import FaultStats
 from ..utils.validation import ensure_same_shape
 
-__all__ = ["CollectiveResult", "split_blocks", "validate_local_data"]
+__all__ = [
+    "CollectiveResult",
+    "channel_stats",
+    "split_blocks",
+    "validate_local_data",
+]
 
 
 @dataclass
@@ -34,16 +41,27 @@ class CollectiveResult:
     bytes_on_wire : total bytes sent by all ranks over all rounds — the
         quantity network congestion acts on.
     pipeline_stats : hZ-dynamic pipeline selection counts (hZCCL only).
+    degraded : the compressed path hit an unrecoverable stream and fell
+        back to the plain uncompressed kernel (outputs are exact, not
+        error-bounded-lossy, but the compression win was forfeited).
+    fault_stats : fault/retry counters when a fault plan was active.
     """
 
     outputs: list[np.ndarray]
     breakdown: Breakdown
     bytes_on_wire: int = 0
     pipeline_stats: PipelineStats | None = None
+    degraded: bool = False
+    fault_stats: FaultStats | None = None
 
     @property
     def total_time(self) -> float:
         return self.breakdown.total_time
+
+
+def channel_stats(cluster: SimCluster) -> FaultStats | None:
+    """The cluster channel's fault counters, or ``None`` on a healthy run."""
+    return cluster.channel.stats if cluster.faults is not None else None
 
 
 def validate_local_data(local_data: list[np.ndarray]) -> list[np.ndarray]:

@@ -25,8 +25,15 @@ import numpy as np
 from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..runtime.cluster import SimCluster
+from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
-from .base import CollectiveResult, split_blocks, validate_local_data
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    split_blocks,
+    validate_local_data,
+)
+from .ring import mpi_allgather, mpi_reduce_scatter
 
 __all__ = ["ccoll_reduce_scatter", "ccoll_allgather", "ccoll_allreduce"]
 
@@ -48,33 +55,51 @@ def ccoll_reduce_scatter(
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     ring = Ring(n)
+    channel = cluster.channel
     comp = _compressor(config)
     eb = config.error_bound
     bufs = [split_blocks(a, n) for a in arrays]
     wire = 0
 
-    for j in range(n - 1):
-        outbox: list[CompressedField] = []
-        for i in range(n):
-            with cluster.timed(i, "CPR"):
-                outbox.append(comp.compress(bufs[i][ring.send_block(i, j)], abs_eb=eb))
-        max_msg = 0
-        for i in range(n):
-            incoming = outbox[ring.predecessor(i)]
-            nbytes = incoming.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            with cluster.timed(i, "DPR"):
-                decoded = comp.decompress(incoming)
-            with cluster.timed(i, "CPT"):
-                blk = ring.recv_block(i, j)
-                bufs[i][blk] = bufs[i][blk] + decoded
-        cluster.end_round(max_msg)
+    try:
+        for j in range(n - 1):
+            outbox: list[CompressedField] = []
+            for i in range(n):
+                with cluster.timed(i, "CPR"):
+                    outbox.append(
+                        comp.compress(bufs[i][ring.send_block(i, j)], abs_eb=eb)
+                    )
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                delivery = channel.deliver_compressed(pred, i, outbox[pred])
+                incoming = delivery.payload
+                wire += delivery.nbytes
+                max_msg = max(max_msg, incoming.nbytes)
+                with cluster.timed(i, "DPR"):
+                    decoded = comp.decompress(incoming)
+                with cluster.timed(i, "CPT"):
+                    blk = ring.recv_block(i, j)
+                    bufs[i][blk] = bufs[i][blk] + decoded
+            cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        # Degrade: rerun the remainder on the plain uncompressed kernel.
+        channel.degrade()
+        fallback = mpi_reduce_scatter(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -86,6 +111,7 @@ def ccoll_allgather(
     if len(chunks) != n:
         raise ValueError(f"got {len(chunks)} chunks for {n} ranks")
     ring = Ring(n)
+    channel = cluster.channel
     comp = _compressor(config)
     eb = config.error_bound
     wire = 0
@@ -100,20 +126,31 @@ def ccoll_allgather(
     gathered: list[dict[int, CompressedField]] = [
         {ring.owned_block(i): compressed[i]} for i in range(n)
     ]
-    for j in range(n - 1):
-        outbox = {}
-        for i in range(n):
-            blk = ring.allgather_send_block(i, j)
-            outbox[i] = (blk, gathered[i][blk])
-        max_msg = 0
-        for i in range(n):
-            blk, field = outbox[ring.predecessor(i)]
-            nbytes = field.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            gathered[i][blk] = field
-        cluster.end_round(max_msg)
+    try:
+        for j in range(n - 1):
+            outbox = {}
+            for i in range(n):
+                blk = ring.allgather_send_block(i, j)
+                outbox[i] = (blk, gathered[i][blk])
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                blk, field = outbox[pred]
+                delivery = channel.deliver_compressed(pred, i, field)
+                wire += delivery.nbytes
+                max_msg = max(max_msg, field.nbytes)
+                gathered[i][blk] = delivery.payload
+            cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        channel.degrade()
+        fallback = mpi_allgather(cluster, list(chunks))
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     outputs = []
     for i in range(n):
@@ -129,7 +166,10 @@ def ccoll_allgather(
     cluster.end_compute_phase()
 
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -143,4 +183,6 @@ def ccoll_allreduce(
         outputs=ag.outputs,
         breakdown=cluster.breakdown(),
         bytes_on_wire=rs.bytes_on_wire + ag.bytes_on_wire,
+        degraded=rs.degraded or ag.degraded,
+        fault_stats=channel_stats(cluster),
     )

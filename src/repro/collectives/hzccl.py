@@ -28,8 +28,15 @@ from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
+from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
-from .base import CollectiveResult, split_blocks, validate_local_data
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    split_blocks,
+    validate_local_data,
+)
+from .ring import mpi_allgather, mpi_reduce_scatter
 
 __all__ = [
     "hzccl_reduce_scatter",
@@ -79,21 +86,38 @@ def hzccl_reduce_scatter(
         partial.append(compressed_blocks)
     cluster.end_compute_phase()
 
-    for j in range(n - 1):
-        outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
-        max_msg = 0
-        for i in range(n):
-            incoming = outbox[ring.predecessor(i)]
-            nbytes = incoming.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            blk = ring.recv_block(i, j)
-            with cluster.timed(i, "HPR"):
-                # one fused fold of the local partial with the incoming
-                # compressed block (k = 2 instance of the k-way kernel)
-                partial[i][blk] = engine.reduce_fused((partial[i][blk], incoming))
-        cluster.end_round(max_msg)
+    channel = cluster.channel
+    try:
+        for j in range(n - 1):
+            outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                delivery = channel.deliver_compressed(pred, i, outbox[pred])
+                incoming = delivery.payload
+                wire += delivery.nbytes
+                max_msg = max(max_msg, incoming.nbytes)
+                blk = ring.recv_block(i, j)
+                with cluster.timed(i, "HPR"):
+                    # one fused fold of the local partial with the incoming
+                    # compressed block (k = 2 instance of the k-way kernel)
+                    partial[i][blk] = engine.reduce_fused(
+                        (partial[i][blk], incoming)
+                    )
+            cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        # Degrade: finish on the plain uncompressed kernel (the outputs are
+        # then plain float blocks regardless of ``return_compressed``).
+        channel.degrade()
+        fallback = mpi_reduce_scatter(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            pipeline_stats=engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     reduced = [partial[i][ring.owned_block(i)] for i in range(n)]
     if return_compressed:
@@ -110,6 +134,7 @@ def hzccl_reduce_scatter(
         breakdown=cluster.breakdown(),
         bytes_on_wire=wire,
         pipeline_stats=engine.stats,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -132,23 +157,41 @@ def hzccl_allgather_compressed(
     for i in range(n):
         cluster.clocks[i].charge("OTHER", _SYNC_OVERHEAD_S)  # size sync only
 
+    channel = cluster.channel
     gathered: list[dict[int, CompressedField]] = [
         {ring.owned_block(i): chunks[i]} for i in range(n)
     ]
-    for j in range(n - 1):
-        outbox = {}
+    try:
+        for j in range(n - 1):
+            outbox = {}
+            for i in range(n):
+                blk = ring.allgather_send_block(i, j)
+                outbox[i] = (blk, gathered[i][blk])
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                blk, field = outbox[pred]
+                delivery = channel.deliver_compressed(pred, i, field)
+                wire += delivery.nbytes
+                max_msg = max(max_msg, field.nbytes)
+                gathered[i][blk] = delivery.payload
+            cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        # Degrade: decompress the local contributions and forward plain.
+        channel.degrade()
+        plain_chunks = []
         for i in range(n):
-            blk = ring.allgather_send_block(i, j)
-            outbox[i] = (blk, gathered[i][blk])
-        max_msg = 0
-        for i in range(n):
-            blk, field = outbox[ring.predecessor(i)]
-            nbytes = field.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            gathered[i][blk] = field
-        cluster.end_round(max_msg)
+            with cluster.timed(i, "DPR"):
+                plain_chunks.append(comp.decompress(chunks[i]))
+        cluster.end_compute_phase()
+        fallback = mpi_allgather(cluster, plain_chunks)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     outputs = []
     for i in range(n):
@@ -160,7 +203,10 @@ def hzccl_allgather_compressed(
     cluster.end_compute_phase()
 
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -174,10 +220,17 @@ def hzccl_allreduce(
     tailored optimisation on top of the per-stage gains.
     """
     rs = hzccl_reduce_scatter(cluster, local_data, config, return_compressed=True)
-    ag = hzccl_allgather_compressed(cluster, rs.outputs, config)
+    if rs.degraded:
+        # The Reduce_scatter stage already fell back to plain blocks;
+        # finish with the plain allgather.
+        ag = mpi_allgather(cluster, rs.outputs)
+    else:
+        ag = hzccl_allgather_compressed(cluster, rs.outputs, config)
     return CollectiveResult(
         outputs=ag.outputs,
         breakdown=cluster.breakdown(),
         bytes_on_wire=rs.bytes_on_wire + ag.bytes_on_wire,
         pipeline_stats=rs.pipeline_stats,
+        degraded=rs.degraded or ag.degraded,
+        fault_stats=channel_stats(cluster),
     )

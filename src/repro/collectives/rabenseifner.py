@@ -21,7 +21,13 @@ from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
-from .base import CollectiveResult, split_blocks, validate_local_data
+from ..runtime.faults import UnrecoverableStreamError
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    split_blocks,
+    validate_local_data,
+)
 
 __all__ = ["rabenseifner_allreduce", "hzccl_rabenseifner_allreduce"]
 
@@ -72,6 +78,7 @@ def rabenseifner_allreduce(
     owned = [[False] * n for _ in range(n)]
     wire = 0
 
+    channel = cluster.channel
     # phase 1: recursive halving reduce-scatter.  All exchanges of a round
     # happen simultaneously, so partners' values are read from a snapshot.
     for k in range(levels):
@@ -82,8 +89,8 @@ def rabenseifner_allreduce(
             nbytes = sum(
                 snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
             )
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
+            delivery = channel.deliver_plain(partner, i, None, nbytes)
+            wire += delivery.nbytes
             max_msg = max(max_msg, nbytes)
             with cluster.timed(i, "CPT"):
                 for j in range(keep[0], keep[1]):
@@ -104,8 +111,8 @@ def rabenseifner_allreduce(
         for i in range(n):
             partner = i ^ (n >> (k + 1))
             nbytes = sum(v.nbytes for v in snapshot[partner].values())
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
+            delivery = channel.deliver_plain(partner, i, None, nbytes)
+            wire += delivery.nbytes
             max_msg = max(max_msg, nbytes)
             gathered[i].update(snapshot[partner])
         cluster.end_round(max_msg)
@@ -114,7 +121,10 @@ def rabenseifner_allreduce(
         np.concatenate([gathered[i][j] for j in range(n)]) for i in range(n)
     ]
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -140,37 +150,68 @@ def hzccl_rabenseifner_allreduce(
             segs.append([comp.compress(b, abs_eb=eb) for b in split_blocks(arrays[i], n)])
     cluster.end_compute_phase()
 
+    channel = cluster.channel
     schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
-    for k in range(levels):
-        snapshot = [list(s) for s in segs]
-        max_msg = 0
-        for i in range(n):
-            _, partner, keep, _ = schedules[i][k]
-            nbytes = sum(
-                snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
-            )
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            with cluster.timed(i, "HPR"):
+    try:
+        for k in range(levels):
+            snapshot = [list(s) for s in segs]
+            max_msg = 0
+            for i in range(n):
+                _, partner, keep, _ = schedules[i][k]
+                # the round's segments travel as one bundled message; the
+                # scheduled transfer is charged in aggregate, then every
+                # segment is validated (faults charge only their handling)
+                nbytes = sum(
+                    snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
+                )
+                channel.charge_link(partner, i, nbytes)
+                wire += nbytes
+                max_msg = max(max_msg, nbytes)
+                received: dict[int, CompressedField] = {}
                 for j in range(keep[0], keep[1]):
-                    segs[i][j] = engine.reduce_fused(
-                        (snapshot[i][j], snapshot[partner][j])
+                    delivery = channel.deliver_compressed(
+                        partner, i, snapshot[partner][j], charge_base=False
                     )
-        cluster.end_round(max_msg)
+                    wire += delivery.nbytes
+                    received[j] = delivery.payload
+                with cluster.timed(i, "HPR"):
+                    for j in range(keep[0], keep[1]):
+                        segs[i][j] = engine.reduce_fused(
+                            (snapshot[i][j], received[j])
+                        )
+            cluster.end_round(max_msg)
 
-    gathered: list[dict[int, CompressedField]] = [{i: segs[i][i]} for i in range(n)]
-    for k in range(levels - 1, -1, -1):
-        snapshot2 = [dict(g) for g in gathered]
-        max_msg = 0
-        for i in range(n):
-            partner = i ^ (n >> (k + 1))
-            nbytes = sum(v.nbytes for v in snapshot2[partner].values())
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            gathered[i].update(snapshot2[partner])
-        cluster.end_round(max_msg)
+        gathered: list[dict[int, CompressedField]] = [
+            {i: segs[i][i]} for i in range(n)
+        ]
+        for k in range(levels - 1, -1, -1):
+            snapshot2 = [dict(g) for g in gathered]
+            max_msg = 0
+            for i in range(n):
+                partner = i ^ (n >> (k + 1))
+                nbytes = sum(v.nbytes for v in snapshot2[partner].values())
+                channel.charge_link(partner, i, nbytes)
+                wire += nbytes
+                max_msg = max(max_msg, nbytes)
+                for j, seg in snapshot2[partner].items():
+                    delivery = channel.deliver_compressed(
+                        partner, i, seg, charge_base=False
+                    )
+                    wire += delivery.nbytes
+                    gathered[i][j] = delivery.payload
+            cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        # Degrade: rerun on the plain Rabenseifner schedule.
+        channel.degrade()
+        fallback = rabenseifner_allreduce(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            pipeline_stats=engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     outputs = []
     for i in range(n):
@@ -184,4 +225,5 @@ def hzccl_rabenseifner_allreduce(
         breakdown=cluster.breakdown(),
         bytes_on_wire=wire,
         pipeline_stats=engine.stats,
+        fault_stats=channel_stats(cluster),
     )

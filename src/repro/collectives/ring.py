@@ -20,7 +20,12 @@ import numpy as np
 
 from ..runtime.cluster import SimCluster
 from ..runtime.topology import Ring
-from .base import CollectiveResult, split_blocks, validate_local_data
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    split_blocks,
+    validate_local_data,
+)
 
 __all__ = ["mpi_reduce_scatter", "mpi_allgather", "mpi_allreduce"]
 
@@ -34,6 +39,7 @@ def mpi_reduce_scatter(
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     ring = Ring(n)
+    channel = cluster.channel
     bufs = [split_blocks(a, n) for a in arrays]
     wire = 0
 
@@ -41,11 +47,13 @@ def mpi_reduce_scatter(
         outbox = [bufs[i][ring.send_block(i, j)] for i in range(n)]
         max_msg = 0
         for i in range(n):
-            incoming = outbox[ring.predecessor(i)]
-            nbytes = incoming.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
+            pred = ring.predecessor(i)
+            delivery = channel.deliver_plain(
+                pred, i, outbox[pred], outbox[pred].nbytes
+            )
+            incoming = delivery.payload
+            wire += delivery.nbytes
+            max_msg = max(max_msg, incoming.nbytes)
             blk = ring.recv_block(i, j)
             with cluster.timed(i, "CPT"):
                 # each slot is folded exactly once per schedule and the
@@ -56,7 +64,10 @@ def mpi_reduce_scatter(
 
     outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -73,6 +84,7 @@ def mpi_allgather(
     if len(chunks) != n:
         raise ValueError(f"got {len(chunks)} chunks for {n} ranks")
     ring = Ring(n)
+    channel = cluster.channel
     # gathered[i][k] will hold block k at rank i; own contribution known.
     gathered: list[dict[int, np.ndarray]] = [
         {ring.owned_block(i): np.asarray(chunks[i])} for i in range(n)
@@ -86,19 +98,22 @@ def mpi_allgather(
             outbox[i] = (blk, gathered[i][blk])
         max_msg = 0
         for i in range(n):
-            blk, data = outbox[ring.predecessor(i)]
-            nbytes = data.nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            gathered[i][blk] = data
+            pred = ring.predecessor(i)
+            blk, data = outbox[pred]
+            delivery = channel.deliver_plain(pred, i, data, data.nbytes)
+            wire += delivery.nbytes
+            max_msg = max(max_msg, data.nbytes)
+            gathered[i][blk] = delivery.payload
         cluster.end_round(max_msg)
 
     outputs = [
         np.concatenate([gathered[i][k] for k in range(n)]) for i in range(n)
     ]
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -112,4 +127,5 @@ def mpi_allreduce(
         outputs=ag.outputs,
         breakdown=cluster.breakdown(),
         bytes_on_wire=rs.bytes_on_wire + ag.bytes_on_wire,
+        fault_stats=channel_stats(cluster),
     )

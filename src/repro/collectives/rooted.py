@@ -27,8 +27,9 @@ from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
+from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
-from .base import CollectiveResult, validate_local_data
+from .base import CollectiveResult, channel_stats, validate_local_data
 from .hzccl import hzccl_reduce_scatter
 from .ring import mpi_reduce_scatter
 
@@ -41,8 +42,15 @@ __all__ = [
 ]
 
 
-def _gather_blocks(cluster, ring, items, nbytes_of, root):
-    """Gather per-rank items to the root (direct sends, concurrent)."""
+def _gather_blocks(cluster, ring, items, nbytes_of, root, compressed=False):
+    """Gather per-rank items to the root (direct sends, concurrent).
+
+    The scheduled transfer is charged to each sender (the flat gather's
+    incast is concurrent); with ``compressed=True`` every stream is then
+    validated through the resilient channel, which may raise
+    :class:`UnrecoverableStreamError` for the caller to degrade on.
+    """
+    channel = cluster.channel
     wire = 0
     max_msg = 0
     for i in range(cluster.n_ranks):
@@ -52,6 +60,12 @@ def _gather_blocks(cluster, ring, items, nbytes_of, root):
         cluster.charge_comm(i, nbytes)
         wire += nbytes
         max_msg = max(max_msg, nbytes)
+        if compressed:
+            delivery = channel.deliver_compressed(
+                i, root, items[i], charge_base=False
+            )
+            wire += delivery.nbytes
+            items[i] = delivery.payload
     cluster.end_round(max_msg)
     return wire
 
@@ -75,7 +89,10 @@ def mpi_reduce(
     outputs: list = [None] * n
     outputs[root] = result
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -88,17 +105,44 @@ def hzccl_reduce(
     if not 0 <= root < n:
         raise IndexError(f"root {root} out of range for {n} ranks")
     ring = Ring(n)
-    rs = hzccl_reduce_scatter(cluster, local_data, config, return_compressed=True)
-    wire = rs.bytes_on_wire + _gather_blocks(
-        cluster, ring, rs.outputs, lambda f: f.nbytes, root
-    )
+    channel = cluster.channel
     comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
-    ordered: list[CompressedField] = [None] * n  # type: ignore[list-item]
+    rs = hzccl_reduce_scatter(cluster, local_data, config, return_compressed=True)
+    degraded = rs.degraded
+    if degraded:
+        # Reduce_scatter already fell back: the blocks are plain floats.
+        blocks = list(rs.outputs)
+        wire = rs.bytes_on_wire + _gather_blocks(
+            cluster, ring, blocks, lambda b: b.nbytes, root
+        )
+    else:
+        blocks = list(rs.outputs)
+        try:
+            wire = rs.bytes_on_wire + _gather_blocks(
+                cluster, ring, blocks, lambda f: f.nbytes, root, compressed=True
+            )
+        except UnrecoverableStreamError:
+            # Degrade: decompress at the owners, gather the plain blocks.
+            channel.degrade()
+            degraded = True
+            plain = []
+            for i in range(n):
+                with cluster.timed(i, "DPR"):
+                    plain.append(comp.decompress(rs.outputs[i]))
+            cluster.end_compute_phase()
+            blocks = plain
+            wire = rs.bytes_on_wire + _gather_blocks(
+                cluster, ring, blocks, lambda b: b.nbytes, root
+            )
+    ordered: list = [None] * n
     for i in range(n):
-        ordered[ring.owned_block(i)] = rs.outputs[i]
-    with cluster.timed(root, "DPR"):
-        result = np.concatenate([comp.decompress(f) for f in ordered])
-    cluster.end_compute_phase()
+        ordered[ring.owned_block(i)] = blocks[i]
+    if degraded:
+        result = np.concatenate(ordered)
+    else:
+        with cluster.timed(root, "DPR"):
+            result = np.concatenate([comp.decompress(f) for f in ordered])
+        cluster.end_compute_phase()
     outputs: list = [None] * n
     outputs[root] = result
     return CollectiveResult(
@@ -106,6 +150,8 @@ def hzccl_reduce(
         breakdown=cluster.breakdown(),
         bytes_on_wire=wire,
         pipeline_stats=rs.pipeline_stats,
+        degraded=degraded,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -134,16 +180,35 @@ def hzccl_reduce_direct(
     cluster.end_compute_phase()
 
     # flat gather of the compressed streams to the root (concurrent sends)
+    channel = cluster.channel
     wire = 0
     max_msg = 0
-    for i in range(n):
-        if i == root:
-            continue
-        nbytes = fields[i].nbytes
-        cluster.charge_comm(i, nbytes)
-        wire += nbytes
-        max_msg = max(max_msg, nbytes)
-    cluster.end_round(max_msg)
+    try:
+        for i in range(n):
+            if i == root:
+                continue
+            nbytes = fields[i].nbytes
+            cluster.charge_comm(i, nbytes)
+            wire += nbytes
+            max_msg = max(max_msg, nbytes)
+            delivery = channel.deliver_compressed(
+                i, root, fields[i], charge_base=False
+            )
+            wire += delivery.nbytes
+            fields[i] = delivery.payload
+        cluster.end_round(max_msg)
+    except UnrecoverableStreamError:
+        # Degrade: rerun as a plain rooted Reduce.
+        channel.degrade()
+        fallback = mpi_reduce(cluster, local_data, root)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=wire + fallback.bytes_on_wire,
+            pipeline_stats=engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
 
     with cluster.timed(root, "HPR"):
         total = engine.reduce_fused(fields)
@@ -158,6 +223,8 @@ def hzccl_reduce_direct(
         breakdown=cluster.breakdown(),
         bytes_on_wire=wire,
         pipeline_stats=engine.stats,
+        degraded=False,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -189,7 +256,10 @@ def mpi_bcast(
     wire = _binomial_rounds(cluster, data.nbytes, root)
     outputs = [data.copy() for _ in range(cluster.n_ranks)]
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        fault_stats=channel_stats(cluster),
     )
 
 
@@ -199,19 +269,37 @@ def compressed_bcast(
     """Compressed broadcast: one CPR at the root, compressed bytes on the
     tree, one DPR per receiving rank (all concurrent)."""
     data = validate_local_data([data])[0]
+    channel = cluster.channel
     comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
     with cluster.timed(root, "CPR"):
         field = comp.compress(data, abs_eb=config.error_bound)
     cluster.end_compute_phase()
     wire = _binomial_rounds(cluster, field.nbytes, root)
+    degraded = False
     outputs = []
     for i in range(cluster.n_ranks):
         if i == root:
             outputs.append(data.copy())
-        else:
+            continue
+        try:
+            delivery = channel.deliver_compressed(
+                root, i, field, charge_base=False
+            )
+            wire += delivery.nbytes
             with cluster.timed(i, "DPR"):
-                outputs.append(comp.decompress(field))
+                outputs.append(comp.decompress(delivery.payload))
+        except UnrecoverableStreamError:
+            # Degrade per rank: the root re-sends that rank's share plain.
+            channel.degrade()
+            degraded = True
+            cluster.charge_comm(i, data.nbytes)
+            wire += data.nbytes
+            outputs.append(data.copy())
     cluster.end_compute_phase()
     return CollectiveResult(
-        outputs=outputs, breakdown=cluster.breakdown(), bytes_on_wire=wire
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=wire,
+        degraded=degraded,
+        fault_stats=channel_stats(cluster),
     )

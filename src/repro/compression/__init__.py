@@ -27,7 +27,7 @@ from .metrics import (
     nrmse,
     psnr,
 )
-from .ompszp import OmpSZp, OmpSZpField
+from .ompszp import OmpSZp, OmpSZpField, ompszp_from_bytes
 
 __all__ = [
     "FZLight",
@@ -35,6 +35,7 @@ __all__ = [
     "FZLightND",
     "OmpSZp",
     "OmpSZpField",
+    "ompszp_from_bytes",
     "CompressedField",
     "from_bytes",
     "block_structure",

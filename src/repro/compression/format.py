@@ -20,6 +20,7 @@ walk the two code-length arrays in lockstep without any decompression.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -38,10 +39,13 @@ __all__ = [
 ]
 
 _MAGIC = b"HZCC"
-_VERSION = 3
+_VERSION = 4
 #: magic, version, predictor, block_size, n, n_tb, n_blocks, payload, rows,
-#: cols, eb
-_HEADER = struct.Struct("<4sBBHQIQQIId")
+#: cols, eb — followed by a CRC32 of (this prefix + body), so any single
+#: corrupted byte anywhere in the stream is detected before parsing digs in.
+_HEADER_PREFIX = struct.Struct("<4sBBHQIQQIId")
+_CRC = struct.Struct("<I")
+_HEADER_SIZE = _HEADER_PREFIX.size + _CRC.size
 
 #: Predictor identifiers (homomorphic operations require equal predictors —
 #: deltas from different predictors live in different linear bases).
@@ -185,7 +189,7 @@ class CompressedField:
     def nbytes(self) -> int:
         """Size of the serialised stream — the network-visible message size."""
         return (
-            _HEADER.size
+            _HEADER_SIZE
             + self.code_lengths.size
             + self.outliers.size * 8
             + self.payload.size
@@ -230,8 +234,13 @@ class CompressedField:
             )
 
     def to_bytes(self) -> bytes:
-        """Serialise to the wire format used by the collectives."""
-        header = _HEADER.pack(
+        """Serialise to the wire format used by the collectives.
+
+        The header carries a CRC32 over the header prefix and the body, so
+        a receiver detects any corruption in flight with one cheap pass
+        (``from_bytes`` verifies it before touching the geometry).
+        """
+        prefix = _HEADER_PREFIX.pack(
             _MAGIC,
             _VERSION,
             self.predictor,
@@ -244,13 +253,15 @@ class CompressedField:
             self.cols,
             self.error_bound,
         )
+        code_lengths = self.code_lengths.tobytes()
+        outliers = self.outliers.astype("<i8").tobytes()
+        payload = self.payload.tobytes()
+        crc = zlib.crc32(prefix)
+        crc = zlib.crc32(code_lengths, crc)
+        crc = zlib.crc32(outliers, crc)
+        crc = zlib.crc32(payload, crc)
         return b"".join(
-            (
-                header,
-                self.code_lengths.tobytes(),
-                self.outliers.astype("<i8").tobytes(),
-                self.payload.tobytes(),
-            )
+            (prefix, _CRC.pack(crc), code_lengths, outliers, payload)
         )
 
     def copy(self) -> "CompressedField":
@@ -271,10 +282,11 @@ class CompressedField:
 def from_bytes(stream: bytes | memoryview) -> CompressedField:
     """Parse the wire format back into a :class:`CompressedField`.
 
-    Raises ``ValueError`` on a bad magic number, version, or truncation.
+    Raises ``ValueError`` on a bad magic number, version, truncation, or a
+    checksum mismatch (any corrupted byte in header or body).
     """
     stream = memoryview(stream)
-    if len(stream) < _HEADER.size:
+    if len(stream) < _HEADER_SIZE:
         raise ValueError("stream shorter than header")
     (
         magic,
@@ -288,13 +300,26 @@ def from_bytes(stream: bytes | memoryview) -> CompressedField:
         rows,
         cols,
         eb,
-    ) = _HEADER.unpack(stream[: _HEADER.size])
+    ) = _HEADER_PREFIX.unpack(stream[: _HEADER_PREFIX.size])
     if magic != _MAGIC:
         raise ValueError(f"bad magic {magic!r}")
     if version != _VERSION:
         raise ValueError(f"unsupported version {version}")
-    # Header sanity: a corrupted stream must fail cleanly here, not with an
-    # arithmetic error deeper in the geometry computations.
+    pos = _HEADER_SIZE
+    expected = pos + n_blocks + n_tb * 8 + payload_nbytes
+    if len(stream) != expected:
+        raise ValueError(f"stream has {len(stream)} bytes, header implies {expected}")
+    (stored_crc,) = _CRC.unpack(stream[_HEADER_PREFIX.size : _HEADER_SIZE])
+    crc = zlib.crc32(stream[: _HEADER_PREFIX.size])
+    crc = zlib.crc32(stream[_HEADER_SIZE:], crc)
+    if crc != stored_crc:
+        raise ValueError(
+            f"corrupt stream: checksum mismatch (stored {stored_crc:#010x}, "
+            f"computed {crc:#010x})"
+        )
+    # Header sanity: a crafted stream with a valid checksum must still fail
+    # cleanly here, not with an arithmetic error deeper in the geometry
+    # computations.
     if block_size <= 0 or block_size % 8:
         raise ValueError(f"corrupt header: block_size {block_size}")
     if n < 1:
@@ -315,10 +340,6 @@ def from_bytes(stream: bytes | memoryview) -> CompressedField:
         raise ValueError(f"corrupt header: dims ({rows}, {cols}) for n {n}")
     if not (eb > 0 and np.isfinite(eb)):
         raise ValueError(f"corrupt header: error bound {eb}")
-    pos = _HEADER.size
-    expected = pos + n_blocks + n_tb * 8 + payload_nbytes
-    if len(stream) != expected:
-        raise ValueError(f"stream has {len(stream)} bytes, header implies {expected}")
     code_lengths = np.frombuffer(stream, dtype=np.uint8, count=n_blocks, offset=pos).copy()
     pos += n_blocks
     outliers = np.frombuffer(stream, dtype="<i8", count=n_tb, offset=pos).astype(

@@ -29,19 +29,29 @@ design differences, all of which are reproduced here:
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils.chunking import pad_to_multiple
+from ..utils.chunking import num_blocks, pad_to_multiple
 from ..utils.validation import ensure_float_array, ensure_positive_int
 from .common import dequantize, quantize, resolve_error_bound
 from .encoding import DEFAULT_BLOCK_SIZE, MAX_CODE_LENGTH, required_bits
 
-__all__ = ["OmpSZpField", "OmpSZp"]
+__all__ = ["OmpSZpField", "OmpSZp", "ompszp_from_bytes"]
 
 #: Marker stored in the code-length byte for a skipped all-zero data block.
 ZERO_BLOCK_MARKER = 0xFF
+
+_OSZP_MAGIC = b"OSZP"
+_OSZP_VERSION = 1
+#: magic, version, block_size, n, eb, 5 pad bytes, CRC32 — 32 bytes total,
+#: matching the header size the ``nbytes`` accounting has always assumed.
+_OSZP_HEADER_PREFIX = struct.Struct("<4sBHQd5x")
+_OSZP_CRC = struct.Struct("<I")
+_OSZP_HEADER_SIZE = _OSZP_HEADER_PREFIX.size + _OSZP_CRC.size
 
 
 @dataclass
@@ -77,6 +87,99 @@ class OmpSZpField:
     @property
     def compression_ratio(self) -> float:
         return self.original_nbytes / self.nbytes
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the cuSZp-style wire layout (checksummed).
+
+        Skipped (all-zero) blocks store only their marker byte; outliers are
+        four bytes each and present for stored blocks only — exactly the
+        layout ``nbytes`` has always accounted for, so
+        ``len(field.to_bytes()) == field.nbytes``.
+        """
+        stored = self.code_lengths != ZERO_BLOCK_MARKER
+        prefix = _OSZP_HEADER_PREFIX.pack(
+            _OSZP_MAGIC, _OSZP_VERSION, self.block_size, self.n, self.error_bound
+        )
+        markers = self.code_lengths.astype(np.uint8).tobytes()
+        outliers = self.outliers[stored].astype("<i4").tobytes()
+        payload = self.payload.tobytes()
+        crc = zlib.crc32(prefix)
+        crc = zlib.crc32(markers, crc)
+        crc = zlib.crc32(outliers, crc)
+        crc = zlib.crc32(payload, crc)
+        return b"".join((prefix, _OSZP_CRC.pack(crc), markers, outliers, payload))
+
+
+def ompszp_from_bytes(stream: bytes | memoryview) -> OmpSZpField:
+    """Parse the ompSZp wire layout back into an :class:`OmpSZpField`.
+
+    Raises ``ValueError`` on bad magic/version, truncation, checksum
+    mismatch, or any structurally inconsistent geometry.
+    """
+    stream = memoryview(stream)
+    if len(stream) < _OSZP_HEADER_SIZE:
+        raise ValueError("stream shorter than header")
+    magic, version, block_size, n, eb = _OSZP_HEADER_PREFIX.unpack(
+        stream[: _OSZP_HEADER_PREFIX.size]
+    )
+    if magic != _OSZP_MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    if version != _OSZP_VERSION:
+        raise ValueError(f"unsupported version {version}")
+    if block_size <= 0 or block_size % 8:
+        raise ValueError(f"corrupt header: block_size {block_size}")
+    if n < 1:
+        raise ValueError(f"corrupt header: n {n}")
+    if not (eb > 0 and np.isfinite(eb)):
+        raise ValueError(f"corrupt header: error bound {eb}")
+    n_blocks = num_blocks(n, block_size)
+    pos = _OSZP_HEADER_SIZE
+    if len(stream) < pos + n_blocks:
+        raise ValueError("stream truncated inside block markers")
+    code_lengths = np.frombuffer(
+        stream, dtype=np.uint8, count=n_blocks, offset=pos
+    ).copy()
+    pos += n_blocks
+    stored = code_lengths != ZERO_BLOCK_MARKER
+    bad = stored & (code_lengths > MAX_CODE_LENGTH)
+    if bad.any():
+        raise ValueError("corrupt stream: code length exceeds 32 bits")
+    n_stored = int(stored.sum())
+    eff = np.where(stored, code_lengths, 0).astype(np.int64)
+    payload_nbytes = int(
+        np.where(eff > 0, (block_size // 8) * (1 + eff), 0).sum()
+    )
+    expected = pos + 4 * n_stored + payload_nbytes
+    if len(stream) != expected:
+        raise ValueError(
+            f"stream has {len(stream)} bytes, markers imply {expected}"
+        )
+    crc = zlib.crc32(stream[: _OSZP_HEADER_PREFIX.size])
+    crc = zlib.crc32(stream[_OSZP_HEADER_SIZE:], crc)
+    (stored_crc,) = _OSZP_CRC.unpack(
+        stream[_OSZP_HEADER_PREFIX.size : _OSZP_HEADER_SIZE]
+    )
+    if crc != stored_crc:
+        raise ValueError(
+            f"corrupt stream: checksum mismatch (stored {stored_crc:#010x}, "
+            f"computed {crc:#010x})"
+        )
+    outliers = np.zeros(n_blocks, dtype=np.int64)
+    outliers[stored] = np.frombuffer(
+        stream, dtype="<i4", count=n_stored, offset=pos
+    ).astype(np.int64)
+    pos += 4 * n_stored
+    payload = np.frombuffer(
+        stream, dtype=np.uint8, count=payload_nbytes, offset=pos
+    ).copy()
+    return OmpSZpField(
+        n=n,
+        error_bound=eb,
+        block_size=block_size,
+        code_lengths=code_lengths,
+        outliers=outliers,
+        payload=payload,
+    )
 
 
 class OmpSZp:

@@ -93,6 +93,8 @@ class HZCCL:
             network=self.config.network,
             thread_speedup=self.config.thread_speedup,
             multithread=self.config.multithread,
+            faults=self.config.fault_plan,
+            retry=self.config.retry,
         )
 
     def reduce_scatter(

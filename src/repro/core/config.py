@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..runtime.faults import FaultPlan, RetryPolicy
 from ..runtime.network import OMNIPATH_100G, NetworkModel
 from ..utils.validation import ensure_positive, ensure_positive_int
 
@@ -17,6 +18,10 @@ class CollectiveConfig:
     Defaults follow the paper's experimental setup (§IV-A): absolute error
     bound 1e-4, 32-element blocks, 18 compression threads (one Broadwell
     socket) inside collectives, 100 Gbps Omni-Path.
+
+    ``fault_plan`` (``None`` = healthy fabric) injects seeded faults on
+    every delivery; ``retry`` governs the timeout/backoff retransmission
+    schedule (see DESIGN.md §8).
     """
 
     error_bound: float = 1e-4  # absolute, like the paper's collectives
@@ -25,6 +30,8 @@ class CollectiveConfig:
     multithread: bool = False
     thread_speedup: float = 6.0  # MT-vs-ST compressor scaling (DESIGN.md §1)
     network: NetworkModel = field(default_factory=lambda: OMNIPATH_100G)
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         ensure_positive(self.error_bound, "error_bound")
@@ -36,6 +43,14 @@ class CollectiveConfig:
     def with_mode(self, multithread: bool) -> "CollectiveConfig":
         """Same config in the other thread mode."""
         return replace(self, multithread=multithread)
+
+    def with_faults(
+        self, plan: FaultPlan | None, retry: RetryPolicy | None = None
+    ) -> "CollectiveConfig":
+        """Same config with a fault plan (and optionally a retry policy)."""
+        return replace(
+            self, fault_plan=plan, retry=retry if retry is not None else self.retry
+        )
 
 
 DEFAULT_CONFIG = CollectiveConfig()

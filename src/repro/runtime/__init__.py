@@ -6,9 +6,19 @@ congestion model supplies communication time (see DESIGN.md §1).
 """
 
 from .clock import BUCKETS, Breakdown, VirtualClock
-from .communicator import Communicator, Message, RankEndpoint
+from .communicator import CommTimeoutError, Communicator, Message, RankEndpoint
 from .cluster import SimCluster, measured
 from .fabrics import DragonflyNetwork, FatTreeNetwork, TorusNetwork
+from .faults import (
+    Delivery,
+    FaultDecision,
+    FaultPlan,
+    FaultStats,
+    NO_FAULT,
+    ResilientChannel,
+    RetryPolicy,
+    UnrecoverableStreamError,
+)
 from .network import OMNIPATH_100G, NetworkModel
 from .topology import Ring
 from .trace import RoundSummary, TraceEvent, TraceLog
@@ -22,6 +32,7 @@ __all__ = [
     "VirtualClock",
     "Breakdown",
     "Communicator",
+    "CommTimeoutError",
     "Message",
     "RankEndpoint",
     "FatTreeNetwork",
@@ -31,4 +42,12 @@ __all__ = [
     "TraceEvent",
     "RoundSummary",
     "BUCKETS",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultStats",
+    "NO_FAULT",
+    "RetryPolicy",
+    "ResilientChannel",
+    "Delivery",
+    "UnrecoverableStreamError",
 ]

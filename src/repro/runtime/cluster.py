@@ -27,6 +27,7 @@ from typing import Iterator
 
 from ..utils.validation import ensure_positive, ensure_positive_int
 from .clock import Breakdown, VirtualClock
+from .faults import FaultPlan, ResilientChannel, RetryPolicy
 from .network import NetworkModel, OMNIPATH_100G
 from .trace import TraceLog
 
@@ -57,6 +58,9 @@ class SimCluster:
     thread_speedup : divisor applied to compute-family charges in
         multi-thread mode (see module docstring).
     multithread : whether collectives run in multi-thread mode.
+    faults : optional seeded fault plan injected on every channel delivery
+        (see :mod:`repro.runtime.faults`); ``None`` means a healthy fabric.
+    retry : timeout/backoff policy governing retransmissions under faults.
     """
 
     n_ranks: int
@@ -67,7 +71,10 @@ class SimCluster:
     total_time: float = 0.0
     #: optional execution trace (per-charge events + round boundaries)
     trace: TraceLog | None = None
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     _round_compute: list[float] = field(default_factory=list)
+    _channel: ResilientChannel | None = field(default=None, repr=False)
 
     _COMPUTE_BUCKETS = frozenset({"CPR", "DPR", "CPT", "HPR"})
 
@@ -80,25 +87,69 @@ class SimCluster:
             raise ValueError("clocks length must equal n_ranks")
         self._round_compute = [0.0] * self.n_ranks
 
+    @property
+    def channel(self) -> ResilientChannel:
+        """The fault-aware delivery layer (lazily built, reset-aware).
+
+        Link indices and fault statistics persist across collective stages
+        within one cluster lifetime, so a Reduce_scatter → Allgather pair
+        experiences one continuous fault sequence.
+        """
+        if self._channel is None:
+            self._channel = ResilientChannel(self)
+        return self._channel
+
     # ------------------------------------------------------------------ #
     # charging
     # ------------------------------------------------------------------ #
     def charge_compute(self, rank: int, bucket: str, seconds: float) -> None:
-        """Charge measured compute time to a rank (thread-mode scaled)."""
+        """Charge measured compute time to a rank (thread-mode scaled).
+
+        Straggler ranks in the active fault plan run proportionally slower:
+        their charges are multiplied by the plan's ``straggler_factor``.
+        """
         if bucket in self._COMPUTE_BUCKETS and self.multithread:
             seconds /= self.thread_speedup
+        if self.faults is not None:
+            seconds *= self.faults.slowdown(rank)
         self.clocks[rank].charge(bucket, seconds)
         self._round_compute[rank] += seconds
         if self.trace is not None:
             self.trace.record_compute(rank, bucket, seconds)
 
-    def charge_comm(self, rank: int, nbytes: int) -> float:
-        """Charge one rank's modelled transfer; returns the seconds charged."""
+    def charge_comm(
+        self, rank: int, nbytes: int, bandwidth_factor: float = 1.0
+    ) -> float:
+        """Charge one rank's modelled transfer; returns the seconds charged.
+
+        ``bandwidth_factor`` (0 < f ≤ 1) stretches the transfer for
+        degraded links: effective time = modelled time / factor.
+        """
         seconds = self.network.transfer_time(nbytes, self.n_ranks)
+        if bandwidth_factor != 1.0:
+            seconds /= bandwidth_factor
         self.clocks[rank].charge("MPI", seconds)
         if self.trace is not None:
             self.trace.record_comm(rank, seconds, nbytes)
         return seconds
+
+    def charge_wait(self, rank: int, seconds: float, label: str) -> None:
+        """Charge fault-handling wait time (timeouts, backoff) to a rank.
+
+        Waits land in the OTHER bucket — they are neither useful compute
+        nor modelled transfer — and count toward the round's critical path,
+        so retransmission storms visibly stretch the makespan.
+        """
+        self.clocks[rank].charge("OTHER", seconds)
+        self._round_compute[rank] += seconds
+        self.record_fault(rank, label, seconds=seconds)
+
+    def record_fault(
+        self, rank: int, label: str, seconds: float = 0.0, nbytes: int = 0
+    ) -> None:
+        """Record a fault event (DROP/CORRUPT/…/DEGRADE) in the trace."""
+        if self.trace is not None:
+            self.trace.record_fault(rank, label, seconds=seconds, nbytes=nbytes)
 
     @contextmanager
     def timed(self, rank: int, bucket: str) -> Iterator[None]:
@@ -150,3 +201,4 @@ class SimCluster:
         self.clocks = [VirtualClock() for _ in range(self.n_ranks)]
         self.total_time = 0.0
         self._round_compute = [0.0] * self.n_ranks
+        self._channel = None

@@ -22,9 +22,28 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..utils.validation import ensure_positive_int
+from .faults import FaultPlan, FaultStats, RetryPolicy
 from .network import NetworkModel, OMNIPATH_100G
 
-__all__ = ["Message", "Communicator", "RankEndpoint"]
+__all__ = ["Message", "Communicator", "RankEndpoint", "CommTimeoutError"]
+
+
+class CommTimeoutError(LookupError):
+    """``recv`` waited past its timeout with no matching message in flight.
+
+    Subclasses :class:`LookupError` so existing deadlock handling still
+    catches it, while giving callers a precise error to match on.
+    """
+
+    def __init__(self, dest: int, source: int, tag: int, timeout_s: float) -> None:
+        super().__init__(
+            f"timeout: rank {dest} waited {timeout_s * 1e6:.0f} µs for "
+            f"(source={source}, tag={tag}) but no such message is in flight"
+        )
+        self.dest = dest
+        self.source = source
+        self.tag = tag
+        self.timeout_s = timeout_s
 
 
 @dataclass(frozen=True)
@@ -37,6 +56,10 @@ class Message:
     payload: Any
     nbytes: int
     arrival_time: float  # virtual seconds at which it is available
+    seq: int = 0  # per-link sequence number (fault decisions key on it)
+    lost: bool = False  # dropped/damaged on the wire; triggers retransmit
+    duplicate: bool = False  # redundant copy; receiver discards it
+    attempt: int = 0  # how many transmissions preceded this one
 
 
 @dataclass
@@ -46,16 +69,35 @@ class Communicator:
     The communicator is deliberately sequential (one Python process):
     deterministic, debuggable, and sufficient because virtual time, not
     wall time, orders events.
+
+    With a :class:`~repro.runtime.faults.FaultPlan` attached, ``send`` may
+    mark messages lost (drop/corrupt/truncate — the plain transport is
+    checksummed, so damage is detected and handled identically to a drop)
+    or enqueue duplicate copies; ``recv`` then pays the timeout plus the
+    bounded-backoff retransmission schedule in virtual time before the
+    payload arrives intact.  After ``retry.max_attempts`` transmissions the
+    transport escalates and delivers — point-to-point delivery is reliable,
+    faults only cost time.
     """
 
     n_ranks: int
     network: NetworkModel = field(default_factory=lambda: OMNIPATH_100G)
+    faults: FaultPlan | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.n_ranks, "n_ranks")
         self._mailboxes: dict[tuple[int, int, int], deque[Message]] = {}
         self.clocks = [0.0] * self.n_ranks
         self.bytes_sent = [0] * self.n_ranks
+        self.fault_stats = FaultStats()
+        self._link_seq: dict[tuple[int, int], int] = {}
+
+    def _next_seq(self, source: int, dest: int) -> int:
+        key = (source, dest)
+        seq = self._link_seq.get(key, 0)
+        self._link_seq[key] = seq + 1
+        return seq
 
     # ------------------------------------------------------------------ #
     def _check_rank(self, rank: int) -> None:
@@ -72,40 +114,147 @@ class Communicator:
     def send(
         self, source: int, dest: int, payload: Any, nbytes: int, tag: int = 0
     ) -> None:
-        """Non-blocking send: enqueue with a modelled arrival stamp."""
+        """Non-blocking send: enqueue with a modelled arrival stamp.
+
+        Under a fault plan the message may be marked lost (drop, or
+        corruption caught by the transport checksum — both surface as a
+        receiver timeout) or be followed by a duplicate copy that also
+        pays wire time.
+        """
         self._check_rank(source)
         self._check_rank(dest)
         if source == dest:
             raise ValueError("self-sends are not supported (use local state)")
         transfer = self.network.transfer_time(nbytes, self.n_ranks)
+        plan = self.faults
+        seq = 0
+        lost = False
+        duplicated = False
+        if plan is not None:
+            factor = plan.bandwidth_factor(source, dest)
+            if factor != 1.0:
+                transfer /= factor
+            seq = self._next_seq(source, dest)
+            decision = plan.decide(source, dest, seq)
+            self.fault_stats.messages += 1
+            if decision.drop:
+                self.fault_stats.drops += 1
+                lost = True
+            elif decision.corrupt:
+                self.fault_stats.corruptions += 1
+                lost = True
+            elif decision.truncate:
+                self.fault_stats.truncations += 1
+                lost = True
+            elif decision.duplicate:
+                duplicated = True
+        arrival = self.clocks[source] + transfer
         message = Message(
             source=source,
             dest=dest,
             tag=tag,
             payload=payload,
             nbytes=nbytes,
-            arrival_time=self.clocks[source] + transfer,
+            arrival_time=arrival,
+            seq=seq,
+            lost=lost,
         )
-        self._mailboxes.setdefault((dest, source, tag), deque()).append(message)
+        queue = self._mailboxes.setdefault((dest, source, tag), deque())
+        queue.append(message)
         self.bytes_sent[source] += nbytes
+        if duplicated:
+            self.fault_stats.duplicates += 1
+            queue.append(
+                Message(
+                    source=source,
+                    dest=dest,
+                    tag=tag,
+                    payload=payload,
+                    nbytes=nbytes,
+                    arrival_time=arrival + transfer,
+                    seq=seq,
+                    duplicate=True,
+                )
+            )
+            self.bytes_sent[source] += nbytes
 
-    def recv(self, dest: int, source: int, tag: int = 0) -> Any:
+    def recv(
+        self, dest: int, source: int, tag: int = 0, timeout_s: float | None = None
+    ) -> Any:
         """Blocking receive: advances the receiver's clock to the arrival.
 
-        Raises ``LookupError`` if no matching message was ever sent — in a
-        sequential simulation that is a deadlock, i.e. a caller bug.
+        If no matching message was ever sent: with ``timeout_s`` set the
+        receiver waits that long in virtual time and raises
+        :class:`CommTimeoutError`; without it, raises ``LookupError``
+        immediately — in a sequential simulation that is a deadlock, i.e.
+        a caller bug.
+
+        Lost messages are detected by timeout and retransmitted with
+        bounded exponential backoff (every wait charged to the receiver's
+        virtual clock); after ``retry.max_attempts`` transmissions the
+        transport escalates and the payload is delivered regardless.
+        Duplicate copies are matched by sequence number and discarded.
         """
         self._check_rank(dest)
         self._check_rank(source)
         queue = self._mailboxes.get((dest, source, tag))
-        if not queue:
-            raise LookupError(
-                f"deadlock: rank {dest} waits for (source={source}, tag={tag}) "
-                "but no such message is in flight"
-            )
-        message = queue.popleft()
-        self.clocks[dest] = max(self.clocks[dest], message.arrival_time)
-        return message.payload
+        policy = self.retry
+        while True:
+            if not queue:
+                if timeout_s is not None:
+                    self.clocks[dest] += timeout_s
+                    self.fault_stats.timeouts += 1
+                    raise CommTimeoutError(dest, source, tag, timeout_s)
+                raise LookupError(
+                    f"deadlock: rank {dest} waits for (source={source}, "
+                    f"tag={tag}) but no such message is in flight"
+                )
+            message = queue.popleft()
+            if message.duplicate:
+                # Redundant copy of an already-delivered sequence number;
+                # it cost wire time at the sender, nothing to do here.
+                continue
+            if message.lost:
+                # Receiver times out, sender backs off and retransmits.
+                wait = policy.timeout_s + policy.delay(message.attempt)
+                self.clocks[dest] += wait
+                self.fault_stats.timeouts += 1
+                self.fault_stats.retransmissions += 1
+                attempt = message.attempt + 1
+                lost = False
+                # The final allowed attempt always goes through: p2p
+                # delivery is reliable, faults only cost time.
+                if self.faults is not None and attempt < policy.max_attempts - 1:
+                    redo = self.faults.decide(
+                        source, dest, self._next_seq(source, dest)
+                    )
+                    if redo.drop or redo.corrupt or redo.truncate:
+                        self.fault_stats.drops += redo.drop
+                        self.fault_stats.corruptions += redo.corrupt
+                        self.fault_stats.truncations += redo.truncate
+                        lost = True
+                transfer = self.network.transfer_time(message.nbytes, self.n_ranks)
+                queue.appendleft(
+                    Message(
+                        source=source,
+                        dest=dest,
+                        tag=tag,
+                        payload=message.payload,
+                        nbytes=message.nbytes,
+                        arrival_time=self.clocks[dest] + transfer,
+                        seq=message.seq,
+                        lost=lost,
+                        attempt=attempt,
+                    )
+                )
+                self.bytes_sent[source] += message.nbytes
+                continue
+            self.clocks[dest] = max(self.clocks[dest], message.arrival_time)
+            # Eagerly drain duplicate copies of this sequence number so
+            # they can never be mistaken for a later payload.
+            while queue and queue[0].duplicate and queue[0].seq == message.seq:
+                queue.popleft()
+            return message.payload
 
     def sendrecv(
         self,

@@ -20,10 +20,12 @@ __all__ = ["TraceEvent", "RoundSummary", "TraceLog"]
 class TraceEvent:
     """One traced occurrence inside a collective."""
 
-    kind: str  # "compute" | "comm" | "round"
+    kind: str  # "compute" | "comm" | "round" | "fault"
     round_index: int
-    rank: int  # -1 for round boundaries
-    bucket: str  # CPR/DPR/CPT/HPR/MPI; "ROUND" for boundaries
+    rank: int  # -1 for round boundaries and cluster-wide fault events
+    bucket: str  # CPR/DPR/CPT/HPR/MPI; "ROUND" for boundaries; for fault
+    # events the *label* (DROP/CORRUPT/TRUNCATE/DUPLICATE/TIMEOUT/RETRY/
+    # DEGRADE) rides in this slot
     seconds: float
     nbytes: int = 0
 
@@ -66,6 +68,14 @@ class TraceLog:
         )
         self._round += 1
 
+    def record_fault(
+        self, rank: int, label: str, seconds: float = 0.0, nbytes: int = 0
+    ) -> None:
+        """Record a fault-injection event (drop, corruption, degrade, …)."""
+        self.events.append(
+            TraceEvent("fault", self._round, rank, label, seconds, nbytes)
+        )
+
     # ------------------------------------------------------------------ #
     @property
     def n_rounds(self) -> int:
@@ -106,6 +116,19 @@ class TraceLog:
     def bytes_per_round(self) -> list[int]:
         """Total bytes moved in each round (shows compression-size drift)."""
         return [s.bytes_moved for s in self.round_summaries()]
+
+    @property
+    def fault_events(self) -> list[TraceEvent]:
+        """All fault-injection events, in occurrence order."""
+        return [e for e in self.events if e.kind == "fault"]
+
+    def fault_summary(self) -> dict[str, int]:
+        """Fault label → occurrence count (empty for a healthy run)."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            if e.kind == "fault":
+                counts[e.bucket] = counts.get(e.bucket, 0) + 1
+        return counts
 
     def to_json(self, path: str | Path | None = None) -> str:
         """Serialise the trace; optionally also write it to ``path``."""

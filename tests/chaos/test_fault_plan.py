@@ -1,0 +1,173 @@
+"""Unit tests for the seeded fault plan (`repro.runtime.faults`).
+
+The plan must be a pure function of ``(seed, source, dest, index)`` —
+independent of wall time, call interleaving, or process — and its
+validation must reject nonsensical configurations up front.
+"""
+
+import pytest
+
+from repro.compression import from_bytes
+from repro.runtime.faults import FaultPlan, NO_FAULT, RetryPolicy
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision(self):
+        plan = FaultPlan(seed=42, drop_rate=0.3, corrupt_rate=0.3)
+        first = [plan.decide(0, 1, i) for i in range(200)]
+        second = [plan.decide(0, 1, i) for i in range(200)]
+        assert first == second
+
+    def test_two_plan_instances_agree(self):
+        a = FaultPlan(seed=7, drop_rate=0.5)
+        b = FaultPlan(seed=7, drop_rate=0.5)
+        assert [a.decide(2, 3, i) for i in range(100)] == [
+            b.decide(2, 3, i) for i in range(100)
+        ]
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1, drop_rate=0.5)
+        b = FaultPlan(seed=2, drop_rate=0.5)
+        assert [a.decide(0, 1, i) for i in range(64)] != [
+            b.decide(0, 1, i) for i in range(64)
+        ]
+
+    def test_links_are_independent(self):
+        plan = FaultPlan(seed=9, drop_rate=0.5)
+        assert [plan.decide(0, 1, i) for i in range(64)] != [
+            plan.decide(1, 0, i) for i in range(64)
+        ]
+
+
+class TestRates:
+    def test_zero_rates_never_fault(self):
+        plan = FaultPlan(seed=5)
+        assert all(
+            plan.decide(s, d, i) is NO_FAULT
+            for s in range(3)
+            for d in range(3)
+            for i in range(50)
+        )
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan(seed=5, corrupt_rate=1.0)
+        assert all(plan.decide(0, 1, i).corrupt for i in range(100))
+
+    def test_empirical_rate_tracks_nominal(self):
+        plan = FaultPlan(seed=11, drop_rate=0.25)
+        drops = sum(plan.decide(0, 1, i).drop for i in range(4000))
+        assert 0.20 < drops / 4000 < 0.30
+
+    def test_at_most_one_fault_kind_per_decision(self):
+        plan = FaultPlan(
+            seed=3,
+            drop_rate=0.25,
+            corrupt_rate=0.25,
+            truncate_rate=0.25,
+            duplicate_rate=0.25,
+        )
+        for i in range(500):
+            d = plan.decide(0, 1, i)
+            assert sum((d.drop, d.corrupt, d.truncate, d.duplicate)) <= 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=bad)
+
+    def test_rates_summing_past_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=0.6, corrupt_rate=0.6)
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(straggler_factor=0.5)
+
+    @pytest.mark.parametrize("factor", [0.0, 1.5, -1.0])
+    def test_bad_link_factor_rejected(self, factor):
+        with pytest.raises(ValueError):
+            FaultPlan(degraded_links=((0, 1, factor),))
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+
+
+class TestStragglersAndLinks:
+    def test_slowdown(self):
+        plan = FaultPlan(stragglers=(1, 3), straggler_factor=8.0)
+        assert plan.slowdown(1) == 8.0
+        assert plan.slowdown(3) == 8.0
+        assert plan.slowdown(0) == 1.0
+
+    def test_bandwidth_factor_is_directional(self):
+        plan = FaultPlan(degraded_links=((0, 1, 0.25),))
+        assert plan.bandwidth_factor(0, 1) == 0.25
+        assert plan.bandwidth_factor(1, 0) == 1.0
+
+
+class TestCorruptStream:
+    def test_corruption_always_changes_bytes(self, small_compressor, rng):
+        import numpy as np
+
+        data = np.cumsum(rng.normal(0, 0.1, 640)).astype(np.float32)
+        blob = small_compressor.compress(data, abs_eb=1e-3).to_bytes()
+        plan = FaultPlan(seed=17)
+        for i in range(64):
+            damaged = plan.corrupt_stream(blob, 0, 1, i)
+            assert damaged != blob
+            assert len(damaged) == len(blob)
+            with pytest.raises(ValueError):
+                from_bytes(damaged)
+
+    def test_truncation_always_shortens(self):
+        plan = FaultPlan(seed=17)
+        blob = bytes(range(256))
+        for i in range(64):
+            cut = plan.corrupt_stream(blob, 0, 1, i, truncate=True)
+            assert len(cut) < len(blob)
+            assert blob.startswith(cut)
+
+    def test_corruption_is_deterministic(self):
+        plan = FaultPlan(seed=23)
+        blob = bytes(range(200))
+        assert plan.corrupt_stream(blob, 0, 1, 5) == plan.corrupt_stream(
+            blob, 0, 1, 5
+        )
+        assert plan.corrupt_stream(blob, 0, 1, 5) != plan.corrupt_stream(
+            blob, 0, 1, 6
+        )
+
+
+class TestRetryPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=10e-6, backoff=2.0, max_delay_s=50e-6, max_attempts=8
+        )
+        delays = [policy.delay(a) for a in range(8)]
+        assert delays[:3] == [10e-6, 20e-6, 40e-6]
+        assert all(d == 50e-6 for d in delays[3:])
+
+
+class TestChaosFactory:
+    def test_chaos_plan_is_seed_deterministic(self):
+        assert FaultPlan.chaos(4, 8) == FaultPlan.chaos(4, 8)
+        assert FaultPlan.chaos(4, 8) != FaultPlan.chaos(5, 8)
+
+    def test_chaos_plan_is_valid_and_mixed(self):
+        plan = FaultPlan.chaos(123, 16, intensity=0.08)
+        assert plan.drop_rate == 0.08
+        assert len(plan.stragglers) == 1
+        assert 0 <= plan.stragglers[0] < 16
+        ((src, dst, factor),) = plan.degraded_links
+        assert src != dst and 0 < factor <= 1
+
+    def test_chaos_needs_two_ranks(self):
+        with pytest.raises(ValueError):
+            FaultPlan.chaos(0, 1)

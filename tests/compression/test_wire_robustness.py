@@ -10,7 +10,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compression import FZLight, from_bytes
+from repro.compression import (
+    FZLight,
+    FZLight2D,
+    FZLightND,
+    OmpSZp,
+    from_bytes,
+    ompszp_from_bytes,
+)
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +69,91 @@ class TestBitCorruption:
         # decoding a structurally valid but content-corrupted stream must
         # not crash either (garbage values are acceptable; crashes are not)
         FZLight(n_threadblocks=field.n_threadblocks).decompress(field)
+
+
+def _fzlight_stream() -> bytes:
+    data = np.sin(np.linspace(0, 20, 5000)).astype(np.float32)
+    return FZLight(n_threadblocks=4).compress(data, abs_eb=1e-4).to_bytes()
+
+
+def _fzlight2d_stream() -> bytes:
+    yy, xx = np.mgrid[0:48, 0:64]
+    img = (np.sin(yy / 9.0) * np.cos(xx / 7.0)).astype(np.float32)
+    return FZLight2D().compress(img, abs_eb=1e-4).to_bytes()
+
+
+def _fzlightnd_stream() -> bytes:
+    zz, yy, xx = np.mgrid[0:12, 0:16, 0:20]
+    vol = (np.sin(zz / 5.0) * np.cos(yy / 4.0) * np.sin(xx / 3.0)).astype(
+        np.float32
+    )
+    return FZLightND().compress(vol, abs_eb=1e-4).to_bytes()
+
+
+def _ompszp_stream() -> bytes:
+    data = np.cos(np.linspace(0, 14, 4000)).astype(np.float32)
+    return OmpSZp(n_threads=8).compress(data, abs_eb=1e-4).to_bytes()
+
+
+# container name → (stream bytes, parser) — built once per module
+_CONTAINERS = {
+    "fzlight": (_fzlight_stream(), from_bytes),
+    "fzlight2d": (_fzlight2d_stream(), from_bytes),
+    "fzlightnd": (_fzlightnd_stream(), from_bytes),
+    "ompszp": (_ompszp_stream(), ompszp_from_bytes),
+}
+
+
+class TestFullStreamFuzz:
+    """Seeded bit-flip fuzz across the *whole* stream, every container.
+
+    The checksum upgrade turns the earlier "parses-or-raises" contract
+    into a strict one: any single-byte change anywhere in the stream —
+    header, code lengths, outliers, payload — must raise ``ValueError``.
+    """
+
+    @pytest.mark.parametrize("container", sorted(_CONTAINERS))
+    @given(pos=st.integers(0, 2**20), bit=st.integers(0, 7))
+    @settings(max_examples=150, deadline=None)
+    def test_any_single_bit_flip_raises(self, container, pos, bit):
+        stream, parse = _CONTAINERS[container]
+        blob = bytearray(stream)
+        blob[pos % len(blob)] ^= 1 << bit  # XOR: the byte always changes
+        with pytest.raises(ValueError):
+            parse(bytes(blob))
+
+    @pytest.mark.parametrize("container", sorted(_CONTAINERS))
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_seeded_multi_byte_fuzz_raises(self, container, seed):
+        stream, parse = _CONTAINERS[container]
+        rng = np.random.default_rng(seed)
+        blob = bytearray(stream)
+        n_flips = int(rng.integers(1, 9))
+        changed = False
+        for _ in range(n_flips):
+            pos = int(rng.integers(0, len(blob)))
+            value = int(rng.integers(0, 256))
+            changed |= blob[pos] != value
+            blob[pos] = value
+        if not changed:  # rng happened to rewrite identical bytes
+            return
+        with pytest.raises(ValueError):
+            parse(bytes(blob))
+
+    @pytest.mark.parametrize("container", sorted(_CONTAINERS))
+    def test_pristine_stream_roundtrips(self, container):
+        stream, parse = _CONTAINERS[container]
+        field = parse(stream)
+        assert field.to_bytes() == stream
+
+    @pytest.mark.parametrize("container", sorted(_CONTAINERS))
+    @given(cut=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_raises_everywhere(self, container, cut):
+        stream, parse = _CONTAINERS[container]
+        with pytest.raises(ValueError):
+            parse(stream[: cut % len(stream)])
 
 
 class TestGarbage:

@@ -1,0 +1,138 @@
+"""Property-based contracts for the fused k-way reduction.
+
+Two load-bearing guarantees under adversarial inputs:
+
+1. **Schedule-freedom** — for randomly generated operand sets the fused
+   kernel's output stream is byte-identical to the sequential pairwise
+   fold (integer adds are exact, fixed-length encoding deterministic).
+2. **Fail-clean** — a corrupted operand can never flow into the engine
+   silently: wire-level damage is stopped by the checksum on decode
+   (``ValueError``), and in-memory metadata tampering is stopped by the
+   compatibility check (``ValueError``).  Wrong bytes are never produced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.format import from_bytes
+from repro.compression.fzlight import FZLight
+from repro.homomorphic.hzdynamic import HZDynamic
+from repro.runtime.faults import FaultPlan
+
+EB = 1e-3
+COMP = FZLight(block_size=8, n_threadblocks=3)
+ENGINE = HZDynamic()
+
+
+def _operands(seed: int, k: int, n: int, p_active: float):
+    """k compressed operands over shared geometry, mixed block activity."""
+    rng = np.random.default_rng(seed)
+    n_blocks = (n + COMP.block_size - 1) // COMP.block_size
+    fields = []
+    for _ in range(k):
+        data = np.zeros(n, dtype=np.float32)
+        for b in np.nonzero(rng.random(n_blocks) < p_active)[0]:
+            lo = int(b) * COMP.block_size
+            hi = min(lo + COMP.block_size, n)
+            data[lo:hi] = rng.normal(0, 20 * EB, hi - lo)
+        fields.append(COMP.compress(data, abs_eb=EB))
+    return fields
+
+
+def _assert_same_stream(a, b):
+    assert a.to_bytes() == b.to_bytes()
+
+
+class TestFusedMatchesPairwise:
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(2, 6),
+        n=st.integers(17, 200),
+        p_active=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_byte_identical_to_sequential_fold(self, seed, k, n, p_active):
+        fields = _operands(seed, k, n, p_active)
+        fused = ENGINE.reduce_fused(fields)
+        sequential = ENGINE.reduce(fields, order="sequential")
+        _assert_same_stream(fused, sequential)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        k=st.integers(2, 5),
+        weights=st.lists(st.integers(-3, 3), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_fold_matches_scaled_pairwise(self, seed, k, weights):
+        weights = (weights + [1] * k)[:k]
+        fields = _operands(seed, k, 96, 0.6)
+        fused = ENGINE.reduce_fused(fields, weights=weights)
+        # reference: scale each operand then fold pairwise
+        scaled = [
+            ENGINE.scale(f, w) if w != 1 else f
+            for f, w in zip(fields, weights)
+        ]
+        acc = scaled[0]
+        for nxt in scaled[1:]:
+            acc = ENGINE.add(acc, nxt)
+        _assert_same_stream(fused, acc)
+
+
+class TestCorruptedOperandFailsClean:
+    @given(
+        seed=st.integers(0, 2**31),
+        victim=st.integers(0, 3),
+        fault_index=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_corruption_raises_never_wrong_bytes(
+        self, seed, victim, fault_index
+    ):
+        """Corrupt one operand on the wire: decode must raise ValueError.
+        If damage were undetected it would flow into reduce_fused and
+        produce wrong bytes — the checksum makes that impossible."""
+        fields = _operands(seed, 4, 120, 0.7)
+        plan = FaultPlan(seed=seed & 0xFFFF)
+        blob = fields[victim].to_bytes()
+        damaged = plan.corrupt_stream(blob, 0, 1, fault_index)
+        assert damaged != blob
+        with pytest.raises(ValueError):
+            from_bytes(damaged)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        victim=st.integers(0, 3),
+        cut=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_wire_truncation_raises(self, seed, victim, cut):
+        fields = _operands(seed, 4, 120, 0.7)
+        blob = fields[victim].to_bytes()
+        with pytest.raises(ValueError):
+            from_bytes(blob[: cut % len(blob)])
+
+    @given(seed=st.integers(0, 2**31), victim=st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_metadata_tamper_raises_in_engine(self, seed, victim):
+        """An operand whose error bound was tampered in memory is not
+        homomorphically compatible — the engine must refuse the fold."""
+        from dataclasses import replace
+
+        fields = _operands(seed, 4, 120, 0.7)
+        fields[victim] = replace(
+            fields[victim], error_bound=fields[victim].error_bound * 2
+        )
+        with pytest.raises(ValueError, match="compatible"):
+            ENGINE.reduce_fused(fields)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_geometry_tamper_raises_in_engine(self, seed):
+        fields = _operands(seed, 3, 120, 0.7)
+        shorter = COMP.compress(
+            np.zeros(60, dtype=np.float32), abs_eb=EB
+        )
+        with pytest.raises(ValueError, match="compatible"):
+            ENGINE.reduce_fused([fields[0], fields[1], shorter])

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.runtime.communicator import Communicator
+from repro.runtime.communicator import CommTimeoutError, Communicator
+from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.network import NetworkModel
 
 NET = NetworkModel(latency_s=1e-6, bandwidth_Bps=1e9, congestion_per_log2=0)
@@ -91,6 +92,96 @@ class TestVirtualTime:
         comm.send(1, 2, payload, nbytes=10**6)
         comm.recv(2, 1)
         assert comm.clocks[2] >= 2 * (10**6 / 1e9)
+
+
+class TestRecvTimeout:
+    """Regression: a recv with no matching send used to be distinguishable
+    only as a "deadlock" LookupError; with ``timeout_s`` it is an explicit
+    timeout whose wait is charged to the receiver's virtual clock."""
+
+    def test_timeout_raises_commtimeouterror(self, comm):
+        with pytest.raises(CommTimeoutError, match="timeout"):
+            comm.recv(2, 3, timeout_s=5e-4)
+
+    def test_timeout_is_a_lookuperror(self, comm):
+        # existing deadlock handling must still catch the timeout
+        with pytest.raises(LookupError):
+            comm.recv(2, 3, timeout_s=5e-4)
+
+    def test_timeout_charges_receiver_clock(self, comm):
+        with pytest.raises(CommTimeoutError):
+            comm.recv(1, 0, timeout_s=2e-3)
+        assert comm.clocks[1] == pytest.approx(2e-3)
+        assert comm.fault_stats.timeouts == 1
+
+    def test_timeout_error_carries_context(self, comm):
+        with pytest.raises(CommTimeoutError) as err:
+            comm.recv(3, 1, tag=7, timeout_s=1e-3)
+        assert (err.value.dest, err.value.source, err.value.tag) == (3, 1, 7)
+
+    def test_no_timeout_still_reports_deadlock(self, comm):
+        with pytest.raises(LookupError, match="deadlock"):
+            comm.recv(2, 3)
+
+    def test_message_present_ignores_timeout(self, comm):
+        comm.send(0, 1, "x", nbytes=10)
+        assert comm.recv(1, 0, timeout_s=1e-6) == "x"
+
+
+class TestFaultyTransport:
+    def test_dropped_message_retransmits_and_delivers(self):
+        comm = Communicator(2, network=NET, faults=FaultPlan(seed=1, drop_rate=1.0))
+        comm.send(0, 1, "precious", nbytes=100)
+        healthy = Communicator(2, network=NET)
+        healthy.send(0, 1, "precious", nbytes=100)
+        healthy.recv(1, 0)
+        assert comm.recv(1, 0) == "precious"  # reliable despite drops
+        assert comm.fault_stats.drops > 0
+        assert comm.fault_stats.retransmissions > 0
+        # every retransmission round-trip cost the receiver virtual time
+        assert comm.clocks[1] > healthy.clocks[1]
+
+    def test_retransmission_count_is_bounded(self):
+        retry = RetryPolicy(max_attempts=3)
+        comm = Communicator(
+            2, network=NET, faults=FaultPlan(seed=2, drop_rate=1.0), retry=retry
+        )
+        comm.send(0, 1, "x", nbytes=10)
+        comm.recv(1, 0)
+        # initial send + at most (max_attempts - 1) retransmissions
+        assert comm.fault_stats.retransmissions <= retry.max_attempts - 1
+
+    def test_duplicates_are_discarded(self):
+        comm = Communicator(
+            2, network=NET, faults=FaultPlan(seed=3, duplicate_rate=1.0)
+        )
+        comm.send(0, 1, "a", nbytes=10)
+        comm.send(0, 1, "b", nbytes=10)
+        assert comm.recv(1, 0) == "a"
+        assert comm.recv(1, 0) == "b"  # duplicate of "a" must not surface
+        assert comm.fault_stats.duplicates == 2
+        assert comm.pending(1) == 0
+
+    def test_faulty_transport_is_deterministic(self):
+        def run():
+            comm = Communicator(
+                2, network=NET, faults=FaultPlan(seed=4, drop_rate=0.4)
+            )
+            for k in range(10):
+                comm.send(0, 1, k, nbytes=50)
+            got = [comm.recv(1, 0) for _ in range(10)]
+            return got, comm.clocks[1], comm.fault_stats.as_dict()
+
+        assert run() == run()
+
+    def test_degraded_link_slows_arrival(self):
+        plan = FaultPlan(seed=5, degraded_links=((0, 1, 0.25),))
+        slow = Communicator(2, network=NET, faults=plan)
+        fast = Communicator(2, network=NET)
+        for c in (slow, fast):
+            c.send(0, 1, "x", nbytes=10**6)
+            c.recv(1, 0)
+        assert slow.clocks[1] > fast.clocks[1]
 
 
 class TestEndpoint:
