@@ -1,0 +1,249 @@
+"""Reworked kernel hot path vs. the pre-dispatch legacy kernels.
+
+The `repro.kernels` rework replaced the original in-module NumPy kernels
+(``np.unique`` + per-``c`` mask grouping, byte-granularity fancy-index
+gather/scatter, per-bit Horner residual loops, fresh temporaries every
+call) with a grouping-plan + scratch-arena design.  This bench freezes a
+verbatim copy of the *old* kernels and races the active backend against
+them at a 16 MB field — the acceptance gate is ≥1.3x on encode and decode.
+
+Every timed cell is also a correctness check: the legacy kernels and the
+active backend must agree byte-for-byte (the wire format is pinned).
+
+Run directly for the table, or via pytest for the gated assertion::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.tables import format_table
+from repro.bench.timing import best_of, throughput_gbps
+from repro.compression import encoding as enc
+
+FIELD_MB = 16
+BLOCK_SIZE = 32
+SELECT_FRACTION = 0.25
+SEED = 20240624
+SPEEDUP_FLOOR = 1.3
+
+
+# ---------------------------------------------------------------------- #
+# Frozen pre-rework kernels (verbatim legacy reference — do not optimise)
+# ---------------------------------------------------------------------- #
+def _legacy_required_bits(max_magnitudes: np.ndarray) -> np.ndarray:
+    m = np.asarray(max_magnitudes, dtype=np.float64)
+    out = np.zeros(m.shape, dtype=np.uint8)
+    nz = m > 0
+    out[nz] = np.ceil(np.log2(m[nz] + 1.0)).astype(np.uint8)
+    return out
+
+
+def _legacy_offsets(code_lengths: np.ndarray, block_size: int) -> np.ndarray:
+    c = np.asarray(code_lengths, dtype=np.int64)
+    unit = block_size // 8
+    sizes = np.where(c > 0, unit * (1 + c), 0).astype(np.int64)
+    offsets = np.empty(sizes.size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def _legacy_encode_group(mags, signs, c):
+    nb, bs = mags.shape
+    unit = bs // 8
+    out = np.empty((nb, unit * (1 + c)), dtype=np.uint8)
+    out[:, :unit] = np.packbits(signs, axis=1)
+    byte_count = c // 8
+    remainder_bit = c % 8
+    pos = unit
+    for k in range(byte_count):
+        out[:, pos : pos + bs] = (
+            (mags >> np.uint32(8 * k)) & np.uint32(0xFF)
+        ).astype(np.uint8)
+        pos += bs
+    if remainder_bit:
+        resid = (
+            (mags >> np.uint32(8 * byte_count))
+            & np.uint32((1 << remainder_bit) - 1)
+        ).astype(np.uint8)
+        shifts = np.arange(remainder_bit - 1, -1, -1, dtype=np.uint8)
+        bits = (resid[:, :, None] >> shifts) & np.uint8(1)
+        out[:, pos:] = np.packbits(bits.reshape(nb, bs * remainder_bit), axis=1)
+    return out
+
+
+def _legacy_decode_group(rows, c, block_size, dtype=np.int64):
+    nb = rows.shape[0]
+    bs = block_size
+    unit = bs // 8
+    signs = np.unpackbits(rows[:, :unit], axis=1).astype(bool)
+    mags = np.zeros((nb, bs), dtype=np.uint32)
+    byte_count = c // 8
+    remainder_bit = c % 8
+    pos = unit
+    for k in range(byte_count):
+        mags |= rows[:, pos : pos + bs].astype(np.uint32) << np.uint32(8 * k)
+        pos += bs
+    if remainder_bit:
+        packed = rows[:, pos:]
+        bits = np.unpackbits(packed, axis=1)[:, : bs * remainder_bit]
+        bits = bits.reshape(nb, bs, remainder_bit)
+        resid = bits[:, :, 0].astype(np.uint32)
+        for j in range(1, remainder_bit):
+            resid <<= np.uint32(1)
+            resid |= bits[:, :, j]
+        mags |= resid << np.uint32(8 * byte_count)
+    deltas = mags.astype(dtype)
+    np.negative(deltas, out=deltas, where=signs)
+    return deltas
+
+
+def legacy_encode_blocks(deltas, block_size=BLOCK_SIZE):
+    mags64 = np.abs(deltas)
+    max_mag = mags64.max(axis=1, initial=0)
+    code_lengths = _legacy_required_bits(max_mag)
+    offsets = _legacy_offsets(code_lengths, block_size)
+    payload = np.empty(int(offsets[-1]), dtype=np.uint8)
+    signs_all = deltas < 0
+    mags = mags64.astype(np.uint32)
+    for c in np.unique(code_lengths):
+        if c == 0:
+            continue
+        idx = np.nonzero(code_lengths == c)[0]
+        rows = _legacy_encode_group(mags[idx], signs_all[idx], int(c))
+        row_nbytes = rows.shape[1]
+        dest = offsets[idx][:, None] + np.arange(row_nbytes, dtype=np.int64)
+        payload[dest.ravel()] = rows.ravel()
+    return code_lengths, payload
+
+
+def _legacy_decode_into(out, indices, code_lengths, offsets, payload, block_size):
+    sel_c = np.asarray(code_lengths, dtype=np.uint8)[indices]
+    for c in np.unique(sel_c):
+        if c == 0:
+            continue
+        where = np.nonzero(sel_c == c)[0]
+        blocks = indices[where]
+        row_nbytes = (block_size // 8) * (1 + int(c))
+        src = offsets[blocks][:, None] + np.arange(row_nbytes, dtype=np.int64)
+        rows = payload[src.ravel()].reshape(where.size, row_nbytes)
+        out[where] = _legacy_decode_group(rows, int(c), block_size, out.dtype)
+
+
+def legacy_decode_blocks(code_lengths, payload, block_size=BLOCK_SIZE):
+    code_lengths = np.asarray(code_lengths, dtype=np.uint8)
+    offsets = _legacy_offsets(code_lengths, block_size)
+    max_c = int(code_lengths.max(initial=0))
+    dtype = np.int32 if max_c <= 31 else np.int64
+    out = np.zeros((code_lengths.size, block_size), dtype=dtype)
+    _legacy_decode_into(
+        out, np.arange(code_lengths.size), code_lengths, offsets, payload, block_size
+    )
+    return out
+
+
+def legacy_decode_selected(indices, code_lengths, offsets, payload, block_size=BLOCK_SIZE):
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((indices.size, block_size), dtype=np.int64)
+    _legacy_decode_into(out, indices, code_lengths, offsets, payload, block_size)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# harness
+# ---------------------------------------------------------------------- #
+def make_blocks(n_elements: int, seed: int = SEED) -> np.ndarray:
+    """Quantised deltas of a float32 random walk (same family as the CLI)."""
+    rng = np.random.default_rng(seed)
+    walk = np.cumsum(rng.standard_normal(n_elements)).astype(np.float32)
+    q = np.round(walk / (2 * 1e-3)).astype(np.int64)
+    deltas = np.empty_like(q)
+    deltas[0] = q[0]
+    deltas[1:] = q[1:] - q[:-1]
+    return deltas.reshape(-1, BLOCK_SIZE)
+
+
+def measure(field_mb: float = FIELD_MB, repeats: int = 3):
+    n_elements = int(field_mb * 1e6 / 4) // BLOCK_SIZE * BLOCK_SIZE
+    nbytes = n_elements * 4
+    blocks = make_blocks(n_elements)
+    lens, payload = enc.encode_blocks(blocks, BLOCK_SIZE)
+    offsets = enc.payload_offsets(lens, BLOCK_SIZE)
+    rng = np.random.default_rng(3)
+    sel = rng.permutation(lens.size)[: max(1, int(lens.size * SELECT_FRACTION))]
+
+    # byte-identical parity between the legacy reference and the backend
+    l_lens, l_payload = legacy_encode_blocks(blocks, BLOCK_SIZE)
+    assert np.array_equal(lens, l_lens)
+    assert np.array_equal(payload, l_payload)
+    assert np.array_equal(
+        enc.decode_blocks(lens, payload, BLOCK_SIZE, offsets=offsets),
+        legacy_decode_blocks(lens, payload, BLOCK_SIZE),
+    )
+    assert np.array_equal(
+        enc.decode_selected(sel, lens, offsets, payload, BLOCK_SIZE),
+        legacy_decode_selected(sel, lens, offsets, payload, BLOCK_SIZE),
+    )
+
+    cases = [
+        (
+            "encode",
+            lambda: legacy_encode_blocks(blocks, BLOCK_SIZE),
+            lambda: enc.encode_blocks(blocks, BLOCK_SIZE),
+            nbytes,
+        ),
+        (
+            "decode",
+            lambda: legacy_decode_blocks(lens, payload, BLOCK_SIZE),
+            lambda: enc.decode_blocks(lens, payload, BLOCK_SIZE, offsets=offsets),
+            nbytes,
+        ),
+        (
+            "decode_selected",
+            lambda: legacy_decode_selected(sel, lens, offsets, payload, BLOCK_SIZE),
+            lambda: enc.decode_selected(sel, lens, offsets, payload, BLOCK_SIZE),
+            sel.size * BLOCK_SIZE * 4,
+        ),
+    ]
+    rows, speedups = [], {}
+    for name, legacy_fn, new_fn, moved in cases:
+        t_old = best_of(legacy_fn, repeats=repeats).seconds
+        t_new = best_of(new_fn, repeats=repeats).seconds
+        speedups[name] = t_old / t_new
+        rows.append(
+            [
+                name,
+                t_old * 1e3,
+                t_new * 1e3,
+                t_old / t_new,
+                throughput_gbps(moved, t_new),
+            ]
+        )
+    return rows, speedups
+
+
+def test_kernel_rework_speedup(benchmark):
+    rows, speedups = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["kernel", "legacy ms", "reworked ms", "speedup", "new GB/s"],
+            rows,
+            title=f"Reworked kernels vs pre-dispatch legacy ({FIELD_MB} MB field)",
+        )
+    )
+    for name in ("encode", "decode"):
+        assert speedups[name] >= SPEEDUP_FLOOR, (name, speedups[name])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rows, _ = measure()
+    print(
+        format_table(
+            ["kernel", "legacy ms", "reworked ms", "speedup", "new GB/s"], rows
+        )
+    )

@@ -1,0 +1,209 @@
+"""Kernel-level perf-regression harness (``repro bench-kernels``).
+
+Measures the throughput of the four hot kernels — ``encode_blocks``,
+``decode_blocks``, ``decode_selected`` and the fused k-way
+``reduce_fused`` at k ∈ {2, 8, 16} — per available backend, on the same
+random-walk field family every run, and emits the machine-readable
+``BENCH_kernels.json`` that CI diffs against the committed baseline.
+
+Throughput is **uncompressed** bytes over best-of-N wall time (GB/s,
+decimal), the figure of merit the paper reports for its compression and
+homomorphic kernels.  Absolute numbers are host-dependent; the committed
+baseline is only used for *relative* regression checks (default gate:
+>2x slower fails).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Any
+
+import numpy as np
+
+from ..compression.encoding import (
+    decode_blocks,
+    decode_selected,
+    encode_blocks,
+    payload_offsets,
+)
+from ..compression.format import CompressedField
+from ..homomorphic.hzdynamic import HZDynamic
+from ..kernels.dispatch import available_backends, backend_status, use_backend
+from .timing import best_of, throughput_gbps
+
+__all__ = [
+    "REDUCE_KS",
+    "run_kernel_bench",
+    "compare_to_baseline",
+    "format_report",
+]
+
+#: Operand counts for the fused-reduction measurements.
+REDUCE_KS = (2, 8, 16)
+
+_BLOCK_SIZE = 32
+_SELECT_FRACTION = 0.25
+
+
+def _make_deltas(n_elements: int, seed: int = 7) -> np.ndarray:
+    """Quantised Lorenzo deltas of a float32 random walk (the bench field)."""
+    rng = np.random.default_rng(seed)
+    walk = np.cumsum(rng.standard_normal(n_elements)).astype(np.float32)
+    q = np.round(walk / (2 * 1e-3)).astype(np.int64)
+    deltas = np.empty_like(q)
+    deltas[0] = q[0]
+    deltas[1:] = q[1:] - q[:-1]
+    return deltas.reshape(-1, _BLOCK_SIZE)
+
+
+def _make_fields(k: int, n_elements: int, seed: int = 11) -> list[CompressedField]:
+    """k homomorphically compatible operands with mixed block classes."""
+    rng = np.random.default_rng(seed)
+    nb = n_elements // _BLOCK_SIZE
+    fields = []
+    for j in range(k):
+        blocks = _make_deltas(n_elements, seed=seed + j)
+        # zero out a changing ~30% of blocks so constant / single-owner /
+        # accumulate classes all show up, like real partially-sparse ranks
+        zero = rng.random(nb) < 0.3
+        blocks[zero] = 0
+        lens, payload = encode_blocks(blocks, _BLOCK_SIZE)
+        fields.append(
+            CompressedField(
+                n=n_elements,
+                error_bound=1e-3,
+                block_size=_BLOCK_SIZE,
+                n_threadblocks=1,
+                outliers=np.zeros(1, dtype=np.int64),
+                code_lengths=lens,
+                payload=payload,
+            )
+        )
+    return fields
+
+
+def _bench_backend(
+    backend: str, n_elements: int, repeats: int
+) -> dict[str, Any]:
+    nbytes = n_elements * 4  # the field is a float32 array on the wire
+    blocks = _make_deltas(n_elements)
+    with use_backend(backend):
+        lens, payload = encode_blocks(blocks, _BLOCK_SIZE)
+        offsets = payload_offsets(lens, _BLOCK_SIZE)
+        sel = np.random.default_rng(3).permutation(lens.size)[
+            : max(1, int(lens.size * _SELECT_FRACTION))
+        ]
+        kernels: dict[str, Any] = {}
+
+        t = best_of(lambda: encode_blocks(blocks, _BLOCK_SIZE), repeats=repeats)
+        kernels["encode"] = {
+            "seconds": t.seconds,
+            "gbps": throughput_gbps(nbytes, t.seconds),
+        }
+        t = best_of(
+            lambda: decode_blocks(lens, payload, _BLOCK_SIZE, offsets=offsets),
+            repeats=repeats,
+        )
+        kernels["decode"] = {
+            "seconds": t.seconds,
+            "gbps": throughput_gbps(nbytes, t.seconds),
+        }
+        t = best_of(
+            lambda: decode_selected(sel, lens, offsets, payload, _BLOCK_SIZE),
+            repeats=repeats,
+        )
+        sel_bytes = sel.size * _BLOCK_SIZE * 4
+        kernels["decode_selected"] = {
+            "seconds": t.seconds,
+            "gbps": throughput_gbps(sel_bytes, t.seconds),
+        }
+
+        engine = HZDynamic(collect_stats=False)
+        for k in REDUCE_KS:
+            fields = _make_fields(k, n_elements)
+            t = best_of(lambda: engine.reduce_fused(fields), repeats=repeats)
+            kernels[f"reduce_fused_k{k}"] = {
+                "seconds": t.seconds,
+                "gbps": throughput_gbps(k * nbytes, t.seconds),
+            }
+    return kernels
+
+
+def run_kernel_bench(
+    mb: float = 16.0,
+    repeats: int = 3,
+    backends: tuple[str, ...] | None = None,
+) -> dict[str, Any]:
+    """Run the harness; returns the ``BENCH_kernels.json`` document."""
+    n_elements = max(_BLOCK_SIZE, int(mb * 1e6 / 4) // _BLOCK_SIZE * _BLOCK_SIZE)
+    if backends is None:
+        backends = available_backends()
+    results = {
+        name: _bench_backend(name, n_elements, repeats) for name in backends
+    }
+    return {
+        "bench": "kernels",
+        "field_mb": n_elements * 4 / 1e6,
+        "block_size": _BLOCK_SIZE,
+        "repeats": repeats,
+        "reduce_ks": list(REDUCE_KS),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "backend_status": backend_status(),
+        "backends": results,
+    }
+
+
+def compare_to_baseline(
+    current: dict[str, Any], baseline: dict[str, Any], tolerance: float = 2.0
+) -> list[str]:
+    """Regressions (``> tolerance×`` slower than baseline), empty if clean.
+
+    Only kernels present in both documents are compared, so adding a
+    backend or a kernel never fails the gate by itself.
+    """
+    failures = []
+    for backend, base_kernels in baseline.get("backends", {}).items():
+        cur_kernels = current.get("backends", {}).get(backend)
+        if cur_kernels is None:
+            continue
+        for kernel, base in base_kernels.items():
+            cur = cur_kernels.get(kernel)
+            if cur is None or base["gbps"] <= 0:
+                continue
+            slowdown = base["gbps"] / cur["gbps"] if cur["gbps"] > 0 else float("inf")
+            if slowdown > tolerance:
+                failures.append(
+                    f"{backend}/{kernel}: {cur['gbps']:.3f} GB/s vs baseline "
+                    f"{base['gbps']:.3f} GB/s ({slowdown:.2f}x slower, "
+                    f"tolerance {tolerance:.2f}x)"
+                )
+    return failures
+
+
+def format_report(doc: dict[str, Any]) -> str:
+    """Human-readable table of a harness document."""
+    lines = [
+        f"kernel bench @ {doc['field_mb']:.1f} MB field, "
+        f"best of {doc['repeats']} (GB/s of uncompressed bytes)"
+    ]
+    for backend, kernels in doc["backends"].items():
+        lines.append(f"[{backend}]")
+        for kernel, r in kernels.items():
+            lines.append(
+                f"  {kernel:18} {r['gbps']:8.3f} GB/s  ({r['seconds'] * 1e3:8.2f} ms)"
+            )
+    unavailable = {
+        k: v for k, v in doc.get("backend_status", {}).items() if v != "ok"
+    }
+    for name, err in unavailable.items():
+        lines.append(f"[{name}] unavailable: {err}")
+    return "\n".join(lines)
+
+
+def dumps(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -9,6 +9,7 @@ Commands
 ``scaling``     — Figure 10/12 speedup curves from the cost model.
 ``stacking``    — the image-stacking demo (Table VII / Figure 13 shapes).
 ``chaos``       — run one collective under a seeded fault plan.
+``bench-kernels`` — kernel perf harness; emits/compares BENCH_kernels.json.
 """
 
 from __future__ import annotations
@@ -25,6 +26,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="hZCCL (SC'24) reproduction — homomorphic-compression collectives",
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        metavar="NAME",
+        help="fixed-length kernel backend for this run (auto | numpy | numba; "
+             "overrides the REPRO_KERNEL_BACKEND environment variable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -69,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="RANK", help="straggler rank (repeatable)")
     p.add_argument("--straggler-factor", type=float, default=4.0,
                    help="compute slowdown for straggler ranks")
+
+    p = sub.add_parser(
+        "bench-kernels",
+        help="per-kernel perf harness (encode/decode/select/reduce_fused)",
+    )
+    p.add_argument("--mb", type=float, default=16.0,
+                   help="uncompressed field size in MB")
+    p.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    p.add_argument("--backend", action="append", default=None,
+                   metavar="NAME",
+                   help="backend to measure (repeatable; default: all available)")
+    p.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                   help="write the machine-readable document to PATH")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="compare against a committed BENCH_kernels.json; "
+                        "non-zero exit on regression")
+    p.add_argument("--tolerance", type=float, default=2.0,
+                   help="allowed slowdown factor for --compare (default 2.0)")
     return parser
 
 
@@ -78,7 +104,14 @@ def _cmd_info() -> int:
     from repro.datasets import DATASETS
     from repro.runtime.network import OMNIPATH_100G
 
+    from repro.kernels.dispatch import backend_status, current_backend_name
+
     print(f"repro {repro.__version__} — hZCCL (SC 2024) reproduction")
+    status = ", ".join(
+        f"{name} ({'ok' if msg == 'ok' else 'unavailable'})"
+        for name, msg in backend_status().items()
+    )
+    print(f"kernel backends: {status}; active: {current_backend_name()}")
     print(f"network model: {OMNIPATH_100G.bandwidth_Bps / 1e9:.1f} GB/s link, "
           f"{OMNIPATH_100G.latency_s * 1e6:.0f} µs latency, "
           f"congestion +{OMNIPATH_100G.congestion_per_log2}/log2(N)")
@@ -233,9 +266,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.kernels import (
+        compare_to_baseline,
+        dumps,
+        format_report,
+        run_kernel_bench,
+    )
+
+    backends = tuple(args.backend) if args.backend else None
+    doc = run_kernel_bench(mb=args.mb, repeats=args.repeats, backends=backends)
+    print(format_report(doc))
+    if args.json_path:
+        Path(args.json_path).write_text(dumps(doc))
+        print(f"wrote {args.json_path}")
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        failures = compare_to_baseline(doc, baseline, tolerance=args.tolerance)
+        if failures:
+            print("PERF REGRESSION:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"no regression vs {args.compare} (tolerance {args.tolerance}x)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.kernel_backend:
+        from repro.kernels.dispatch import set_backend
+
+        set_backend(args.kernel_backend)
     handlers = {
         "info": lambda: _cmd_info(),
         "stream": lambda: _cmd_stream(args),
@@ -244,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         "scaling": lambda: _cmd_scaling(args),
         "stacking": lambda: _cmd_stacking(args),
         "chaos": lambda: _cmd_chaos(args),
+        "bench-kernels": lambda: _cmd_bench_kernels(args),
     }
     return handlers[args.command]()
 

@@ -16,10 +16,18 @@ exactly ``4 + 4·c`` bytes, so the whole payload is byte-aligned and every
 group of equal-``c`` blocks can be encoded/decoded with a handful of
 vectorised operations.
 
-Everything in this module is *block-shape agnostic*: callers hand in a 2-D
-``(n_blocks, block_size)`` array of int64 deltas and get back per-block code
-lengths plus a single contiguous payload.  The subset variants used by the
-homomorphic pipelines (decode/encode only the block indices a pipeline
+This module is the stable entry point; the actual kernels live in
+:mod:`repro.kernels` behind a backend dispatch layer (reference NumPy
+backend, optional Numba-JIT backend — select with
+``repro.kernels.set_backend``/``use_backend`` or the
+``REPRO_KERNEL_BACKEND`` environment variable).  All backends emit
+byte-identical streams, so backend choice never affects the wire format or
+the homomorphic invariants.
+
+Everything here is *block-shape agnostic*: callers hand in a 2-D
+``(n_blocks, block_size)`` array of integer deltas and get back per-block
+code lengths plus a single contiguous payload.  The subset variants used by
+the homomorphic pipelines (decode/encode only the block indices a pipeline
 touches) avoid materialising the full prediction array — the memory-
 efficiency point the paper makes about hZ-dynamic vs. static homomorphic
 compression.
@@ -29,6 +37,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.dispatch import get_backend
+from ..kernels.plan import (  # noqa: F401  (canonical home; re-exported API)
+    block_payload_nbytes,
+    payload_offsets,
+    required_bits,
+)
 from ..utils.validation import ensure_positive_int
 
 __all__ = [
@@ -57,113 +71,19 @@ def _check_block_size(block_size: int) -> int:
     return block_size
 
 
-def required_bits(max_magnitudes: np.ndarray) -> np.ndarray:
-    """Bit width needed to store each magnitude (0 for zero).
-
-    ``bits(m) = floor(log2(m)) + 1`` for ``m > 0``.  float64 represents all
-    uint32 values exactly, so the log-based formulation is exact here and
-    vectorises, unlike a Python-level ``int.bit_length`` loop.
-    """
-    m = np.asarray(max_magnitudes, dtype=np.float64)
-    out = np.zeros(m.shape, dtype=np.uint8)
-    nz = m > 0
-    # ceil(log2(m + 1)) == floor(log2(m)) + 1 for integer m >= 1.
-    out[nz] = np.ceil(np.log2(m[nz] + 1.0)).astype(np.uint8)
-    return out
-
-
-def block_payload_nbytes(code_lengths: np.ndarray, block_size: int) -> np.ndarray:
-    """Payload bytes per block: ``block_size/8 · (1 + c)``, 0 when constant."""
-    c = np.asarray(code_lengths, dtype=np.int64)
-    unit = block_size // 8
-    return np.where(c > 0, unit * (1 + c), 0).astype(np.int64)
-
-
-def payload_offsets(code_lengths: np.ndarray, block_size: int) -> np.ndarray:
-    """Exclusive prefix sum of payload sizes: ``(n_blocks + 1,)`` offsets."""
-    sizes = block_payload_nbytes(code_lengths, block_size)
-    offsets = np.empty(sizes.size + 1, dtype=np.int64)
-    offsets[0] = 0
-    np.cumsum(sizes, out=offsets[1:])
-    return offsets
-
-
-def _encode_group(mags: np.ndarray, signs: np.ndarray, c: int) -> np.ndarray:
-    """Encode a group of equal-code-length blocks.
-
-    Parameters
-    ----------
-    mags : ``(nb, bs)`` uint32 magnitudes, all < 2**c.
-    signs : ``(nb, bs)`` bool, True for negative deltas.
-    c : shared code length, ``1 <= c <= 32``.
-
-    Returns ``(nb, bs//8 * (1 + c))`` uint8 payload rows.
-    """
-    nb, bs = mags.shape
-    unit = bs // 8
-    out = np.empty((nb, unit * (1 + c)), dtype=np.uint8)
-    # Sign plane first (bit-packed, MSB-first like np.packbits' default).
-    out[:, :unit] = np.packbits(signs, axis=1)
-    byte_count = c // 8
-    remainder_bit = c % 8
-    pos = unit
-    # Complete byte planes: plane k holds byte k of every element, a pure
-    # shift-and-mask per plane (the paper's "full bytes ... stored into a
-    # byte array utilizing the ultra-fast bit-shifting method").
-    for k in range(byte_count):
-        out[:, pos : pos + bs] = ((mags >> np.uint32(8 * k)) & np.uint32(0xFF)).astype(
-            np.uint8
+def _check_deltas(deltas: np.ndarray, block_size: int) -> np.ndarray:
+    deltas = np.asarray(deltas)
+    if deltas.ndim != 2 or deltas.shape[1] != block_size:
+        raise ValueError(
+            f"deltas must have shape (n_blocks, {block_size}), got {deltas.shape}"
         )
-        pos += bs
-    if remainder_bit:
-        # Residual bits: the paper left-shifts by (32 - remainder_bit) then
-        # right-shifts back to isolate them; the equivalent mask form below
-        # feeds a single packbits call per group.  Dropping to uint8 before
-        # the per-bit expansion keeps the temporary at one byte per bit.
-        resid = (
-            (mags >> np.uint32(8 * byte_count)) & np.uint32((1 << remainder_bit) - 1)
-        ).astype(np.uint8)
-        shifts = np.arange(remainder_bit - 1, -1, -1, dtype=np.uint8)
-        bits = (resid[:, :, None] >> shifts) & np.uint8(1)
-        out[:, pos:] = np.packbits(bits.reshape(nb, bs * remainder_bit), axis=1)
-    return out
-
-
-def _decode_group(
-    rows: np.ndarray, c: int, block_size: int, dtype: np.dtype = np.int64
-) -> np.ndarray:
-    """Inverse of :func:`_encode_group`; returns ``(nb, bs)`` signed deltas."""
-    nb = rows.shape[0]
-    bs = block_size
-    unit = bs // 8
-    signs = np.unpackbits(rows[:, :unit], axis=1).astype(bool)
-    mags = np.zeros((nb, bs), dtype=np.uint32)
-    byte_count = c // 8
-    remainder_bit = c % 8
-    pos = unit
-    for k in range(byte_count):
-        mags |= rows[:, pos : pos + bs].astype(np.uint32) << np.uint32(8 * k)
-        pos += bs
-    if remainder_bit:
-        packed = rows[:, pos:]
-        bits = np.unpackbits(packed, axis=1)[:, : bs * remainder_bit]
-        # Horner-style accumulation: ~5× faster than a broadcasted
-        # shift-and-reduce because every pass is a plain elementwise op.
-        bits = bits.reshape(nb, bs, remainder_bit)
-        resid = bits[:, :, 0].astype(np.uint32)
-        for j in range(1, remainder_bit):
-            resid <<= np.uint32(1)
-            resid |= bits[:, :, j]
-        mags |= resid << np.uint32(8 * byte_count)
-    deltas = mags.astype(dtype)
-    np.negative(deltas, out=deltas, where=signs)
     return deltas
 
 
 def encode_blocks(
     deltas: np.ndarray, block_size: int = DEFAULT_BLOCK_SIZE
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Fixed-length-encode ``(n_blocks, block_size)`` int64 deltas.
+    """Fixed-length-encode ``(n_blocks, block_size)`` integer deltas.
 
     Returns
     -------
@@ -178,53 +98,37 @@ def encode_blocks(
         If any magnitude needs more than :data:`MAX_CODE_LENGTH` bits.
     """
     block_size = _check_block_size(block_size)
-    deltas = np.asarray(deltas)
-    if deltas.ndim != 2 or deltas.shape[1] != block_size:
-        raise ValueError(
-            f"deltas must have shape (n_blocks, {block_size}), got {deltas.shape}"
-        )
-    mags64 = np.abs(deltas)
-    max_mag = mags64.max(axis=1, initial=0)
-    if max_mag.size and int(max_mag.max()) >= (1 << MAX_CODE_LENGTH):
-        raise OverflowError(
-            "prediction delta exceeds 32-bit magnitude; the error bound is too "
-            "tight for this data's dynamic range"
-        )
-    code_lengths = required_bits(max_mag)
-    offsets = payload_offsets(code_lengths, block_size)
-    payload = np.empty(int(offsets[-1]), dtype=np.uint8)
-    signs_all = deltas < 0
-    mags = mags64.astype(np.uint32)
-    for c in np.unique(code_lengths):
-        if c == 0:
-            continue
-        idx = np.nonzero(code_lengths == c)[0]
-        rows = _encode_group(mags[idx], signs_all[idx], int(c))
-        row_nbytes = rows.shape[1]
-        dest = offsets[idx][:, None] + np.arange(row_nbytes, dtype=np.int64)
-        payload[dest.ravel()] = rows.ravel()
-    return code_lengths, payload
+    deltas = _check_deltas(deltas, block_size)
+    return get_backend().encode_blocks(deltas, block_size)
 
 
 def decode_blocks(
     code_lengths: np.ndarray,
     payload: np.ndarray,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    offsets: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Inverse fixed-length encoding for the full block set.
 
     Constant blocks decode to all-zero deltas.  Returns
     ``(n_blocks, block_size)``, int32 when every code length fits (halving
     the memory traffic of the downstream prefix sums), int64 otherwise.
+
+    Parameters
+    ----------
+    offsets : optional precomputed :func:`payload_offsets` for the stream
+        (e.g. ``CompressedField.offsets``); passing it skips the redundant
+        prefix sum.
+    out : optional ``(n_blocks, block_size)`` int32/int64 buffer to decode
+        into (int32 only when every code length ≤ 31); callers on the
+        homomorphic hot path use this to recycle an accumulator-sized
+        scratch buffer across operands.
     """
     block_size = _check_block_size(block_size)
-    code_lengths = np.asarray(code_lengths, dtype=np.uint8)
-    offsets = payload_offsets(code_lengths, block_size)
-    max_c = int(code_lengths.max(initial=0))
-    dtype = np.int32 if max_c <= 31 else np.int64
-    out = np.zeros((code_lengths.size, block_size), dtype=dtype)
-    _decode_into(out, np.arange(code_lengths.size), code_lengths, offsets, payload, block_size)
-    return out
+    return get_backend().decode_blocks(
+        code_lengths, payload, block_size, offsets=offsets, out=out
+    )
 
 
 def decode_selected(
@@ -237,35 +141,14 @@ def decode_selected(
     """Decode only ``indices`` blocks (pipeline-4 gather path).
 
     ``offsets`` must be the array from :func:`payload_offsets` for the full
-    stream.  Returns ``(len(indices), block_size)`` int64 deltas in the
-    order of ``indices``.
+    stream.  ``indices`` may be unsorted and may contain duplicates; rows
+    come back in the order of ``indices``.  Returns
+    ``(len(indices), block_size)`` int64 deltas.
     """
     block_size = _check_block_size(block_size)
-    indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros((indices.size, block_size), dtype=np.int64)
-    _decode_into(out, indices, code_lengths, offsets, payload, block_size)
-    return out
-
-
-def _decode_into(
-    out: np.ndarray,
-    indices: np.ndarray,
-    code_lengths: np.ndarray,
-    offsets: np.ndarray,
-    payload: np.ndarray,
-    block_size: int,
-) -> None:
-    """Decode ``indices`` blocks into pre-allocated ``out`` rows."""
-    sel_c = np.asarray(code_lengths, dtype=np.uint8)[indices]
-    for c in np.unique(sel_c):
-        if c == 0:
-            continue
-        where = np.nonzero(sel_c == c)[0]
-        blocks = indices[where]
-        row_nbytes = (block_size // 8) * (1 + int(c))
-        src = offsets[blocks][:, None] + np.arange(row_nbytes, dtype=np.int64)
-        rows = payload[src.ravel()].reshape(where.size, row_nbytes)
-        out[where] = _decode_group(rows, int(c), block_size, out.dtype)
+    return get_backend().decode_selected(
+        indices, code_lengths, offsets, payload, block_size
+    )
 
 
 def encode_into(
@@ -274,7 +157,9 @@ def encode_into(
     """Like :func:`encode_blocks` but also returns the payload offsets.
 
     Convenience for callers (the homomorphic engine, the wire format) that
-    need the offsets anyway — avoids recomputing the prefix sum.
+    need the offsets anyway — the backend computes them as part of laying
+    out the payload, so nothing is recomputed.
     """
-    code_lengths, payload = encode_blocks(deltas, block_size)
-    return code_lengths, payload, payload_offsets(code_lengths, block_size)
+    block_size = _check_block_size(block_size)
+    deltas = _check_deltas(deltas, block_size)
+    return get_backend().encode_with_offsets(deltas, block_size)

@@ -23,11 +23,11 @@ NumPy kernels release the GIL).
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..utils.pool import shared_executor
 from ..utils.validation import (
     ensure_float_array,
     ensure_positive_int,
@@ -166,8 +166,8 @@ class FZLight:
             if starts[t] < starts[t + 1]
         ]
         workers = resolve_workers(len(chunks), self.max_workers)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(pool.map(lambda b: encode_blocks(b, self.block_size), chunks))
+        pool = shared_executor(workers)
+        parts = list(pool.map(lambda b: encode_blocks(b, self.block_size), chunks))
         code_lengths = np.concatenate([p[0] for p in parts])
         payload = np.concatenate([p[1] for p in parts])
         return code_lengths, payload
@@ -205,7 +205,10 @@ class FZLight:
     ) -> np.ndarray:
         if not self.parallel or self.n_threadblocks == 1:
             return decode_blocks(
-                compressed.code_lengths, compressed.payload, self.block_size
+                compressed.code_lengths,
+                compressed.payload,
+                self.block_size,
+                offsets=compressed.offsets,
             )
         starts = structure.block_starts
         offsets = compressed.offsets
@@ -218,10 +221,10 @@ class FZLight:
             chunk_payload = compressed.payload[int(offsets[lo]) : int(offsets[hi])]
             tasks.append((chunk_codes, chunk_payload))
         workers = resolve_workers(len(tasks), self.max_workers)
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            parts = list(
-                pool.map(lambda t: decode_blocks(t[0], t[1], self.block_size), tasks)
-            )
+        pool = shared_executor(workers)
+        parts = list(
+            pool.map(lambda t: decode_blocks(t[0], t[1], self.block_size), tasks)
+        )
         return np.concatenate(parts, axis=0)
 
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels.plan import GroupingPlan
 from ..utils.chunking import num_blocks, pad_to_multiple
 from ..utils.validation import ensure_float_array, ensure_positive_int
 from .common import dequantize, quantize, resolve_error_bound
@@ -259,10 +260,9 @@ class OmpSZp:
         lens[zero_mask] = 0
         ordered_lens = lens[order]
         ordered_offsets = offsets[:-1][order]
-        for c in np.unique(ordered_lens):
+        for c, sel in GroupingPlan.from_code_lengths(ordered_lens).groups():
             if c == 0:
                 continue
-            sel = np.nonzero(ordered_lens == c)[0]
             rows = _bitshuffle_encode(mags[sel], signs[sel], int(c))
             dest = ordered_offsets[sel][:, None] + np.arange(
                 rows.shape[1], dtype=np.int64
@@ -296,10 +296,9 @@ class OmpSZp:
         order = self._interleave_order(n_blocks)
         ordered_lens = eff_lens[order]
         ordered_offsets = offsets[:-1][order]
-        for c in np.unique(ordered_lens):
+        for c, sel in GroupingPlan.from_code_lengths(ordered_lens).groups():
             if c == 0:
                 continue
-            sel = np.nonzero(ordered_lens == c)[0]
             row_nbytes = (bs // 8) * (1 + int(c))
             src = ordered_offsets[sel][:, None] + np.arange(row_nbytes, dtype=np.int64)
             rows = compressed.payload[src.ravel()].reshape(sel.size, row_nbytes)

@@ -35,6 +35,7 @@ from ..collectives import (
 from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
+from ..kernels.dispatch import use_backend
 from ..runtime.cluster import SimCluster
 from .config import CollectiveConfig
 
@@ -72,17 +73,20 @@ class HZCCL:
         """fZ-light compression (defaults to the config's error bound)."""
         if abs_eb is None and rel_eb is None:
             abs_eb = self.config.error_bound
-        return self._compressor.compress(data, abs_eb=abs_eb, rel_eb=rel_eb)
+        with use_backend(self.config.kernel_backend):
+            return self._compressor.compress(data, abs_eb=abs_eb, rel_eb=rel_eb)
 
     def decompress(self, compressed: CompressedField) -> np.ndarray:
         """fZ-light decompression."""
-        return self._compressor.decompress(compressed)
+        with use_backend(self.config.kernel_backend):
+            return self._compressor.decompress(compressed)
 
     def homomorphic_sum(
         self, a: CompressedField, b: CompressedField
     ) -> CompressedField:
         """hZ-dynamic reduction directly on two compressed fields."""
-        return self._engine.add(a, b)
+        with use_backend(self.config.kernel_backend):
+            return self._engine.add(a, b)
 
     # ------------------------------------------------------------------ #
     # collectives
@@ -102,12 +106,13 @@ class HZCCL:
     ) -> CollectiveResult:
         """SUM Reduce_scatter across ``len(local_data)`` simulated ranks."""
         cluster = self._cluster(len(local_data))
-        if kernel == "hzccl":
-            return hzccl_reduce_scatter(cluster, local_data, self.config)
-        if kernel == "ccoll":
-            return ccoll_reduce_scatter(cluster, local_data, self.config)
-        if kernel == "mpi":
-            return mpi_reduce_scatter(cluster, local_data)
+        with use_backend(self.config.kernel_backend):
+            if kernel == "hzccl":
+                return hzccl_reduce_scatter(cluster, local_data, self.config)
+            if kernel == "ccoll":
+                return ccoll_reduce_scatter(cluster, local_data, self.config)
+            if kernel == "mpi":
+                return mpi_reduce_scatter(cluster, local_data)
         raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
 
     def allreduce(
@@ -115,12 +120,13 @@ class HZCCL:
     ) -> CollectiveResult:
         """SUM Allreduce across ``len(local_data)`` simulated ranks."""
         cluster = self._cluster(len(local_data))
-        if kernel == "hzccl":
-            return hzccl_allreduce(cluster, local_data, self.config)
-        if kernel == "ccoll":
-            return ccoll_allreduce(cluster, local_data, self.config)
-        if kernel == "mpi":
-            return mpi_allreduce(cluster, local_data)
+        with use_backend(self.config.kernel_backend):
+            if kernel == "hzccl":
+                return hzccl_allreduce(cluster, local_data, self.config)
+            if kernel == "ccoll":
+                return ccoll_allreduce(cluster, local_data, self.config)
+            if kernel == "mpi":
+                return mpi_allreduce(cluster, local_data)
         raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
 
     def reduce(
@@ -134,12 +140,15 @@ class HZCCL:
         small/medium rank counts); ``mpi`` is the plain baseline.
         """
         cluster = self._cluster(len(local_data))
-        if kernel == "hzccl":
-            return hzccl_reduce(cluster, local_data, self.config, root=root)
-        if kernel == "hzccl-direct":
-            return hzccl_reduce_direct(cluster, local_data, self.config, root=root)
-        if kernel == "mpi":
-            return mpi_reduce(cluster, local_data, root=root)
+        with use_backend(self.config.kernel_backend):
+            if kernel == "hzccl":
+                return hzccl_reduce(cluster, local_data, self.config, root=root)
+            if kernel == "hzccl-direct":
+                return hzccl_reduce_direct(
+                    cluster, local_data, self.config, root=root
+                )
+            if kernel == "mpi":
+                return mpi_reduce(cluster, local_data, root=root)
         raise ValueError(
             f"kernel must be 'hzccl', 'hzccl-direct' or 'mpi', got {kernel!r}"
         )
@@ -153,8 +162,9 @@ class HZCCL:
         the configured error bound on non-root ranks); ``mpi`` is exact.
         """
         cluster = self._cluster(n_ranks)
-        if kernel == "hzccl":
-            return compressed_bcast(cluster, data, self.config, root=root)
-        if kernel == "mpi":
-            return mpi_bcast(cluster, data, root=root)
+        with use_backend(self.config.kernel_backend):
+            if kernel == "hzccl":
+                return compressed_bcast(cluster, data, self.config, root=root)
+            if kernel == "mpi":
+                return mpi_bcast(cluster, data, root=root)
         raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")

@@ -22,6 +22,10 @@ class CollectiveConfig:
     ``fault_plan`` (``None`` = healthy fabric) injects seeded faults on
     every delivery; ``retry`` governs the timeout/backoff retransmission
     schedule (see DESIGN.md §8).
+
+    ``kernel_backend`` selects the fixed-length kernel implementation
+    (``"auto"``, ``"numpy"``, or ``"numba"`` — see DESIGN.md §9); every
+    backend emits byte-identical streams, so ranks may disagree on it.
     """
 
     error_bound: float = 1e-4  # absolute, like the paper's collectives
@@ -32,6 +36,7 @@ class CollectiveConfig:
     network: NetworkModel = field(default_factory=lambda: OMNIPATH_100G)
     fault_plan: FaultPlan | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         ensure_positive(self.error_bound, "error_bound")
@@ -39,6 +44,8 @@ class CollectiveConfig:
         ensure_positive(self.thread_speedup, "thread_speedup")
         if self.block_size % 8 or self.block_size <= 0:
             raise ValueError("block_size must be a positive multiple of 8")
+        if not isinstance(self.kernel_backend, str) or not self.kernel_backend:
+            raise ValueError("kernel_backend must be a non-empty string")
 
     def with_mode(self, multithread: bool) -> "CollectiveConfig":
         """Same config in the other thread mode."""

@@ -47,10 +47,11 @@ import numpy as np
 from ..compression.encoding import (
     decode_blocks,
     decode_selected,
-    encode_blocks,
+    encode_into,
     payload_offsets,
 )
 from ..compression.format import CompressedField
+from ..kernels.arena import get_arena
 
 __all__ = ["PipelineStats", "HZDynamic", "homomorphic_sum"]
 
@@ -388,6 +389,10 @@ class HZDynamic:
         """
         nb = fields[0].code_lengths.size
         acc = np.zeros((nb, bs), dtype=np.int64)
+        # One arena-backed decode buffer is recycled across all k operands
+        # (the accumulator itself must stay a fresh allocation — it is
+        # handed to encode and must not alias kernel scratch).
+        scratch = get_arena().take("hz.dense", (nb, bs), np.int64)
         track = self.collect_stats
         azero = ~nzmat[0] if track else None
         for j, f in enumerate(fields):
@@ -395,7 +400,9 @@ class HZDynamic:
             if track and j > 0:
                 p4 = self._record_fold_step(azero, ~nzmat[j])
             if w[j]:
-                decoded = decode_blocks(f.code_lengths, f.payload, bs)
+                decoded = decode_blocks(
+                    f.code_lengths, f.payload, bs, offsets=f.offsets, out=scratch
+                )
                 if w[j] == 1:
                     acc += decoded
                 else:
@@ -615,8 +622,9 @@ class HZDynamic:
 def _encode_with_offsets(
     deltas: np.ndarray, block_size: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    lens, payload = encode_blocks(deltas, block_size)
-    return lens, payload, payload_offsets(lens, block_size)
+    # The backend lays out offsets while sizing the payload; nothing is
+    # recomputed here.
+    return encode_into(deltas, block_size)
 
 
 def homomorphic_sum(

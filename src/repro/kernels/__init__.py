@@ -1,0 +1,52 @@
+"""Pluggable fixed-length kernel backends for the compression hot path.
+
+Public surface:
+
+* :mod:`repro.kernels.dispatch` — backend registry, resolution policy
+  (explicit override > ``REPRO_KERNEL_BACKEND`` env var > auto), and the
+  :func:`use_backend` scoping context manager;
+* :mod:`repro.kernels.plan` — the shared argsort-based
+  :class:`~repro.kernels.plan.GroupingPlan` and payload-layout geometry;
+* :mod:`repro.kernels.arena` — the thread-local scratch-buffer arena.
+
+The stable entry point for callers is still
+:mod:`repro.compression.encoding`; it forwards every call to the active
+backend.  All backends emit byte-identical streams.
+"""
+
+from .arena import ScratchArena, get_arena
+from .dispatch import (
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    backend_status,
+    current_backend_name,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from .plan import (
+    GroupingPlan,
+    block_payload_nbytes,
+    payload_offsets,
+    required_bits,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "GroupingPlan",
+    "KernelBackend",
+    "ScratchArena",
+    "available_backends",
+    "backend_status",
+    "block_payload_nbytes",
+    "current_backend_name",
+    "get_arena",
+    "get_backend",
+    "payload_offsets",
+    "register_backend",
+    "required_bits",
+    "set_backend",
+    "use_backend",
+]

@@ -1,0 +1,127 @@
+"""Per-block scalar kernels: the JIT-compilable reference implementation.
+
+These functions are written in the restricted subset of Python that Numba's
+``nopython`` mode compiles — plain loops, scalar arithmetic, no fancy
+indexing.  They serve two roles:
+
+* :mod:`repro.kernels.numba_backend` JIT-compiles them verbatim into the
+  optional high-performance backend;
+* the parity test suite runs them **uncompiled** on small inputs, so the
+  exact bit layout they implement is exercised by CI even on hosts without
+  Numba.
+
+The byte layout per non-constant block (code length ``c``, block size
+``bs``, ``unit = bs // 8``) is fZ-light's, identical to the NumPy backend:
+
+1. ``unit`` sign bytes — one bit per element, MSB-first;
+2. ``c // 8`` full byte planes — plane ``k`` holds byte ``k`` (little-
+   endian) of every element's magnitude, elements in order;
+3. if ``c % 8 != 0``: the residual ``c % 8`` bits of every element,
+   bit-packed MSB-first into ``unit * (c % 8)`` bytes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode_payload_loop", "decode_into_loop"]
+
+
+def encode_payload_loop(mags, signs, code_lengths, offsets, payload):
+    """Serialise every non-constant block's payload bytes.
+
+    Parameters
+    ----------
+    mags : ``(n_blocks, bs)`` uint32 magnitudes.
+    signs : ``(n_blocks, bs)`` bool, True for negative deltas.
+    code_lengths : ``(n_blocks,)`` uint8.
+    offsets : ``(n_blocks + 1,)`` int64 payload offsets.
+    payload : ``(offsets[-1],)`` uint8 output buffer.
+    """
+    n_blocks, bs = mags.shape
+    unit = bs // 8
+    for i in range(n_blocks):
+        c = int(code_lengths[i])
+        if c == 0:
+            continue
+        pos = int(offsets[i])
+        for b in range(unit):
+            byte = 0
+            base = b * 8
+            for j in range(8):
+                byte = (byte << 1) | (1 if signs[i, base + j] else 0)
+            payload[pos] = byte
+            pos += 1
+        byte_count = c // 8
+        rem = c % 8
+        for k in range(byte_count):
+            shift = 8 * k
+            for e in range(bs):
+                payload[pos] = (int(mags[i, e]) >> shift) & 0xFF
+                pos += 1
+        if rem:
+            shift = 8 * byte_count
+            mask = (1 << rem) - 1
+            accum = 0
+            nbits = 0
+            for e in range(bs):
+                accum = (accum << rem) | ((int(mags[i, e]) >> shift) & mask)
+                nbits += rem
+                while nbits >= 8:
+                    nbits -= 8
+                    payload[pos] = (accum >> nbits) & 0xFF
+                    pos += 1
+
+
+def decode_into_loop(indices, code_lengths, offsets, payload, out, sign_buf):
+    """Decode blocks ``indices`` into the rows of ``out``.
+
+    Parameters
+    ----------
+    indices : ``(n_sel,)`` int64 block positions (any order, duplicates ok).
+    code_lengths : ``(n_blocks,)`` uint8 for the full stream.
+    offsets : ``(n_blocks + 1,)`` int64 for the full stream.
+    payload : ``(offsets[-1],)`` uint8.
+    out : ``(n_sel, bs)`` signed integer output, fully overwritten.
+    sign_buf : ``(bs,)`` uint8 scratch row (hoisted so the loop allocates
+        nothing).
+    """
+    n_sel = indices.shape[0]
+    bs = out.shape[1]
+    unit = bs // 8
+    for s in range(n_sel):
+        i = int(indices[s])
+        c = int(code_lengths[i])
+        if c == 0:
+            for e in range(bs):
+                out[s, e] = 0
+            continue
+        pos = int(offsets[i])
+        for b in range(unit):
+            byte = int(payload[pos])
+            pos += 1
+            base = b * 8
+            for j in range(8):
+                sign_buf[base + j] = (byte >> (7 - j)) & 1
+        for e in range(bs):
+            out[s, e] = 0
+        byte_count = c // 8
+        rem = c % 8
+        for k in range(byte_count):
+            shift = 8 * k
+            for e in range(bs):
+                out[s, e] |= int(payload[pos]) << shift
+                pos += 1
+        if rem:
+            shift = 8 * byte_count
+            mask = (1 << rem) - 1
+            accum = 0
+            nbits = 0
+            for e in range(bs):
+                while nbits < rem:
+                    accum = (accum << 8) | int(payload[pos])
+                    pos += 1
+                    nbits += 8
+                nbits -= rem
+                out[s, e] |= ((accum >> nbits) & mask) << shift
+        for e in range(bs):
+            if sign_buf[e]:
+                out[s, e] = -out[s, e]

@@ -1,0 +1,199 @@
+"""Kernel backend registry and dispatch.
+
+A *backend* is a named bundle of the four fixed-length kernels the rest of
+the stack calls through :mod:`repro.compression.encoding`:
+
+``encode_blocks`` / ``encode_with_offsets`` / ``decode_blocks`` /
+``decode_selected``
+
+Two backends ship with the repo:
+
+* ``numpy`` — the reworked vectorised reference (always available);
+* ``numba`` — JIT-compiled scalar loops, available only when the optional
+  ``numba`` package is installed (``pip install repro[perf]``).
+
+Resolution order for the active backend:
+
+1. an explicit :func:`set_backend` / :func:`use_backend` call;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. ``"auto"``: ``numba`` if importable, else ``numpy``.
+
+Backends must emit **byte-identical** streams — the homomorphic operators
+and the CRC-validated wire format depend on it — so switching backends is
+purely a performance decision and ranks are free to disagree on it.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "ENV_VAR",
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "current_backend_name",
+    "set_backend",
+    "use_backend",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Module paths probed for the built-in backends, in "auto" preference order.
+_BUILTIN_MODULES = {
+    "numba": "repro.kernels.numba_backend",
+    "numpy": "repro.kernels.numpy_backend",
+}
+_AUTO_ORDER = ("numba", "numpy")
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """The callable surface every kernel backend provides."""
+
+    name: str
+    encode_blocks: Callable = field(repr=False)
+    encode_with_offsets: Callable = field(repr=False)
+    decode_blocks: Callable = field(repr=False)
+    decode_selected: Callable = field(repr=False)
+
+    @classmethod
+    def from_module(cls, module) -> "KernelBackend":
+        return cls(
+            name=module.NAME,
+            encode_blocks=module.encode_blocks,
+            encode_with_offsets=module.encode_with_offsets,
+            decode_blocks=module.decode_blocks,
+            decode_selected=module.decode_selected,
+        )
+
+
+_lock = threading.RLock()
+_registry: dict[str, KernelBackend] = {}
+_load_errors: dict[str, str] = {}
+_probed = False
+_override: str | None = None  # set_backend wins over env/auto
+_tls = threading.local()  # use_backend() nesting is per-thread
+
+
+def _probe_builtins() -> None:
+    global _probed
+    if _probed:
+        return
+    with _lock:
+        if _probed:
+            return
+        for name, modpath in _BUILTIN_MODULES.items():
+            if name in _registry:
+                continue
+            try:
+                module = importlib.import_module(modpath)
+            except ImportError as exc:
+                _load_errors[name] = str(exc)
+                continue
+            _registry[name] = KernelBackend.from_module(module)
+        _probed = True
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Register (or replace) a backend under ``backend.name``."""
+    with _lock:
+        _registry[backend.name] = backend
+        _load_errors.pop(backend.name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of backends that loaded successfully."""
+    _probe_builtins()
+    return tuple(sorted(_registry))
+
+
+def backend_status() -> dict[str, str]:
+    """Per-backend availability: ``"ok"`` or the import error message."""
+    _probe_builtins()
+    status = {name: "ok" for name in _registry}
+    status.update(_load_errors)
+    return dict(sorted(status.items()))
+
+
+def _resolve_name(name: str | None) -> str:
+    if name is None:
+        name = getattr(_tls, "stack", None) and _tls.stack[-1] or None
+    if name is None:
+        name = _override
+    if name is None:
+        name = os.environ.get(ENV_VAR) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        for candidate in _AUTO_ORDER:
+            if candidate in _registry:
+                return candidate
+        raise RuntimeError("no kernel backends available")
+    return name
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend by name (``None``/``"auto"`` follow the policy)."""
+    _probe_builtins()
+    resolved = _resolve_name(name)
+    try:
+        return _registry[resolved]
+    except KeyError:
+        detail = _load_errors.get(resolved)
+        hint = f" ({detail})" if detail else ""
+        raise ValueError(
+            f"unknown kernel backend {resolved!r}{hint}; "
+            f"available: {', '.join(available_backends()) or 'none'}"
+        ) from None
+
+
+def current_backend_name() -> str:
+    """The name the next kernel call would dispatch to."""
+    return get_backend().name
+
+
+def set_backend(name: str | None) -> None:
+    """Process-wide backend override (``None`` restores env/auto policy)."""
+    global _override
+    _probe_builtins()
+    if name is not None:
+        get_backend(name)  # validate eagerly
+    with _lock:
+        _override = name
+
+
+@contextmanager
+def use_backend(name: str | None) -> Iterator[KernelBackend]:
+    """Scoped backend selection for the calling thread.
+
+    ``None``/``"auto"`` defer to the ambient policy, so wrapping code in
+    ``use_backend(config.kernel_backend)`` is always safe.
+    """
+    _probe_builtins()
+    backend = get_backend(name)
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(backend.name)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+def _reset_for_tests() -> None:
+    """Forget every probe/override so tests can re-drive discovery."""
+    global _probed, _override
+    with _lock:
+        _registry.clear()
+        _load_errors.clear()
+        _probed = False
+        _override = None
+    _tls.stack = []

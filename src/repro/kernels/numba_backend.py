@@ -1,0 +1,139 @@
+"""Optional Numba-JIT kernel backend.
+
+Importing this module raises :class:`ImportError` when ``numba`` is not
+installed — the dispatch layer treats that as "backend unavailable" and
+falls back to NumPy.  Install the extra with ``pip install repro[perf]``.
+
+The JIT kernels are the scalar loops from :mod:`repro.kernels._kernels_py`,
+compiled in ``nopython`` mode with on-disk caching.  Block-level metadata
+(max magnitudes, code lengths, offsets) is still computed with vectorised
+NumPy — those passes are already memory-bound — while the per-block
+serialise/deserialise inner loops, where NumPy pays per-group temporaries
+and gather/scatter index matrices, run as native code.
+
+Streams are byte-identical to the NumPy backend; the parity suite pins this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import _kernels_py
+from .plan import payload_offsets, required_bits
+
+try:  # pragma: no cover - exercised via dispatch availability tests
+    import numba
+except ImportError as exc:  # pragma: no cover
+    raise ImportError(
+        "the 'numba' backend requires the numba package "
+        "(pip install repro[perf])"
+    ) from exc
+
+__all__ = [
+    "NAME",
+    "encode_blocks",
+    "encode_with_offsets",
+    "decode_blocks",
+    "decode_selected",
+]
+
+NAME = "numba"
+
+MAX_CODE_LENGTH = 32
+
+_OVERFLOW_MSG = (
+    "prediction delta exceeds 32-bit magnitude; the error bound is too "
+    "tight for this data's dynamic range"
+)
+
+_jit = numba.njit(cache=True, nogil=True)
+
+_encode_payload_loop = _jit(_kernels_py.encode_payload_loop)
+_decode_into_loop = _jit(_kernels_py.decode_into_loop)
+
+
+def encode_with_offsets(
+    deltas: np.ndarray, block_size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    deltas = np.ascontiguousarray(deltas)
+    nb, bs = deltas.shape
+    if nb == 0:
+        lens = np.zeros(0, dtype=np.uint8)
+        return lens, np.empty(0, dtype=np.uint8), payload_offsets(lens, bs)
+    max_mag = np.maximum(deltas.max(axis=1), -deltas.min(axis=1))
+    if int(max_mag.max()) >= (1 << MAX_CODE_LENGTH):
+        raise OverflowError(_OVERFLOW_MSG)
+    code_lengths = required_bits(max_mag)
+    offsets = payload_offsets(code_lengths, bs)
+    payload = np.empty(int(offsets[-1]), dtype=np.uint8)
+    mags = np.abs(deltas).astype(np.uint32, copy=False)
+    signs = deltas < 0
+    _encode_payload_loop(mags, signs, code_lengths, offsets, payload)
+    return code_lengths, payload, offsets
+
+
+def encode_blocks(
+    deltas: np.ndarray, block_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    code_lengths, payload, _ = encode_with_offsets(deltas, block_size)
+    return code_lengths, payload
+
+
+def decode_blocks(
+    code_lengths: np.ndarray,
+    payload: np.ndarray,
+    block_size: int,
+    offsets: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    code_lengths = np.asarray(code_lengths, dtype=np.uint8)
+    nb = code_lengths.size
+    if offsets is None:
+        offsets = payload_offsets(code_lengths, block_size)
+    max_c = int(code_lengths.max(initial=0))
+    if out is None:
+        dtype = np.int32 if max_c <= 31 else np.int64
+        out = np.empty((nb, block_size), dtype=dtype)
+    else:
+        if out.shape != (nb, block_size):
+            raise ValueError(
+                f"out has shape {out.shape}, expected {(nb, block_size)}"
+            )
+        if out.dtype == np.int32 and max_c > 31:
+            raise ValueError("int32 out cannot hold 32-bit magnitudes")
+        if out.dtype not in (np.int32, np.int64):
+            raise ValueError(f"out dtype must be int32/int64, got {out.dtype}")
+    indices = np.arange(nb, dtype=np.int64)
+    sign_buf = np.empty(block_size, dtype=np.uint8)
+    _decode_into_loop(
+        indices,
+        code_lengths,
+        np.asarray(offsets, dtype=np.int64),
+        payload,
+        out,
+        sign_buf,
+    )
+    return out
+
+
+def decode_selected(
+    indices: np.ndarray,
+    code_lengths: np.ndarray,
+    offsets: np.ndarray,
+    payload: np.ndarray,
+    block_size: int,
+) -> np.ndarray:
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    out = np.empty((indices.size, block_size), dtype=np.int64)
+    if indices.size == 0:
+        return out
+    sign_buf = np.empty(block_size, dtype=np.uint8)
+    _decode_into_loop(
+        indices,
+        np.asarray(code_lengths, dtype=np.uint8),
+        np.asarray(offsets, dtype=np.int64),
+        payload,
+        out,
+        sign_buf,
+    )
+    return out

@@ -1,0 +1,110 @@
+"""Shared block-grouping plan and payload-layout geometry.
+
+Every fixed-length kernel (encode, decode, subset decode) needs the same
+two pieces of information:
+
+* **layout** — how many payload bytes each block occupies and where each
+  block's bytes start (:func:`block_payload_nbytes`, :func:`payload_offsets`);
+* **grouping** — which blocks share a code length ``c``, because blocks with
+  equal ``c`` are processed by one vectorised (or one JIT) kernel call.
+
+The grouping used to be recomputed per kernel as ``np.unique`` followed by a
+full-array ``code_lengths == c`` scan *per distinct c* — up to 33 extra
+passes over the code-length array, plus a fancy gather per group.  A
+:class:`GroupingPlan` replaces all of that with **one** stable argsort
+(radix sort for uint8 keys, O(n)): group ``g`` is simply the contiguous
+slice ``order[bounds[g]:bounds[g+1]]``, already sorted by block index
+within the group (stability), which is what makes the contiguous-run fast
+paths in the backends possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "GroupingPlan",
+    "required_bits",
+    "block_payload_nbytes",
+    "payload_offsets",
+]
+
+
+def required_bits(max_magnitudes: np.ndarray) -> np.ndarray:
+    """Bit width needed to store each magnitude (0 for zero).
+
+    ``bits(m) = floor(log2(m)) + 1`` for ``m > 0``, which is exactly the
+    binary exponent ``np.frexp`` returns (float64 represents every uint32
+    value exactly, so the result is exact for all magnitudes the format
+    admits — and frexp is cheaper than the log2/ceil formulation).
+    """
+    m = np.asarray(max_magnitudes)
+    return np.frexp(m)[1].astype(np.uint8)
+
+
+def block_payload_nbytes(code_lengths: np.ndarray, block_size: int) -> np.ndarray:
+    """Payload bytes per block: ``block_size/8 · (1 + c)``, 0 when constant."""
+    c = np.asarray(code_lengths, dtype=np.int64)
+    unit = block_size // 8
+    return np.where(c > 0, unit * (1 + c), 0).astype(np.int64)
+
+
+def payload_offsets(code_lengths: np.ndarray, block_size: int) -> np.ndarray:
+    """Exclusive prefix sum of payload sizes: ``(n_blocks + 1,)`` offsets."""
+    sizes = block_payload_nbytes(code_lengths, block_size)
+    offsets = np.empty(sizes.size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+@dataclass(frozen=True)
+class GroupingPlan:
+    """Equal-code-length block groups from one stable argsort.
+
+    Attributes
+    ----------
+    order : ``(n,)`` int64 — block positions sorted by code length; within
+        a group the positions keep their original ascending order
+        (stable sort), so a group whose blocks are consecutive in the
+        stream shows up as a consecutive ``order`` slice.
+    values : ``(n_groups,)`` — the distinct code lengths, ascending.
+    bounds : ``(n_groups + 1,)`` int64 — group ``g`` is
+        ``order[bounds[g]:bounds[g+1]]``.
+    """
+
+    order: np.ndarray
+    values: np.ndarray
+    bounds: np.ndarray
+
+    @classmethod
+    def from_code_lengths(cls, code_lengths: np.ndarray) -> "GroupingPlan":
+        """Build the plan with one O(n) radix argsort of the uint8 keys."""
+        keys = np.ascontiguousarray(code_lengths)
+        order = np.argsort(keys, kind="stable")
+        sorted_c = keys[order]
+        if sorted_c.size:
+            cuts = np.flatnonzero(sorted_c[1:] != sorted_c[:-1]) + 1
+            bounds = np.concatenate(
+                (np.zeros(1, dtype=np.int64), cuts, [sorted_c.size])
+            )
+            values = sorted_c[bounds[:-1]]
+        else:
+            bounds = np.zeros(1, dtype=np.int64)
+            values = sorted_c
+        return cls(order=order, values=values, bounds=bounds)
+
+    @property
+    def n_groups(self) -> int:
+        return int(self.values.size)
+
+    def groups(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(code_length, block_positions)`` per group, ascending c."""
+        for g in range(self.values.size):
+            yield (
+                int(self.values[g]),
+                self.order[int(self.bounds[g]) : int(self.bounds[g + 1])],
+            )

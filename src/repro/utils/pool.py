@@ -1,0 +1,55 @@
+"""Process-wide cached thread pools for the chunked kernel paths.
+
+``FZLight``'s parallel mode used to build (and tear down) a fresh
+:class:`~concurrent.futures.ThreadPoolExecutor` on every compress and
+decompress call — thread spawn/join overhead on the order of the kernel
+time itself for small fields.  :func:`shared_executor` keeps one lazily
+created executor per worker width alive for the life of the process; an
+``atexit`` hook (plus :func:`shutdown_executors` for tests) tears them
+down cleanly.
+
+Executors are cached per *width* so callers with different ``max_workers``
+configurations never contend for a mis-sized pool.  The worker threads are
+only ever handed GIL-releasing NumPy kernels, so sharing a pool across
+concurrent callers is safe — tasks just queue.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["shared_executor", "shutdown_executors"]
+
+_lock = threading.Lock()
+_pools: dict[int, ThreadPoolExecutor] = {}
+
+
+def shared_executor(workers: int) -> ThreadPoolExecutor:
+    """The process-wide executor with ``workers`` threads (created lazily)."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    pool = _pools.get(workers)
+    if pool is None:
+        with _lock:
+            pool = _pools.get(workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix=f"repro-kernel-{workers}",
+                )
+                _pools[workers] = pool
+    return pool
+
+
+def shutdown_executors(wait: bool = True) -> None:
+    """Tear down every cached executor (atexit hook; also used by tests)."""
+    with _lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_executors)

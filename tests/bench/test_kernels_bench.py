@@ -1,0 +1,129 @@
+"""The kernel perf harness: document shape, CLI, regression gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.kernels import (
+    REDUCE_KS,
+    compare_to_baseline,
+    format_report,
+    run_kernel_bench,
+)
+
+EXPECTED_KERNELS = {"encode", "decode", "decode_selected"} | {
+    f"reduce_fused_k{k}" for k in REDUCE_KS
+}
+
+
+@pytest.fixture(scope="module")
+def small_doc():
+    return run_kernel_bench(mb=0.25, repeats=1)
+
+
+class TestDocument:
+    def test_every_backend_reports_every_kernel(self, small_doc):
+        assert small_doc["backends"], "no backends measured"
+        for kernels in small_doc["backends"].values():
+            assert set(kernels) == EXPECTED_KERNELS
+            for r in kernels.values():
+                assert r["seconds"] > 0 and r["gbps"] > 0
+
+    def test_status_covers_builtins(self, small_doc):
+        assert {"numpy", "numba"} <= set(small_doc["backend_status"])
+
+    def test_json_serialisable(self, small_doc):
+        restored = json.loads(json.dumps(small_doc))
+        assert restored["bench"] == "kernels"
+
+    def test_report_renders(self, small_doc):
+        text = format_report(small_doc)
+        assert "encode" in text and "GB/s" in text
+
+
+class TestCompare:
+    def test_no_regression_against_self(self, small_doc):
+        assert compare_to_baseline(small_doc, small_doc, tolerance=2.0) == []
+
+    def test_detects_regression(self, small_doc):
+        slowed = json.loads(json.dumps(small_doc))
+        for kernels in slowed["backends"].values():
+            for r in kernels.values():
+                r["gbps"] /= 10.0
+        failures = compare_to_baseline(slowed, small_doc, tolerance=2.0)
+        assert failures and "slower" in failures[0]
+
+    def test_new_backend_in_current_is_ignored(self, small_doc):
+        baseline = json.loads(json.dumps(small_doc))
+        current = json.loads(json.dumps(small_doc))
+        current["backends"]["hypothetical"] = {
+            "encode": {"seconds": 1.0, "gbps": 0.0001}
+        }
+        assert compare_to_baseline(current, baseline) == []
+
+
+class TestCLI:
+    def test_bench_kernels_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "BENCH_kernels.json"
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "1",
+            "--backend", "numpy", "--json", str(out_json),
+        ])
+        assert rc == 0
+        doc = json.loads(out_json.read_text())
+        assert set(doc["backends"]) == {"numpy"}
+        assert "encode" in capsys.readouterr().out
+
+    def test_compare_gate_passes_and_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "1",
+            "--backend", "numpy", "--json", str(baseline),
+        ])
+        assert rc == 0
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "2",
+            "--backend", "numpy", "--compare", str(baseline),
+            "--tolerance", "25.0",
+        ])
+        assert rc == 0
+        # an absurd tolerance below 1.0 must trip the gate on jitter alone
+        doc = json.loads(baseline.read_text())
+        for kernels in doc["backends"].values():
+            for r in kernels.values():
+                r["gbps"] *= 1e6
+        baseline.write_text(json.dumps(doc))
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "1",
+            "--backend", "numpy", "--compare", str(baseline),
+        ])
+        assert rc == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_reduce_fused_throughput_scales_with_k(self):
+        doc = run_kernel_bench(mb=0.5, repeats=1, backends=("numpy",))
+        ks = sorted(REDUCE_KS)
+        gbps = [
+            doc["backends"]["numpy"][f"reduce_fused_k{k}"]["gbps"] for k in ks
+        ]
+        # fused reduction amortises the single re-encode over k operands,
+        # so per-processed-byte throughput must not collapse at higher k
+        assert gbps[-1] > 0.3 * gbps[0]
+
+
+def test_reduce_fused_matches_pairwise_fold():
+    """The harness fields drive the same engine the collectives use."""
+    from repro.bench.kernels import _make_fields
+    from repro.homomorphic.hzdynamic import HZDynamic
+
+    fields = _make_fields(4, 8192)
+    engine = HZDynamic(collect_stats=False)
+    fused = engine.reduce_fused(fields)
+    fold = engine.reduce(fields, order="sequential")
+    np.testing.assert_array_equal(fused.payload, fold.payload)
+    np.testing.assert_array_equal(fused.code_lengths, fold.code_lengths)

@@ -147,6 +147,74 @@ class TestDecodeSelected:
         sub = decode_selected(np.array([0, 2]), lens, offsets, payload)
         assert (sub == 0).all()
 
+    def test_unsorted_indices(self):
+        rng = np.random.default_rng(11)
+        deltas = rng.integers(-(2**20), 2**20, (50, 32)).astype(np.int64)
+        deltas[::5] = 0
+        lens, payload, offsets = encode_into(deltas)
+        idx = rng.permutation(50)
+        sub = decode_selected(idx, lens, offsets, payload)
+        np.testing.assert_array_equal(sub, deltas[idx])
+
+    def test_duplicate_indices(self):
+        rng = np.random.default_rng(12)
+        deltas = rng.integers(-500, 500, (20, 32)).astype(np.int64)
+        lens, payload, offsets = encode_into(deltas)
+        idx = np.array([7, 7, 3, 19, 3, 7, 0, 0])
+        sub = decode_selected(idx, lens, offsets, payload)
+        np.testing.assert_array_equal(sub, deltas[idx])
+
+    def test_unsorted_with_duplicates_randomized(self):
+        rng = np.random.default_rng(13)
+        deltas = rng.integers(-(2**28), 2**28, (80, 32)).astype(np.int64)
+        deltas[rng.random(80) < 0.3] = 0
+        lens, payload, offsets = encode_into(deltas)
+        for _ in range(5):
+            idx = rng.integers(0, 80, size=int(rng.integers(1, 200)))
+            sub = decode_selected(idx, lens, offsets, payload)
+            np.testing.assert_array_equal(sub, deltas[idx])
+
+
+class TestDecodeBlocksOffsetsAndOut:
+    def test_precomputed_offsets_match(self):
+        rng = np.random.default_rng(21)
+        deltas = rng.integers(-(2**16), 2**16, (30, 32)).astype(np.int64)
+        lens, payload, offsets = encode_into(deltas)
+        np.testing.assert_array_equal(
+            decode_blocks(lens, payload, offsets=offsets),
+            decode_blocks(lens, payload),
+        )
+
+    def test_out_buffer_is_used_and_returned(self):
+        rng = np.random.default_rng(22)
+        deltas = rng.integers(-100, 100, (10, 32)).astype(np.int64)
+        lens, payload, offsets = encode_into(deltas)
+        out = np.empty((10, 32), dtype=np.int64)
+        result = decode_blocks(lens, payload, offsets=offsets, out=out)
+        assert result is out
+        np.testing.assert_array_equal(out, deltas)
+
+    def test_out_overwrites_stale_contents(self):
+        deltas = np.zeros((4, 32), dtype=np.int64)
+        deltas[2] = 5
+        lens, payload, offsets = encode_into(deltas)
+        out = np.full((4, 32), -123, dtype=np.int64)
+        decode_blocks(lens, payload, offsets=offsets, out=out)
+        np.testing.assert_array_equal(out, deltas)
+
+    def test_out_shape_mismatch_raises(self):
+        lens, payload, offsets = encode_into(np.ones((4, 32), dtype=np.int64))
+        with pytest.raises(ValueError, match="shape"):
+            decode_blocks(lens, payload, offsets=offsets,
+                          out=np.empty((3, 32), dtype=np.int64))
+
+    def test_out_int32_rejected_for_32bit_codes(self):
+        deltas = np.full((1, 32), 2**31, dtype=np.int64)
+        lens, payload, offsets = encode_into(deltas)
+        with pytest.raises(ValueError, match="int32"):
+            decode_blocks(lens, payload, offsets=offsets,
+                          out=np.empty((1, 32), dtype=np.int32))
+
 
 @st.composite
 def delta_blocks(draw):

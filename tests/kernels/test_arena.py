@@ -1,0 +1,121 @@
+"""Scratch-arena semantics: reuse, growth, isolation, no stale leakage."""
+
+import threading
+
+import numpy as np
+
+from repro.kernels.arena import ScratchArena, get_arena
+
+
+class TestTake:
+    def test_shape_and_dtype(self):
+        a = ScratchArena()
+        v = a.take("x", (3, 4), np.int64)
+        assert v.shape == (3, 4) and v.dtype == np.int64
+
+    def test_scalar_shape(self):
+        a = ScratchArena()
+        assert a.take("x", 5).shape == (5,)
+
+    def test_same_tag_reuses_buffer(self):
+        a = ScratchArena()
+        v1 = a.take("x", 64)
+        v2 = a.take("x", 64)
+        assert v1.base is v2.base  # same backing allocation, no realloc
+
+    def test_distinct_tags_do_not_alias(self):
+        a = ScratchArena()
+        x = a.take("x", 8, np.int64)
+        y = a.take("y", 8, np.int64)
+        x[...] = 1
+        y[...] = 2
+        assert x.sum() == 8 and y.sum() == 16
+
+    def test_growth_preserves_no_stale_reads_when_zeroed(self):
+        a = ScratchArena()
+        v = a.take("x", 4, np.int64, zero=True)
+        v[...] = 7
+        # larger request grows the buffer; zero=True must clear all of it
+        v2 = a.take("x", 16, np.int64, zero=True)
+        assert v2.shape == (16,)
+        assert not v2.any()
+
+    def test_growth_is_geometric(self):
+        a = ScratchArena()
+        a.take("x", 100)
+        first = a.nbytes
+        a.take("x", 101)  # +1 byte must not realloc to 101
+        assert a.nbytes >= 2 * first
+
+    def test_smaller_request_does_not_shrink(self):
+        a = ScratchArena()
+        a.take("x", 100)
+        cap = a.nbytes
+        v = a.take("x", 10)
+        assert v.shape == (10,) and a.nbytes == cap
+
+    def test_clear_releases(self):
+        a = ScratchArena()
+        a.take("x", 100)
+        a.clear()
+        assert a.nbytes == 0 and a.tags == ()
+
+    def test_rejects_negative_dims(self):
+        a = ScratchArena()
+        try:
+            a.take("x", (2, -1))
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("negative dim accepted")
+
+
+class TestNoStaleLeakageThroughKernels:
+    def test_repeated_encode_decode_independent(self):
+        """Back-to-back kernel calls must not see each other's scratch."""
+        from repro.compression.encoding import decode_blocks, encode_blocks
+
+        rng = np.random.default_rng(0)
+        big = rng.integers(-(2**20), 2**20, size=(256, 32)).astype(np.int64)
+        small = rng.integers(-3, 4, size=(16, 32)).astype(np.int64)
+        # large call warms (and dirties) every arena buffer ...
+        lens_b, pay_b = encode_blocks(big, 32)
+        np.testing.assert_array_equal(decode_blocks(lens_b, pay_b, 32), big)
+        # ... the small call right after must be byte-identical to a
+        # cold-arena run
+        lens_s, pay_s = encode_blocks(small, 32)
+        get_arena().clear()
+        lens_cold, pay_cold = encode_blocks(small, 32)
+        np.testing.assert_array_equal(lens_s, lens_cold)
+        np.testing.assert_array_equal(pay_s, pay_cold)
+
+    def test_decode_results_are_fresh_allocations(self):
+        """Returned arrays must not alias arena scratch across calls."""
+        from repro.compression.encoding import decode_blocks, encode_blocks
+
+        rng = np.random.default_rng(1)
+        d1 = rng.integers(-100, 100, size=(64, 32)).astype(np.int64)
+        d2 = rng.integers(-100, 100, size=(64, 32)).astype(np.int64)
+        lens1, pay1 = encode_blocks(d1, 32)
+        lens2, pay2 = encode_blocks(d2, 32)
+        out1 = decode_blocks(lens1, pay1, 32)
+        snapshot = out1.copy()
+        decode_blocks(lens2, pay2, 32)  # second call must not clobber out1
+        np.testing.assert_array_equal(out1, snapshot)
+
+
+class TestThreadLocal:
+    def test_get_arena_is_per_thread(self):
+        main_arena = get_arena()
+        seen = {}
+
+        def worker():
+            seen["arena"] = get_arena()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["arena"] is not main_arena
+
+    def test_same_thread_same_arena(self):
+        assert get_arena() is get_arena()

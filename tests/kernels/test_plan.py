@@ -1,0 +1,83 @@
+"""GroupingPlan: the one-argsort replacement for np.unique + per-c masks."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.plan import (
+    GroupingPlan,
+    block_payload_nbytes,
+    payload_offsets,
+    required_bits,
+)
+
+
+class TestGroupingPlan:
+    def test_matches_unique_nonzero(self):
+        rng = np.random.default_rng(0)
+        lens = rng.integers(0, 33, size=500).astype(np.uint8)
+        plan = GroupingPlan.from_code_lengths(lens)
+        expected = {int(c): np.nonzero(lens == c)[0] for c in np.unique(lens)}
+        got = {c: idx for c, idx in plan.groups()}
+        assert sorted(got) == sorted(expected)
+        for c, idx in expected.items():
+            np.testing.assert_array_equal(got[c], idx)
+
+    def test_groups_ascending_by_code_length(self):
+        lens = np.array([5, 1, 5, 0, 3], dtype=np.uint8)
+        plan = GroupingPlan.from_code_lengths(lens)
+        assert [c for c, _ in plan.groups()] == [0, 1, 3, 5]
+
+    def test_within_group_positions_ascending(self):
+        # stability of the argsort is what enables the contiguous-run
+        # fast paths; it must hold for every group
+        rng = np.random.default_rng(1)
+        lens = rng.integers(0, 4, size=1000).astype(np.uint8)
+        for _, idx in GroupingPlan.from_code_lengths(lens).groups():
+            assert np.all(np.diff(idx) > 0)
+
+    def test_contiguous_runs_visible_in_order(self):
+        lens = np.array([2, 2, 2, 7, 7], dtype=np.uint8)
+        plan = GroupingPlan.from_code_lengths(lens)
+        groups = dict(plan.groups())
+        np.testing.assert_array_equal(groups[2], [0, 1, 2])
+        np.testing.assert_array_equal(groups[7], [3, 4])
+
+    def test_empty(self):
+        plan = GroupingPlan.from_code_lengths(np.zeros(0, dtype=np.uint8))
+        assert plan.n_groups == 0
+        assert list(plan.groups()) == []
+
+    def test_single_value(self):
+        plan = GroupingPlan.from_code_lengths(np.full(7, 9, dtype=np.uint8))
+        assert plan.n_groups == 1
+        ((c, idx),) = plan.groups()
+        assert c == 9
+        np.testing.assert_array_equal(idx, np.arange(7))
+
+
+class TestGeometryHelpers:
+    """The canonical helpers moved here; encoding.py re-exports them."""
+
+    @pytest.mark.parametrize(
+        "value,bits",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8), (256, 9),
+         (2**31 - 1, 31), (2**31, 32), (2**32 - 1, 32)],
+    )
+    def test_required_bits_boundaries(self, value, bits):
+        assert required_bits(np.array([value]))[0] == bits
+
+    def test_offsets_prefix_sum(self):
+        offs = payload_offsets(np.array([0, 2, 0, 1]), 32)
+        np.testing.assert_array_equal(offs, [0, 0, 12, 12, 20])
+
+    def test_block_nbytes(self):
+        np.testing.assert_array_equal(
+            block_payload_nbytes(np.array([0, 1, 32]), 32), [0, 8, 132]
+        )
+
+    def test_reexport_is_same_object(self):
+        from repro.compression import encoding
+
+        assert encoding.required_bits is required_bits
+        assert encoding.payload_offsets is payload_offsets
+        assert encoding.block_payload_nbytes is block_payload_nbytes

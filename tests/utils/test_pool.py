@@ -1,0 +1,50 @@
+"""Process-wide cached executor semantics."""
+
+import pytest
+
+from repro.utils.pool import shared_executor, shutdown_executors
+
+
+@pytest.fixture(autouse=True)
+def clean_pools():
+    shutdown_executors()
+    yield
+    shutdown_executors()
+
+
+class TestSharedExecutor:
+    def test_same_width_returns_same_pool(self):
+        assert shared_executor(2) is shared_executor(2)
+
+    def test_different_widths_are_distinct(self):
+        assert shared_executor(2) is not shared_executor(3)
+
+    def test_executes_work(self):
+        pool = shared_executor(4)
+        assert sorted(pool.map(lambda x: x * x, range(5))) == [0, 1, 4, 9, 16]
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            shared_executor(0)
+
+    def test_shutdown_then_recreate(self):
+        first = shared_executor(2)
+        shutdown_executors()
+        second = shared_executor(2)
+        assert second is not first
+        assert list(second.map(lambda x: x + 1, [1])) == [2]
+
+    def test_survives_across_calls(self):
+        """The FZLight hot path reuses one pool across compress calls."""
+        import numpy as np
+
+        from repro.compression.fzlight import FZLight
+
+        comp = FZLight(n_threadblocks=4, parallel=True, max_workers=2)
+        data = np.sin(np.linspace(0, 20, 4096)).astype(np.float32)
+        f1 = comp.compress(data, rel_eb=1e-3)
+        pool_after_first = shared_executor(2)
+        comp.compress(data, rel_eb=1e-3)
+        assert shared_executor(2) is pool_after_first
+        out = comp.decompress(f1)
+        assert np.max(np.abs(out - data)) <= f1.error_bound
