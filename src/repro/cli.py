@@ -10,6 +10,8 @@ Commands
 ``stacking``    — the image-stacking demo (Table VII / Figure 13 shapes).
 ``chaos``       — run one collective under a seeded fault plan.
 ``bench-kernels`` — kernel perf harness; emits/compares BENCH_kernels.json.
+``trace``       — observability: export (Chrome/CSV/schema-v2 JSON),
+                  summary, and diff of collective traces.
 """
 
 from __future__ import annotations
@@ -95,7 +97,56 @@ def build_parser() -> argparse.ArgumentParser:
                         "non-zero exit on regression")
     p.add_argument("--tolerance", type=float, default=2.0,
                    help="allowed slowdown factor for --compare (default 2.0)")
+
+    p = sub.add_parser(
+        "trace", help="trace observability: export / summary / diff"
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    pe = tsub.add_parser(
+        "export", help="run one traced collective and export its trace"
+    )
+    _add_trace_run_args(pe)
+    pe.add_argument(
+        "--format", choices=["chrome", "csv", "trace-json"], default="chrome",
+        help="chrome = Perfetto-loadable trace_event JSON (default); "
+             "csv = per-round per-bucket table; "
+             "trace-json = raw TraceLog schema v2 (for `trace diff`)",
+    )
+    pe.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="output file (default: trace_<op>_<kernel>.<ext>)")
+
+    ps = tsub.add_parser(
+        "summary", help="terminal digest of a saved trace or a fresh run"
+    )
+    ps.add_argument("path", nargs="?", default=None,
+                    help="saved TraceLog JSON (schema v1/v2); "
+                         "omit to run a collective instead")
+    _add_trace_run_args(ps)
+    ps.add_argument("--metrics", action="store_true",
+                    help="collect and print the metrics registry "
+                         "(fresh runs only)")
+
+    pd = tsub.add_parser(
+        "diff", help="compare two saved TraceLog JSON files (A -> B)"
+    )
+    pd.add_argument("a", help="baseline trace JSON")
+    pd.add_argument("b", help="candidate trace JSON")
     return parser
+
+
+def _add_trace_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--op",
+                   choices=["allreduce", "reduce_scatter", "reduce", "bcast"],
+                   default="allreduce")
+    p.add_argument("--kernel", default="hzccl",
+                   help="hzccl | ccoll | mpi (op-dependent)")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--elements", type=int, default=4096,
+                   help="elements per rank")
+    p.add_argument("--seed", type=int, default=0, help="data seed")
+    p.add_argument("--multithread", action="store_true",
+                   help="multi-thread compression mode")
 
 
 def _cmd_info() -> int:
@@ -295,6 +346,85 @@ def _cmd_bench_kernels(args) -> int:
     return 0
 
 
+def _run_traced(args):
+    """Run one collective with tracing on; returns its CollectiveResult."""
+    from repro.core.api import HZCCL
+    from repro.core.config import CollectiveConfig
+
+    config = CollectiveConfig(multithread=args.multithread)
+    lib = HZCCL(config, trace=True)
+    rng = np.random.default_rng(args.seed)
+    data = [
+        np.cumsum(rng.standard_normal(args.elements)).astype(np.float32)
+        for _ in range(args.ranks)
+    ]
+    if args.op == "bcast":
+        return lib.bcast(data[0], args.ranks, kernel=args.kernel)
+    return getattr(lib, args.op)(data, kernel=args.kernel)
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        bucket_csv,
+        chrome_trace,
+        diff_text,
+        metrics_enabled,
+        summary_text,
+        validate_chrome_trace,
+    )
+    from repro.runtime.trace import TraceLog
+
+    def load(path: str) -> TraceLog:
+        try:
+            return TraceLog.from_json(Path(path).read_text())
+        except FileNotFoundError:
+            raise SystemExit(f"trace file not found: {path}")
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"{path} is not a readable trace document: {exc}")
+
+    if args.trace_command == "diff":
+        a = load(args.a)
+        b = load(args.b)
+        print(f"{args.a} -> {args.b}")
+        print(diff_text(a, b))
+        return 0
+
+    if args.trace_command == "summary":
+        if args.path is not None:
+            print(summary_text(load(args.path)))
+            return 0
+        if args.metrics:
+            with metrics_enabled() as registry:
+                result = _run_traced(args)
+            print(summary_text(result.trace, metrics=registry))
+        else:
+            result = _run_traced(args)
+            print(summary_text(result.trace))
+        return 0
+
+    # export
+    result = _run_traced(args)
+    log = result.trace
+    ext = {"chrome": "json", "csv": "csv", "trace-json": "json"}[args.format]
+    out = Path(args.output or f"trace_{args.op}_{args.kernel}.{ext}")
+    if args.format == "chrome":
+        document = chrome_trace(log, name=f"{args.op}/{args.kernel}")
+        validate_chrome_trace(document)
+        out.write_text(json.dumps(document))
+    elif args.format == "csv":
+        out.write_text(bucket_csv(log))
+    else:
+        log.to_json(out)
+    print(
+        f"wrote {out} ({args.format}, {log.n_rounds} rounds, "
+        f"{len(log.events)} events)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -311,6 +441,7 @@ def main(argv: list[str] | None = None) -> int:
         "stacking": lambda: _cmd_stacking(args),
         "chaos": lambda: _cmd_chaos(args),
         "bench-kernels": lambda: _cmd_bench_kernels(args),
+        "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()
 

@@ -11,7 +11,9 @@ All three families (plain MPI, C-Coll, hZCCL) share:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 import numpy as np
 
@@ -19,12 +21,14 @@ from ..homomorphic.hzdynamic import PipelineStats
 from ..runtime.clock import Breakdown
 from ..runtime.cluster import SimCluster
 from ..runtime.faults import FaultStats
+from ..runtime.trace import TraceLog
 from ..utils.validation import ensure_same_shape
 
 __all__ = [
     "CollectiveResult",
     "channel_stats",
     "split_blocks",
+    "traced_collective",
     "validate_local_data",
 ]
 
@@ -45,6 +49,9 @@ class CollectiveResult:
         back to the plain uncompressed kernel (outputs are exact, not
         error-bounded-lossy, but the compression win was forfeited).
     fault_stats : fault/retry counters when a fault plan was active.
+    trace : this operation's own scoped trace (rounds and span timestamps
+        rebased to its start) when the cluster had tracing on; ``None``
+        otherwise.  Feed it to :mod:`repro.obs` exporters.
     """
 
     outputs: list[np.ndarray]
@@ -53,10 +60,39 @@ class CollectiveResult:
     pipeline_stats: PipelineStats | None = None
     degraded: bool = False
     fault_stats: FaultStats | None = None
+    trace: TraceLog | None = None
 
     @property
     def total_time(self) -> float:
         return self.breakdown.total_time
+
+
+_CollectiveFn = TypeVar("_CollectiveFn", bound=Callable[..., CollectiveResult])
+
+
+def traced_collective(name: str) -> Callable[[_CollectiveFn], _CollectiveFn]:
+    """Wrap a collective entry point in a ``collective`` trace span.
+
+    The wrapped function runs inside ``cluster.collective(name)``; once it
+    returns — through *any* path, including the degrade-and-fall-back early
+    returns — the scope's rebased trace slice is attached to the result.
+    The decorator expects the cluster as the first positional argument, the
+    convention every collective in this package follows.  Nested decorated
+    calls (Allreduce = Reduce_scatter + Allgather) each get their own
+    scoped slice; the outer span encloses both in the exported hierarchy.
+    """
+
+    def decorate(fn: _CollectiveFn) -> _CollectiveFn:
+        @functools.wraps(fn)
+        def wrapper(cluster: SimCluster, *args, **kwargs):
+            with cluster.collective(name) as scope:
+                result = fn(cluster, *args, **kwargs)
+            result.trace = scope.trace
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
 
 
 def channel_stats(cluster: SimCluster) -> FaultStats | None:

@@ -31,6 +31,7 @@ from .base import (
     CollectiveResult,
     channel_stats,
     split_blocks,
+    traced_collective,
     validate_local_data,
 )
 from .ring import mpi_allgather, mpi_reduce_scatter
@@ -46,6 +47,7 @@ def _compressor(config) -> FZLight:
     )
 
 
+@traced_collective("ccoll_reduce_scatter")
 def ccoll_reduce_scatter(
     cluster: SimCluster, local_data: list[np.ndarray], config
 ) -> CollectiveResult:
@@ -62,26 +64,31 @@ def ccoll_reduce_scatter(
     wire = 0
 
     try:
-        for j in range(n - 1):
-            outbox: list[CompressedField] = []
-            for i in range(n):
-                with cluster.timed(i, "CPR"):
-                    outbox.append(
-                        comp.compress(bufs[i][ring.send_block(i, j)], abs_eb=eb)
+        with cluster.phase("doc-exchange"):
+            for j in range(n - 1):
+                outbox: list[CompressedField] = []
+                for i in range(n):
+                    with cluster.timed(i, "CPR"):
+                        outbox.append(
+                            comp.compress(
+                                bufs[i][ring.send_block(i, j)], abs_eb=eb
+                            )
+                        )
+                max_msg = 0
+                for i in range(n):
+                    pred = ring.predecessor(i)
+                    delivery = channel.deliver_compressed(
+                        pred, i, outbox[pred]
                     )
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                delivery = channel.deliver_compressed(pred, i, outbox[pred])
-                incoming = delivery.payload
-                wire += delivery.nbytes
-                max_msg = max(max_msg, incoming.nbytes)
-                with cluster.timed(i, "DPR"):
-                    decoded = comp.decompress(incoming)
-                with cluster.timed(i, "CPT"):
-                    blk = ring.recv_block(i, j)
-                    bufs[i][blk] = bufs[i][blk] + decoded
-            cluster.end_round(max_msg)
+                    incoming = delivery.payload
+                    wire += delivery.nbytes
+                    max_msg = max(max_msg, incoming.nbytes)
+                    with cluster.timed(i, "DPR"):
+                        decoded = comp.decompress(incoming)
+                    with cluster.timed(i, "CPT"):
+                        blk = ring.recv_block(i, j)
+                        bufs[i][blk] = bufs[i][blk] + decoded
+                cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         # Degrade: rerun the remainder on the plain uncompressed kernel.
         channel.degrade()
@@ -103,6 +110,7 @@ def ccoll_reduce_scatter(
     )
 
 
+@traced_collective("ccoll_allgather")
 def ccoll_allgather(
     cluster: SimCluster, chunks: list[np.ndarray], config
 ) -> CollectiveResult:
@@ -117,30 +125,32 @@ def ccoll_allgather(
     wire = 0
 
     compressed: list[CompressedField] = []
-    for i in range(n):
-        with cluster.timed(i, "CPR"):
-            compressed.append(comp.compress(chunks[i], abs_eb=eb))
-        cluster.clocks[i].charge("OTHER", _SYNC_OVERHEAD_S)  # size sync
-    cluster.end_compute_phase()
+    with cluster.phase("compress"):
+        for i in range(n):
+            with cluster.timed(i, "CPR"):
+                compressed.append(comp.compress(chunks[i], abs_eb=eb))
+            cluster.clocks[i].charge("OTHER", _SYNC_OVERHEAD_S)  # size sync
+        cluster.end_compute_phase()
 
     gathered: list[dict[int, CompressedField]] = [
         {ring.owned_block(i): compressed[i]} for i in range(n)
     ]
     try:
-        for j in range(n - 1):
-            outbox = {}
-            for i in range(n):
-                blk = ring.allgather_send_block(i, j)
-                outbox[i] = (blk, gathered[i][blk])
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                blk, field = outbox[pred]
-                delivery = channel.deliver_compressed(pred, i, field)
-                wire += delivery.nbytes
-                max_msg = max(max_msg, field.nbytes)
-                gathered[i][blk] = delivery.payload
-            cluster.end_round(max_msg)
+        with cluster.phase("forward"):
+            for j in range(n - 1):
+                outbox = {}
+                for i in range(n):
+                    blk = ring.allgather_send_block(i, j)
+                    outbox[i] = (blk, gathered[i][blk])
+                max_msg = 0
+                for i in range(n):
+                    pred = ring.predecessor(i)
+                    blk, field = outbox[pred]
+                    delivery = channel.deliver_compressed(pred, i, field)
+                    wire += delivery.nbytes
+                    max_msg = max(max_msg, field.nbytes)
+                    gathered[i][blk] = delivery.payload
+                cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         channel.degrade()
         fallback = mpi_allgather(cluster, list(chunks))
@@ -153,17 +163,20 @@ def ccoll_allgather(
         )
 
     outputs = []
-    for i in range(n):
-        parts = []
-        for k in range(n):
-            field = gathered[i][k]
-            if k == ring.owned_block(i):
-                parts.append(np.asarray(chunks[i], dtype=np.float32))  # local copy
-            else:
-                with cluster.timed(i, "DPR"):
-                    parts.append(comp.decompress(field))
-        outputs.append(np.concatenate(parts))
-    cluster.end_compute_phase()
+    with cluster.phase("decompress"):
+        for i in range(n):
+            parts = []
+            for k in range(n):
+                field = gathered[i][k]
+                if k == ring.owned_block(i):
+                    parts.append(
+                        np.asarray(chunks[i], dtype=np.float32)  # local copy
+                    )
+                else:
+                    with cluster.timed(i, "DPR"):
+                        parts.append(comp.decompress(field))
+            outputs.append(np.concatenate(parts))
+        cluster.end_compute_phase()
 
     return CollectiveResult(
         outputs=outputs,
@@ -173,6 +186,7 @@ def ccoll_allgather(
     )
 
 
+@traced_collective("ccoll_allreduce")
 def ccoll_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray], config
 ) -> CollectiveResult:

@@ -34,6 +34,7 @@ from .base import (
     CollectiveResult,
     channel_stats,
     split_blocks,
+    traced_collective,
     validate_local_data,
 )
 from .ring import mpi_allgather, mpi_reduce_scatter
@@ -53,6 +54,7 @@ def _compressor(config) -> FZLight:
     )
 
 
+@traced_collective("hzccl_reduce_scatter")
 def hzccl_reduce_scatter(
     cluster: SimCluster,
     local_data: list[np.ndarray],
@@ -77,34 +79,39 @@ def hzccl_reduce_scatter(
 
     # Round 1 setup: each rank compresses all N of its blocks exactly once.
     partial: list[list[CompressedField]] = []
-    for i in range(n):
-        blocks = split_blocks(arrays[i], n)
-        compressed_blocks = []
-        with cluster.timed(i, "CPR"):
-            for blk in blocks:
-                compressed_blocks.append(comp.compress(blk, abs_eb=eb))
-        partial.append(compressed_blocks)
-    cluster.end_compute_phase()
+    with cluster.phase("compress"):
+        for i in range(n):
+            blocks = split_blocks(arrays[i], n)
+            compressed_blocks = []
+            with cluster.timed(i, "CPR"):
+                for blk in blocks:
+                    compressed_blocks.append(comp.compress(blk, abs_eb=eb))
+            partial.append(compressed_blocks)
+        cluster.end_compute_phase()
 
     channel = cluster.channel
     try:
-        for j in range(n - 1):
-            outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                delivery = channel.deliver_compressed(pred, i, outbox[pred])
-                incoming = delivery.payload
-                wire += delivery.nbytes
-                max_msg = max(max_msg, incoming.nbytes)
-                blk = ring.recv_block(i, j)
-                with cluster.timed(i, "HPR"):
-                    # one fused fold of the local partial with the incoming
-                    # compressed block (k = 2 instance of the k-way kernel)
-                    partial[i][blk] = engine.reduce_fused(
-                        (partial[i][blk], incoming)
+        with cluster.phase("exchange"):
+            for j in range(n - 1):
+                outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
+                max_msg = 0
+                for i in range(n):
+                    pred = ring.predecessor(i)
+                    delivery = channel.deliver_compressed(
+                        pred, i, outbox[pred]
                     )
-            cluster.end_round(max_msg)
+                    incoming = delivery.payload
+                    wire += delivery.nbytes
+                    max_msg = max(max_msg, incoming.nbytes)
+                    blk = ring.recv_block(i, j)
+                    with cluster.timed(i, "HPR"):
+                        # one fused fold of the local partial with the
+                        # incoming compressed block (k = 2 instance of the
+                        # k-way kernel)
+                        partial[i][blk] = engine.reduce_fused(
+                            (partial[i][blk], incoming)
+                        )
+                cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         # Degrade: finish on the plain uncompressed kernel (the outputs are
         # then plain float blocks regardless of ``return_compressed``).
@@ -124,10 +131,11 @@ def hzccl_reduce_scatter(
         outputs: list = reduced
     else:
         outputs = []
-        for i in range(n):
-            with cluster.timed(i, "DPR"):
-                outputs.append(comp.decompress(reduced[i]))
-        cluster.end_compute_phase()
+        with cluster.phase("decompress"):
+            for i in range(n):
+                with cluster.timed(i, "DPR"):
+                    outputs.append(comp.decompress(reduced[i]))
+            cluster.end_compute_phase()
 
     return CollectiveResult(
         outputs=outputs,
@@ -138,6 +146,7 @@ def hzccl_reduce_scatter(
     )
 
 
+@traced_collective("hzccl_allgather_compressed")
 def hzccl_allgather_compressed(
     cluster: SimCluster, chunks: list[CompressedField], config
 ) -> CollectiveResult:
@@ -162,20 +171,21 @@ def hzccl_allgather_compressed(
         {ring.owned_block(i): chunks[i]} for i in range(n)
     ]
     try:
-        for j in range(n - 1):
-            outbox = {}
-            for i in range(n):
-                blk = ring.allgather_send_block(i, j)
-                outbox[i] = (blk, gathered[i][blk])
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                blk, field = outbox[pred]
-                delivery = channel.deliver_compressed(pred, i, field)
-                wire += delivery.nbytes
-                max_msg = max(max_msg, field.nbytes)
-                gathered[i][blk] = delivery.payload
-            cluster.end_round(max_msg)
+        with cluster.phase("forward"):
+            for j in range(n - 1):
+                outbox = {}
+                for i in range(n):
+                    blk = ring.allgather_send_block(i, j)
+                    outbox[i] = (blk, gathered[i][blk])
+                max_msg = 0
+                for i in range(n):
+                    pred = ring.predecessor(i)
+                    blk, field = outbox[pred]
+                    delivery = channel.deliver_compressed(pred, i, field)
+                    wire += delivery.nbytes
+                    max_msg = max(max_msg, field.nbytes)
+                    gathered[i][blk] = delivery.payload
+                cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         # Degrade: decompress the local contributions and forward plain.
         channel.degrade()
@@ -194,13 +204,14 @@ def hzccl_allgather_compressed(
         )
 
     outputs = []
-    for i in range(n):
-        parts = []
-        with cluster.timed(i, "DPR"):
-            for k in range(n):
-                parts.append(comp.decompress(gathered[i][k]))
-        outputs.append(np.concatenate(parts))
-    cluster.end_compute_phase()
+    with cluster.phase("decompress"):
+        for i in range(n):
+            parts = []
+            with cluster.timed(i, "DPR"):
+                for k in range(n):
+                    parts.append(comp.decompress(gathered[i][k]))
+            outputs.append(np.concatenate(parts))
+        cluster.end_compute_phase()
 
     return CollectiveResult(
         outputs=outputs,
@@ -210,6 +221,7 @@ def hzccl_allgather_compressed(
     )
 
 
+@traced_collective("hzccl_allreduce")
 def hzccl_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray], config
 ) -> CollectiveResult:

@@ -26,6 +26,7 @@ from .base import (
     CollectiveResult,
     channel_stats,
     split_blocks,
+    traced_collective,
     validate_local_data,
 )
 
@@ -59,6 +60,7 @@ def _segment_ranges(n: int, rank: int, levels: int):
         lo, hi = keep
 
 
+@traced_collective("rabenseifner_allreduce")
 def rabenseifner_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray]
 ) -> CollectiveResult:
@@ -81,41 +83,48 @@ def rabenseifner_allreduce(
     channel = cluster.channel
     # phase 1: recursive halving reduce-scatter.  All exchanges of a round
     # happen simultaneously, so partners' values are read from a snapshot.
-    for k in range(levels):
-        snapshot = [list(s) for s in segs]
-        max_msg = 0
-        for i in range(n):
-            _, partner, keep, _send = schedules[i][k]
-            nbytes = sum(
-                snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
-            )
-            delivery = channel.deliver_plain(partner, i, None, nbytes)
-            wire += delivery.nbytes
-            max_msg = max(max_msg, nbytes)
-            with cluster.timed(i, "CPT"):
-                for j in range(keep[0], keep[1]):
-                    if owned[i][j]:
-                        np.add(segs[i][j], snapshot[partner][j], out=segs[i][j])
-                    else:
-                        segs[i][j] = snapshot[i][j] + snapshot[partner][j]
-                        owned[i][j] = True
-        cluster.end_round(max_msg)
+    with cluster.phase("halving"):
+        for k in range(levels):
+            snapshot = [list(s) for s in segs]
+            max_msg = 0
+            for i in range(n):
+                _, partner, keep, _send = schedules[i][k]
+                nbytes = sum(
+                    snapshot[partner][j].nbytes
+                    for j in range(keep[0], keep[1])
+                )
+                delivery = channel.deliver_plain(partner, i, None, nbytes)
+                wire += delivery.nbytes
+                max_msg = max(max_msg, nbytes)
+                with cluster.timed(i, "CPT"):
+                    for j in range(keep[0], keep[1]):
+                        if owned[i][j]:
+                            np.add(
+                                segs[i][j],
+                                snapshot[partner][j],
+                                out=segs[i][j],
+                            )
+                        else:
+                            segs[i][j] = snapshot[i][j] + snapshot[partner][j]
+                            owned[i][j] = True
+            cluster.end_round(max_msg)
 
     # after halving, rank i holds the full sum of exactly segment i
     gathered = [{i: segs[i][i]} for i in range(n)]
 
     # phase 2: recursive doubling allgather
-    for k in range(levels - 1, -1, -1):
-        snapshot = [dict(g) for g in gathered]
-        max_msg = 0
-        for i in range(n):
-            partner = i ^ (n >> (k + 1))
-            nbytes = sum(v.nbytes for v in snapshot[partner].values())
-            delivery = channel.deliver_plain(partner, i, None, nbytes)
-            wire += delivery.nbytes
-            max_msg = max(max_msg, nbytes)
-            gathered[i].update(snapshot[partner])
-        cluster.end_round(max_msg)
+    with cluster.phase("doubling"):
+        for k in range(levels - 1, -1, -1):
+            snapshot = [dict(g) for g in gathered]
+            max_msg = 0
+            for i in range(n):
+                partner = i ^ (n >> (k + 1))
+                nbytes = sum(v.nbytes for v in snapshot[partner].values())
+                delivery = channel.deliver_plain(partner, i, None, nbytes)
+                wire += delivery.nbytes
+                max_msg = max(max_msg, nbytes)
+                gathered[i].update(snapshot[partner])
+            cluster.end_round(max_msg)
 
     outputs = [
         np.concatenate([gathered[i][j] for j in range(n)]) for i in range(n)
@@ -128,6 +137,7 @@ def rabenseifner_allreduce(
     )
 
 
+@traced_collective("hzccl_rabenseifner_allreduce")
 def hzccl_rabenseifner_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray], config
 ) -> CollectiveResult:
@@ -145,61 +155,71 @@ def hzccl_rabenseifner_allreduce(
     wire = 0
 
     segs: list[list[CompressedField]] = []
-    for i in range(n):
-        with cluster.timed(i, "CPR"):
-            segs.append([comp.compress(b, abs_eb=eb) for b in split_blocks(arrays[i], n)])
-    cluster.end_compute_phase()
+    with cluster.phase("compress"):
+        for i in range(n):
+            with cluster.timed(i, "CPR"):
+                segs.append(
+                    [
+                        comp.compress(b, abs_eb=eb)
+                        for b in split_blocks(arrays[i], n)
+                    ]
+                )
+        cluster.end_compute_phase()
 
     channel = cluster.channel
     schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
     try:
-        for k in range(levels):
-            snapshot = [list(s) for s in segs]
-            max_msg = 0
-            for i in range(n):
-                _, partner, keep, _ = schedules[i][k]
-                # the round's segments travel as one bundled message; the
-                # scheduled transfer is charged in aggregate, then every
-                # segment is validated (faults charge only their handling)
-                nbytes = sum(
-                    snapshot[partner][j].nbytes for j in range(keep[0], keep[1])
-                )
-                channel.charge_link(partner, i, nbytes)
-                wire += nbytes
-                max_msg = max(max_msg, nbytes)
-                received: dict[int, CompressedField] = {}
-                for j in range(keep[0], keep[1]):
-                    delivery = channel.deliver_compressed(
-                        partner, i, snapshot[partner][j], charge_base=False
+        with cluster.phase("halving"):
+            for k in range(levels):
+                snapshot = [list(s) for s in segs]
+                max_msg = 0
+                for i in range(n):
+                    _, partner, keep, _ = schedules[i][k]
+                    # the round's segments travel as one bundled message;
+                    # the scheduled transfer is charged in aggregate, then
+                    # every segment is validated (faults charge only their
+                    # handling)
+                    nbytes = sum(
+                        snapshot[partner][j].nbytes
+                        for j in range(keep[0], keep[1])
                     )
-                    wire += delivery.nbytes
-                    received[j] = delivery.payload
-                with cluster.timed(i, "HPR"):
+                    channel.charge_link(partner, i, nbytes)
+                    wire += nbytes
+                    max_msg = max(max_msg, nbytes)
+                    received: dict[int, CompressedField] = {}
                     for j in range(keep[0], keep[1]):
-                        segs[i][j] = engine.reduce_fused(
-                            (snapshot[i][j], received[j])
+                        delivery = channel.deliver_compressed(
+                            partner, i, snapshot[partner][j], charge_base=False
                         )
-            cluster.end_round(max_msg)
+                        wire += delivery.nbytes
+                        received[j] = delivery.payload
+                    with cluster.timed(i, "HPR"):
+                        for j in range(keep[0], keep[1]):
+                            segs[i][j] = engine.reduce_fused(
+                                (snapshot[i][j], received[j])
+                            )
+                cluster.end_round(max_msg)
 
         gathered: list[dict[int, CompressedField]] = [
             {i: segs[i][i]} for i in range(n)
         ]
-        for k in range(levels - 1, -1, -1):
-            snapshot2 = [dict(g) for g in gathered]
-            max_msg = 0
-            for i in range(n):
-                partner = i ^ (n >> (k + 1))
-                nbytes = sum(v.nbytes for v in snapshot2[partner].values())
-                channel.charge_link(partner, i, nbytes)
-                wire += nbytes
-                max_msg = max(max_msg, nbytes)
-                for j, seg in snapshot2[partner].items():
-                    delivery = channel.deliver_compressed(
-                        partner, i, seg, charge_base=False
-                    )
-                    wire += delivery.nbytes
-                    gathered[i][j] = delivery.payload
-            cluster.end_round(max_msg)
+        with cluster.phase("doubling"):
+            for k in range(levels - 1, -1, -1):
+                snapshot2 = [dict(g) for g in gathered]
+                max_msg = 0
+                for i in range(n):
+                    partner = i ^ (n >> (k + 1))
+                    nbytes = sum(v.nbytes for v in snapshot2[partner].values())
+                    channel.charge_link(partner, i, nbytes)
+                    wire += nbytes
+                    max_msg = max(max_msg, nbytes)
+                    for j, seg in snapshot2[partner].items():
+                        delivery = channel.deliver_compressed(
+                            partner, i, seg, charge_base=False
+                        )
+                        wire += delivery.nbytes
+                        gathered[i][j] = delivery.payload
+                cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         # Degrade: rerun on the plain Rabenseifner schedule.
         channel.degrade()
@@ -214,12 +234,15 @@ def hzccl_rabenseifner_allreduce(
         )
 
     outputs = []
-    for i in range(n):
-        with cluster.timed(i, "DPR"):
-            outputs.append(
-                np.concatenate([comp.decompress(gathered[i][j]) for j in range(n)])
-            )
-    cluster.end_compute_phase()
+    with cluster.phase("decompress"):
+        for i in range(n):
+            with cluster.timed(i, "DPR"):
+                outputs.append(
+                    np.concatenate(
+                        [comp.decompress(gathered[i][j]) for j in range(n)]
+                    )
+                )
+        cluster.end_compute_phase()
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),

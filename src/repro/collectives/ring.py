@@ -24,12 +24,14 @@ from .base import (
     CollectiveResult,
     channel_stats,
     split_blocks,
+    traced_collective,
     validate_local_data,
 )
 
 __all__ = ["mpi_reduce_scatter", "mpi_allgather", "mpi_allreduce"]
 
 
+@traced_collective("mpi_reduce_scatter")
 def mpi_reduce_scatter(
     cluster: SimCluster, local_data: list[np.ndarray]
 ) -> CollectiveResult:
@@ -43,24 +45,25 @@ def mpi_reduce_scatter(
     bufs = [split_blocks(a, n) for a in arrays]
     wire = 0
 
-    for j in range(n - 1):
-        outbox = [bufs[i][ring.send_block(i, j)] for i in range(n)]
-        max_msg = 0
-        for i in range(n):
-            pred = ring.predecessor(i)
-            delivery = channel.deliver_plain(
-                pred, i, outbox[pred], outbox[pred].nbytes
-            )
-            incoming = delivery.payload
-            wire += delivery.nbytes
-            max_msg = max(max_msg, incoming.nbytes)
-            blk = ring.recv_block(i, j)
-            with cluster.timed(i, "CPT"):
-                # each slot is folded exactly once per schedule and the
-                # initial blocks are views into caller arrays, so the fold
-                # must allocate rather than accumulate in place
-                bufs[i][blk] = bufs[i][blk] + incoming
-        cluster.end_round(max_msg)
+    with cluster.phase("exchange"):
+        for j in range(n - 1):
+            outbox = [bufs[i][ring.send_block(i, j)] for i in range(n)]
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                delivery = channel.deliver_plain(
+                    pred, i, outbox[pred], outbox[pred].nbytes
+                )
+                incoming = delivery.payload
+                wire += delivery.nbytes
+                max_msg = max(max_msg, incoming.nbytes)
+                blk = ring.recv_block(i, j)
+                with cluster.timed(i, "CPT"):
+                    # each slot is folded exactly once per schedule and the
+                    # initial blocks are views into caller arrays, so the
+                    # fold must allocate rather than accumulate in place
+                    bufs[i][blk] = bufs[i][blk] + incoming
+            cluster.end_round(max_msg)
 
     outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
@@ -71,6 +74,7 @@ def mpi_reduce_scatter(
     )
 
 
+@traced_collective("mpi_allgather")
 def mpi_allgather(
     cluster: SimCluster, chunks: list[np.ndarray]
 ) -> CollectiveResult:
@@ -91,20 +95,21 @@ def mpi_allgather(
     ]
     wire = 0
 
-    for j in range(n - 1):
-        outbox = {}
-        for i in range(n):
-            blk = ring.allgather_send_block(i, j)
-            outbox[i] = (blk, gathered[i][blk])
-        max_msg = 0
-        for i in range(n):
-            pred = ring.predecessor(i)
-            blk, data = outbox[pred]
-            delivery = channel.deliver_plain(pred, i, data, data.nbytes)
-            wire += delivery.nbytes
-            max_msg = max(max_msg, data.nbytes)
-            gathered[i][blk] = delivery.payload
-        cluster.end_round(max_msg)
+    with cluster.phase("forward"):
+        for j in range(n - 1):
+            outbox = {}
+            for i in range(n):
+                blk = ring.allgather_send_block(i, j)
+                outbox[i] = (blk, gathered[i][blk])
+            max_msg = 0
+            for i in range(n):
+                pred = ring.predecessor(i)
+                blk, data = outbox[pred]
+                delivery = channel.deliver_plain(pred, i, data, data.nbytes)
+                wire += delivery.nbytes
+                max_msg = max(max_msg, data.nbytes)
+                gathered[i][blk] = delivery.payload
+            cluster.end_round(max_msg)
 
     outputs = [
         np.concatenate([gathered[i][k] for k in range(n)]) for i in range(n)
@@ -117,6 +122,7 @@ def mpi_allgather(
     )
 
 
+@traced_collective("mpi_allreduce")
 def mpi_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray]
 ) -> CollectiveResult:

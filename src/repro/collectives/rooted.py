@@ -29,7 +29,12 @@ from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
 from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
-from .base import CollectiveResult, channel_stats, validate_local_data
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    traced_collective,
+    validate_local_data,
+)
 from .hzccl import hzccl_reduce_scatter
 from .ring import mpi_reduce_scatter
 
@@ -70,6 +75,7 @@ def _gather_blocks(cluster, ring, items, nbytes_of, root, compressed=False):
     return wire
 
 
+@traced_collective("mpi_reduce")
 def mpi_reduce(
     cluster: SimCluster, local_data: list[np.ndarray], root: int = 0
 ) -> CollectiveResult:
@@ -79,9 +85,10 @@ def mpi_reduce(
         raise IndexError(f"root {root} out of range for {n} ranks")
     ring = Ring(n)
     rs = mpi_reduce_scatter(cluster, local_data)
-    wire = rs.bytes_on_wire + _gather_blocks(
-        cluster, ring, rs.outputs, lambda b: b.nbytes, root
-    )
+    with cluster.phase("gather"):
+        wire = rs.bytes_on_wire + _gather_blocks(
+            cluster, ring, rs.outputs, lambda b: b.nbytes, root
+        )
     ordered = [None] * n
     for i in range(n):
         ordered[ring.owned_block(i)] = rs.outputs[i]
@@ -96,6 +103,7 @@ def mpi_reduce(
     )
 
 
+@traced_collective("hzccl_reduce")
 def hzccl_reduce(
     cluster: SimCluster, local_data: list[np.ndarray], config, root: int = 0
 ) -> CollectiveResult:
@@ -155,6 +163,7 @@ def hzccl_reduce(
     )
 
 
+@traced_collective("hzccl_reduce_direct")
 def hzccl_reduce_direct(
     cluster: SimCluster, local_data: list[np.ndarray], config, root: int = 0
 ) -> CollectiveResult:
@@ -174,29 +183,33 @@ def hzccl_reduce_direct(
     comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
     engine = HZDynamic()
     fields: list[CompressedField] = []
-    for i in range(n):
-        with cluster.timed(i, "CPR"):
-            fields.append(comp.compress(arrays[i], abs_eb=config.error_bound))
-    cluster.end_compute_phase()
+    with cluster.phase("compress"):
+        for i in range(n):
+            with cluster.timed(i, "CPR"):
+                fields.append(
+                    comp.compress(arrays[i], abs_eb=config.error_bound)
+                )
+        cluster.end_compute_phase()
 
     # flat gather of the compressed streams to the root (concurrent sends)
     channel = cluster.channel
     wire = 0
     max_msg = 0
     try:
-        for i in range(n):
-            if i == root:
-                continue
-            nbytes = fields[i].nbytes
-            cluster.charge_comm(i, nbytes)
-            wire += nbytes
-            max_msg = max(max_msg, nbytes)
-            delivery = channel.deliver_compressed(
-                i, root, fields[i], charge_base=False
-            )
-            wire += delivery.nbytes
-            fields[i] = delivery.payload
-        cluster.end_round(max_msg)
+        with cluster.phase("gather"):
+            for i in range(n):
+                if i == root:
+                    continue
+                nbytes = fields[i].nbytes
+                cluster.charge_comm(i, nbytes)
+                wire += nbytes
+                max_msg = max(max_msg, nbytes)
+                delivery = channel.deliver_compressed(
+                    i, root, fields[i], charge_base=False
+                )
+                wire += delivery.nbytes
+                fields[i] = delivery.payload
+            cluster.end_round(max_msg)
     except UnrecoverableStreamError:
         # Degrade: rerun as a plain rooted Reduce.
         channel.degrade()
@@ -210,11 +223,12 @@ def hzccl_reduce_direct(
             fault_stats=channel_stats(cluster),
         )
 
-    with cluster.timed(root, "HPR"):
-        total = engine.reduce_fused(fields)
-    with cluster.timed(root, "DPR"):
-        result = comp.decompress(total)
-    cluster.end_compute_phase()
+    with cluster.phase("fused-fold"):
+        with cluster.timed(root, "HPR"):
+            total = engine.reduce_fused(fields)
+        with cluster.timed(root, "DPR"):
+            result = comp.decompress(total)
+        cluster.end_compute_phase()
 
     outputs: list = [None] * n
     outputs[root] = result
@@ -248,12 +262,14 @@ def _binomial_rounds(cluster, payload_nbytes: int, root: int) -> int:
     return wire
 
 
+@traced_collective("mpi_bcast")
 def mpi_bcast(
     cluster: SimCluster, data: np.ndarray, root: int = 0
 ) -> CollectiveResult:
     """Plain binomial-tree broadcast of ``data`` from the root."""
     data = validate_local_data([data])[0]
-    wire = _binomial_rounds(cluster, data.nbytes, root)
+    with cluster.phase("tree"):
+        wire = _binomial_rounds(cluster, data.nbytes, root)
     outputs = [data.copy() for _ in range(cluster.n_ranks)]
     return CollectiveResult(
         outputs=outputs,
@@ -263,6 +279,7 @@ def mpi_bcast(
     )
 
 
+@traced_collective("compressed_bcast")
 def compressed_bcast(
     cluster: SimCluster, data: np.ndarray, config, root: int = 0
 ) -> CollectiveResult:
@@ -271,31 +288,35 @@ def compressed_bcast(
     data = validate_local_data([data])[0]
     channel = cluster.channel
     comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
-    with cluster.timed(root, "CPR"):
-        field = comp.compress(data, abs_eb=config.error_bound)
-    cluster.end_compute_phase()
-    wire = _binomial_rounds(cluster, field.nbytes, root)
+    with cluster.phase("compress"):
+        with cluster.timed(root, "CPR"):
+            field = comp.compress(data, abs_eb=config.error_bound)
+        cluster.end_compute_phase()
+    with cluster.phase("tree"):
+        wire = _binomial_rounds(cluster, field.nbytes, root)
     degraded = False
     outputs = []
-    for i in range(cluster.n_ranks):
-        if i == root:
-            outputs.append(data.copy())
-            continue
-        try:
-            delivery = channel.deliver_compressed(
-                root, i, field, charge_base=False
-            )
-            wire += delivery.nbytes
-            with cluster.timed(i, "DPR"):
-                outputs.append(comp.decompress(delivery.payload))
-        except UnrecoverableStreamError:
-            # Degrade per rank: the root re-sends that rank's share plain.
-            channel.degrade()
-            degraded = True
-            cluster.charge_comm(i, data.nbytes)
-            wire += data.nbytes
-            outputs.append(data.copy())
-    cluster.end_compute_phase()
+    with cluster.phase("decompress"):
+        for i in range(cluster.n_ranks):
+            if i == root:
+                outputs.append(data.copy())
+                continue
+            try:
+                delivery = channel.deliver_compressed(
+                    root, i, field, charge_base=False
+                )
+                wire += delivery.nbytes
+                with cluster.timed(i, "DPR"):
+                    outputs.append(comp.decompress(delivery.payload))
+            except UnrecoverableStreamError:
+                # Degrade per rank: the root re-sends that rank's share
+                # plain.
+                channel.degrade()
+                degraded = True
+                cluster.charge_comm(i, data.nbytes)
+                wire += data.nbytes
+                outputs.append(data.copy())
+        cluster.end_compute_phase()
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),

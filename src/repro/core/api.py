@@ -37,6 +37,7 @@ from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..kernels.dispatch import use_backend
 from ..runtime.cluster import SimCluster
+from ..runtime.trace import TraceLog
 from .config import CollectiveConfig
 
 __all__ = ["HZCCL"]
@@ -51,10 +52,17 @@ class HZCCL:
     ----------
     config : collective/testbed configuration; defaults to the paper's
         setup (abs eb 1e-4, 18 compression thread-blocks, Omni-Path model).
+    trace : attach a :class:`TraceLog` to every simulated cluster so each
+        :class:`CollectiveResult` carries its own scoped trace (``.trace``)
+        ready for the :mod:`repro.obs` exporters.  Off by default — the
+        disabled path adds no per-charge work.
     """
 
-    def __init__(self, config: CollectiveConfig | None = None) -> None:
+    def __init__(
+        self, config: CollectiveConfig | None = None, trace: bool = False
+    ) -> None:
         self.config = config or CollectiveConfig()
+        self.trace = trace
         self._compressor = FZLight(
             block_size=self.config.block_size,
             n_threadblocks=self.config.n_threadblocks,
@@ -97,6 +105,7 @@ class HZCCL:
             network=self.config.network,
             thread_speedup=self.config.thread_speedup,
             multithread=self.config.multithread,
+            trace=TraceLog() if self.trace else None,
             faults=self.config.fault_plan,
             retry=self.config.retry,
         )

@@ -52,6 +52,7 @@ from ..compression.encoding import (
 )
 from ..compression.format import CompressedField
 from ..kernels.arena import get_arena
+from ..obs.metrics import METRICS
 
 __all__ = ["PipelineStats", "HZDynamic", "homomorphic_sum"]
 
@@ -340,6 +341,12 @@ class HZDynamic:
                 [const_count, int(copy_mask.sum()), int(acc_mask.sum())],
                 dtype=np.int64,
             )
+        if METRICS.enabled:
+            METRICS.inc("hz.fused_calls")
+            METRICS.inc("hz.fused_operands", k)
+            METRICS.inc("hz.blocks.constant", const_count)
+            METRICS.inc("hz.blocks.copy", int(copy_mask.sum()))
+            METRICS.inc("hz.blocks.accumulate", int(acc_mask.sum()))
 
         out_outliers = np.zeros_like(a.outliers)
         for j, f in enumerate(fields):

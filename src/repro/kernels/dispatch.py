@@ -28,9 +28,12 @@ from __future__ import annotations
 import importlib
 import os
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
+
+from ..obs.metrics import METRICS
 
 __all__ = [
     "ENV_VAR",
@@ -107,6 +110,7 @@ def register_backend(backend: KernelBackend) -> None:
     with _lock:
         _registry[backend.name] = backend
         _load_errors.pop(backend.name, None)
+        _instrumented_cache.pop(backend.name, None)
 
 
 def available_backends() -> tuple[str, ...]:
@@ -140,11 +144,17 @@ def _resolve_name(name: str | None) -> str:
 
 
 def get_backend(name: str | None = None) -> KernelBackend:
-    """Resolve a backend by name (``None``/``"auto"`` follow the policy)."""
+    """Resolve a backend by name (``None``/``"auto"`` follow the policy).
+
+    When the process-wide metrics registry is enabled the resolved backend
+    is swapped for a cached instrumented twin that reports per-call counts
+    and GB/s histograms (``kernel.<backend>.<op>.*``); the disabled path
+    returns the raw backend and pays one attribute load.
+    """
     _probe_builtins()
     resolved = _resolve_name(name)
     try:
-        return _registry[resolved]
+        backend = _registry[resolved]
     except KeyError:
         detail = _load_errors.get(resolved)
         hint = f" ({detail})" if detail else ""
@@ -152,6 +162,72 @@ def get_backend(name: str | None = None) -> KernelBackend:
             f"unknown kernel backend {resolved!r}{hint}; "
             f"available: {', '.join(available_backends()) or 'none'}"
         ) from None
+    if METRICS.enabled:
+        return _instrumented(backend)
+    return backend
+
+
+_instrumented_cache: dict[str, KernelBackend] = {}
+
+
+def _instrumented(backend: KernelBackend) -> KernelBackend:
+    """A twin of ``backend`` whose kernels report metrics per call.
+
+    Throughput uses the stack-wide byte convention: logical float32 bytes
+    of the blocks touched (``n_blocks × block_size × 4``), matching the
+    ``repro bench-kernels`` harness, so registry histograms are directly
+    comparable with committed bench baselines.
+    """
+    cached = _instrumented_cache.get(backend.name)
+    if cached is not None:
+        return cached
+
+    def wrap(fn: Callable, op: str, nbytes_of: Callable) -> Callable:
+        calls_key = f"kernel.{backend.name}.{op}.calls"
+        gbps_key = f"kernel.{backend.name}.{op}.gbps"
+
+        def call(*args, **kwargs):
+            start = time.perf_counter()
+            out = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            METRICS.inc(calls_key)
+            if elapsed > 0.0:
+                METRICS.observe(
+                    gbps_key, nbytes_of(*args, **kwargs) / elapsed / 1e9
+                )
+            return out
+
+        return call
+
+    twin = KernelBackend(
+        name=backend.name,
+        encode_blocks=wrap(
+            backend.encode_blocks,
+            "encode",
+            lambda deltas, block_size, **kw: deltas.size * 4,
+        ),
+        encode_with_offsets=wrap(
+            backend.encode_with_offsets,
+            "encode",
+            lambda deltas, block_size, **kw: deltas.size * 4,
+        ),
+        decode_blocks=wrap(
+            backend.decode_blocks,
+            "decode",
+            lambda code_lengths, payload, block_size, **kw: (
+                len(code_lengths) * block_size * 4
+            ),
+        ),
+        decode_selected=wrap(
+            backend.decode_selected,
+            "decode_selected",
+            lambda indices, code_lengths, offsets, payload, block_size, **kw: (
+                len(indices) * block_size * 4
+            ),
+        ),
+    )
+    _instrumented_cache[backend.name] = twin
+    return twin
 
 
 def current_backend_name() -> str:
@@ -194,6 +270,7 @@ def _reset_for_tests() -> None:
     with _lock:
         _registry.clear()
         _load_errors.clear()
+        _instrumented_cache.clear()
         _probed = False
         _override = None
     _tls.stack = []

@@ -1,0 +1,49 @@
+"""Observability: metrics registry, span reconstruction, trace exporters.
+
+Layering (import-cycle contract): :mod:`.metrics` is stdlib-only and is
+the *only* submodule lower layers (:mod:`repro.runtime`,
+:mod:`repro.kernels`) may import.  :mod:`.spans` and :mod:`.export` sit
+above :mod:`repro.runtime.trace` and are therefore loaded lazily here —
+an eager import would close the cycle
+``kernels.dispatch → obs → spans → runtime → compression → kernels``.
+"""
+
+from .metrics import METRICS, HistogramStats, MetricsRegistry, metrics_enabled
+
+__all__ = [
+    "METRICS",
+    "HistogramStats",
+    "MetricsRegistry",
+    "metrics_enabled",
+    "Span",
+    "build_spans",
+    "bucket_csv",
+    "chrome_trace",
+    "diff_text",
+    "summary_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+_LAZY = {
+    "Span": "spans",
+    "build_spans": "spans",
+    "bucket_csv": "export",
+    "chrome_trace": "export",
+    "diff_text": "export",
+    "summary_text": "export",
+    "validate_chrome_trace": "export",
+    "write_chrome_trace": "export",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

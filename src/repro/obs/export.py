@@ -1,0 +1,300 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, per-bucket CSV, terminal.
+
+The Chrome format (the JSON array flavour wrapped in ``traceEvents``) is
+what ``chrome://tracing`` and Perfetto's legacy importer read: span
+begin/end pairs and rounds go on thread 0 of process 0, each simulated
+rank gets its own thread lane for charge rectangles, per-round bytes ride
+on a counter track, and zero-duration fault markers become instants.
+Timestamps are microseconds (the format's unit) of *virtual* time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from ..runtime.clock import BUCKETS
+from ..runtime.trace import TraceLog
+from .metrics import MetricsRegistry
+from .spans import Span, build_spans
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "bucket_csv",
+    "summary_text",
+    "diff_text",
+]
+
+_US = 1e6  # virtual seconds -> trace_event microseconds
+
+
+def chrome_trace(log: TraceLog, name: str = "repro") -> dict:
+    """Render ``log`` as a Chrome ``trace_event`` JSON document (a dict)."""
+    root = build_spans(log)
+    ranks = sorted(
+        {s.rank for s in root.walk() if s.rank >= 0}
+    )
+    events: list[dict] = [
+        _meta("process_name", 0, 0, name),
+        _meta("thread_name", 0, 0, "collective"),
+    ]
+    for rank in ranks:
+        events.append(_meta("thread_name", 0, rank + 1, f"rank {rank}"))
+    for span in root.walk():
+        if span.kind in ("collective", "phase"):
+            events.append(_duration_event("B", span))
+            events.append(_duration_event("E", span))
+        elif span.kind == "round":
+            events.append(_complete_event(span, tid=0))
+            events.append(
+                {
+                    "name": "bytes_moved",
+                    "ph": "C",
+                    "ts": span.start * _US,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        "bytes": sum(c.nbytes for c in span.children)
+                    },
+                }
+            )
+        elif span.kind == "fault":
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "i",
+                    "ts": span.start * _US,
+                    "pid": 0,
+                    "tid": span.rank + 1,
+                    "s": "t",
+                }
+            )
+        elif span.kind in ("compute", "comm", "wait"):
+            events.append(_complete_event(span, tid=span.rank + 1))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> dict:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def _duration_event(ph: str, span: Span) -> dict:
+    return {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": ph,
+        "ts": (span.start if ph == "B" else span.end) * _US,
+        "pid": 0,
+        "tid": 0,
+    }
+
+
+def _complete_event(span: Span, tid: int) -> dict:
+    event = {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": "X",
+        "ts": span.start * _US,
+        "dur": span.duration * _US,
+        "pid": 0,
+        "tid": tid,
+    }
+    if span.nbytes:
+        event["args"] = {"nbytes": span.nbytes}
+    return event
+
+
+def write_chrome_trace(
+    log: TraceLog, path: str | Path, name: str = "repro"
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(log, name=name)))
+    return path
+
+
+_REQUIRED_BY_PHASE = {
+    "M": ("name", "pid", "tid", "args"),
+    "B": ("name", "ts", "pid", "tid"),
+    "E": ("ts", "pid", "tid"),
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "C": ("name", "ts", "args"),
+    "i": ("name", "ts", "s"),
+}
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Structurally validate a Chrome ``trace_event`` document.
+
+    Checks the subset of the format specification the exporter emits:
+    phase-appropriate required keys, numeric non-negative timestamps and
+    durations, and balanced B/E nesting per (pid, tid).  Raises
+    ``ValueError`` on the first violation; used by the CI smoke job.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("document must be a dict with a traceEvents list")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    depth: dict[tuple, int] = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = e.get("ph")
+        required = _REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        for key in required:
+            if key not in e:
+                raise ValueError(f"event {i} (ph={ph}): missing {key!r}")
+        if "ts" in e and (
+            not isinstance(e["ts"], (int, float)) or e["ts"] < 0
+        ):
+            raise ValueError(f"event {i}: bad ts {e['ts']!r}")
+        if "dur" in e and (
+            not isinstance(e["dur"], (int, float)) or e["dur"] < 0
+        ):
+            raise ValueError(f"event {i}: bad dur {e['dur']!r}")
+        if ph in ("B", "E"):
+            lane = (e.get("pid"), e.get("tid"))
+            depth[lane] = depth.get(lane, 0) + (1 if ph == "B" else -1)
+            if depth[lane] < 0:
+                raise ValueError(f"event {i}: E without matching B")
+    unbalanced = {lane: d for lane, d in depth.items() if d}
+    if unbalanced:
+        raise ValueError(f"unbalanced B/E spans: {unbalanced}")
+
+
+# ---------------------------------------------------------------------- #
+# CSV
+# ---------------------------------------------------------------------- #
+def bucket_csv(log: TraceLog) -> str:
+    """Per-round CSV: summary columns plus rank-summed seconds per bucket."""
+    per_round: dict[int, dict[str, float]] = {}
+    for e in log.events:
+        if e.kind == "compute":
+            row = per_round.setdefault(e.round_index, {})
+            row[e.bucket] = row.get(e.bucket, 0.0) + e.seconds
+        elif e.kind == "comm":
+            row = per_round.setdefault(e.round_index, {})
+            row["MPI"] = row.get("MPI", 0.0) + e.seconds
+        elif e.kind == "fault" and e.seconds > 0.0:
+            row = per_round.setdefault(e.round_index, {})
+            row["WAIT"] = row.get("WAIT", 0.0) + e.seconds
+    columns = list(BUCKETS) + ["WAIT"]
+    out = io.StringIO()
+    out.write(
+        "round,duration,max_compute,comm_time,wait_time,bytes_moved,"
+        + ",".join(columns)
+        + "\n"
+    )
+    for s in log.round_summaries():
+        row = per_round.get(s.round_index, {})
+        out.write(
+            f"{s.round_index},{s.duration:.9g},{s.max_compute:.9g},"
+            f"{s.comm_time:.9g},{s.wait_time:.9g},{s.bytes_moved}"
+        )
+        for bucket in columns:
+            out.write(f",{row.get(bucket, 0.0):.9g}")
+        out.write("\n")
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------- #
+# terminal summary / diff
+# ---------------------------------------------------------------------- #
+def summary_text(
+    log: TraceLog, metrics: MetricsRegistry | None = None
+) -> str:
+    """Human-readable digest of one trace (plus optional metrics)."""
+    summaries = log.round_summaries()
+    total = sum(s.duration for s in summaries)
+    lines = [
+        f"rounds: {log.n_rounds}   total: {total * 1e3:.3f} ms",
+    ]
+    if summaries:
+        compute_bound = sum(1 for s in summaries if s.compute_bound)
+        lines.append(
+            f"compute-bound rounds: {compute_bound}/{len(summaries)}   "
+            f"bytes moved: {sum(s.bytes_moved for s in summaries)}"
+        )
+        wait = sum(s.wait_time for s in summaries)
+        if wait > 0.0:
+            lines.append(f"fault-wait on critical path: {wait * 1e3:.3f} ms")
+    totals = log.bucket_totals()
+    if totals:
+        rendered = "  ".join(
+            f"{bucket}={seconds * 1e3:.3f}ms"
+            for bucket, seconds in sorted(totals.items())
+        )
+        lines.append(f"bucket seconds (rank-summed): {rendered}")
+    faults = log.fault_summary()
+    if faults:
+        rendered = "  ".join(
+            f"{label}={count}" for label, count in sorted(faults.items())
+        )
+        lines.append(f"faults: {rendered}")
+    if summaries:
+        slowest = sorted(summaries, key=lambda s: -s.duration)[:3]
+        lines.append("slowest rounds:")
+        for s in slowest:
+            side = "compute" if s.compute_bound else "comm"
+            lines.append(
+                f"  #{s.round_index}: {s.duration * 1e3:.3f} ms "
+                f"({side}-bound, {s.bytes_moved} B)"
+            )
+    if metrics is not None:
+        snap = metrics.snapshot()
+        if snap["counters"]:
+            lines.append("counters:")
+            for key, value in sorted(snap["counters"].items()):
+                lines.append(f"  {key} = {value:g}")
+        for key, hist in sorted(snap["histograms"].items()):
+            lines.append(
+                f"  {key}: n={hist['count']} mean={hist['mean']:.3g} "
+                f"min={hist['min']:.3g} max={hist['max']:.3g}"
+            )
+    return "\n".join(lines)
+
+
+def diff_text(a: TraceLog, b: TraceLog) -> str:
+    """Compare two traces (A → B): totals, buckets, bytes, faults."""
+    sa, sb = a.round_summaries(), b.round_summaries()
+    ta = sum(s.duration for s in sa)
+    tb = sum(s.duration for s in sb)
+    lines = [
+        f"rounds: {a.n_rounds} -> {b.n_rounds}",
+        f"total:  {ta * 1e3:.3f} ms -> {tb * 1e3:.3f} ms ({_pct(ta, tb)})",
+        f"bytes:  {sum(s.bytes_moved for s in sa)} -> "
+        f"{sum(s.bytes_moved for s in sb)}",
+    ]
+    buckets_a, buckets_b = a.bucket_totals(), b.bucket_totals()
+    for bucket in sorted(buckets_a.keys() | buckets_b.keys()):
+        va = buckets_a.get(bucket, 0.0)
+        vb = buckets_b.get(bucket, 0.0)
+        lines.append(
+            f"{bucket:>5}:  {va * 1e3:.3f} ms -> {vb * 1e3:.3f} ms "
+            f"({_pct(va, vb)})"
+        )
+    faults_a, faults_b = a.fault_summary(), b.fault_summary()
+    if faults_a or faults_b:
+        for label in sorted(faults_a.keys() | faults_b.keys()):
+            lines.append(
+                f"fault {label}: {faults_a.get(label, 0)} -> "
+                f"{faults_b.get(label, 0)}"
+            )
+    return "\n".join(lines)
+
+
+def _pct(a: float, b: float) -> str:
+    if a == 0.0:
+        return "n/a" if b == 0.0 else "+inf"
+    return f"{(b - a) / a * 100.0:+.1f}%"

@@ -1,0 +1,176 @@
+"""Process-wide metrics registry (counters, gauges, histograms).
+
+The observability layer's numeric side: code anywhere in the stack reports
+what it did (bytes put on the wire, homomorphic pipeline selections, retry
+storms, kernel throughput) into one registry that the CLI and tests can
+snapshot.  The registry is **disabled by default** and every hot path is
+expected to guard its report with the one-attribute check
+
+>>> from repro.obs.metrics import METRICS
+>>> if METRICS.enabled:
+...     METRICS.inc("wire.bytes", 4096)
+
+so a production run that never asks for metrics pays a single branch per
+instrumentation site and allocates nothing.  This module must stay free of
+``repro`` imports — it sits below every other layer.
+
+Metric kinds
+------------
+* **counter** — monotonically accumulating float (``inc``);
+* **gauge** — last-write-wins value (``gauge``);
+* **histogram** — running ``count/total/min/max`` summary plus a coarse
+  power-of-two bucket sketch (``observe``), enough for throughput
+  distributions without unbounded storage.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "HistogramStats",
+    "MetricsRegistry",
+    "METRICS",
+    "metrics_enabled",
+]
+
+
+class HistogramStats:
+    """Bounded-memory summary of one observed distribution."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        #: power-of-two magnitude sketch: floor(log2(v)) -> count
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        exponent = math.frexp(value)[1] - 1 if value > 0 else -1074
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters/gauges/histograms with a no-op fast path.
+
+    ``enabled`` is a plain attribute on purpose: the disabled check at an
+    instrumentation site is one attribute load, no call, no lock.  All
+    mutating methods still honour ``enabled`` themselves, so an unguarded
+    call is correct — just a few nanoseconds slower.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramStats] = {}
+
+    # ------------------------------------------------------------------ #
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = HistogramStats()
+            hist.observe(value)
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._gauges)
+
+    def histogram(self, name: str) -> HistogramStats | None:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """One JSON-ready view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: h.as_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every recorded value (the enabled flag is untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every built-in instrumentation site reports to.
+METRICS = MetricsRegistry()
+
+
+@contextmanager
+def metrics_enabled(
+    registry: MetricsRegistry = METRICS, reset: bool = True
+) -> Iterator[MetricsRegistry]:
+    """Scoped enable (used by the CLI and tests); restores the prior state."""
+    previous = registry.enabled
+    if reset:
+        registry.reset()
+    registry.enabled = True
+    try:
+        yield registry
+    finally:
+        registry.enabled = previous

@@ -1,0 +1,118 @@
+"""Span-tree reconstruction from a flat :class:`TraceLog`.
+
+The trace layer records flat events (cheap at run time); this module folds
+them back into the hierarchy the exporters and summaries want::
+
+    collective
+    └── phase
+        └── round
+            └── charge (per-rank compute / comm / wait leaves)
+
+Timestamps are virtual seconds.  Round *r* occupies the interval starting
+at the cumulative duration of rounds ``0..r-1`` — in the bulk-synchronous
+model virtual time only advances at round boundaries, which is also
+exactly how ``collective``/``phase`` markers are stamped, so the two
+sources of time agree by construction.  Within a round each rank's charges
+are laid out back-to-back from the round's start: the per-rank lane shows
+*what* the rank spent its round on, not a claim about sub-round ordering
+(the simulator has none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..runtime.trace import TraceEvent, TraceLog
+
+__all__ = ["Span", "build_spans"]
+
+
+@dataclass
+class Span:
+    """One node of the reconstructed hierarchy.
+
+    ``kind`` is one of ``trace`` (synthetic root), ``collective``,
+    ``phase``, ``round``, ``compute``, ``comm``, ``wait``, or ``fault``
+    (zero-width marker).  Leaf charge spans carry the owning ``rank`` and,
+    for transfers, the payload ``nbytes``.
+    """
+
+    kind: str
+    name: str
+    start: float
+    end: float
+    rank: int = -1
+    nbytes: int = 0
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_spans(log: TraceLog) -> Span:
+    """Fold ``log`` into a span tree rooted at a synthetic ``trace`` span.
+
+    Robust to imperfect logs: an unmatched ``end`` is ignored, unmatched
+    ``begin`` spans are closed at the final timestamp, and charges of a
+    trailing never-closed round become a zero-duration ``round (open)``
+    node so nothing recorded is dropped.
+    """
+    root = Span("trace", "trace", 0.0, 0.0)
+    stack = [root]
+    pending: dict[int, list[TraceEvent]] = {}
+    now = 0.0
+    for e in log.events:
+        if e.kind == "begin":
+            span = Span(e.bucket, e.label, e.seconds, e.seconds)
+            stack[-1].children.append(span)
+            stack.append(span)
+        elif e.kind == "end":
+            if len(stack) > 1:
+                stack[-1].end = e.seconds
+                stack.pop()
+        elif e.kind == "round":
+            span = Span(
+                "round", f"round {e.round_index}", now, now + e.seconds
+            )
+            span.children = _charge_spans(
+                pending.pop(e.round_index, []), now
+            )
+            stack[-1].children.append(span)
+            now += e.seconds
+        else:
+            pending.setdefault(e.round_index, []).append(e)
+    for r in sorted(pending):
+        span = Span("round", f"round {r} (open)", now, now)
+        span.children = _charge_spans(pending[r], now)
+        root.children.append(span)
+    root.end = now
+    while len(stack) > 1:
+        stack[-1].end = max(stack[-1].end, now)
+        stack.pop()
+    return root
+
+
+def _charge_spans(events: list[TraceEvent], start: float) -> list[Span]:
+    """Lay one round's charges out as per-rank back-to-back leaves."""
+    cursors: dict[int, float] = {}
+    out = []
+    for e in events:
+        begin = cursors.get(e.rank, start)
+        end = begin + max(e.seconds, 0.0)
+        if e.kind == "fault":
+            kind = "wait" if e.seconds > 0.0 else "fault"
+        else:
+            kind = e.kind
+        out.append(
+            Span(kind, e.bucket, begin, end, rank=e.rank, nbytes=e.nbytes)
+        )
+        cursors[e.rank] = end
+    return out

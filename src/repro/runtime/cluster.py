@@ -29,9 +29,13 @@ from ..utils.validation import ensure_positive, ensure_positive_int
 from .clock import Breakdown, VirtualClock
 from .faults import FaultPlan, ResilientChannel, RetryPolicy
 from .network import NetworkModel, OMNIPATH_100G
-from .trace import TraceLog
+from .trace import Recorder, TraceLog
 
-__all__ = ["SimCluster", "measured"]
+# .trace must be imported before repro.obs (spans depends on it); keeping
+# obs.metrics dependency-free closes the cycle the other way.
+from ..obs.metrics import METRICS
+
+__all__ = ["SimCluster", "TraceScope", "measured"]
 
 
 @contextmanager
@@ -43,6 +47,18 @@ def measured() -> Iterator[list[float]]:
         yield out
     finally:
         out[0] = time.perf_counter() - start
+
+
+@dataclass
+class TraceScope:
+    """Handle yielded by :meth:`SimCluster.collective`.
+
+    After the ``with`` block exits, ``trace`` holds the collective's own
+    scoped :class:`TraceLog` slice (or ``None`` when tracing is off).
+    """
+
+    name: str
+    trace: TraceLog | None = None
 
 
 @dataclass
@@ -69,8 +85,10 @@ class SimCluster:
     multithread: bool = False
     clocks: list[VirtualClock] = field(default_factory=list)
     total_time: float = 0.0
-    #: optional execution trace (per-charge events + round boundaries)
-    trace: TraceLog | None = None
+    #: optional execution trace (per-charge events + round boundaries);
+    #: anything satisfying the :class:`~repro.runtime.trace.Recorder`
+    #: protocol works — :class:`TraceLog` is the shipped implementation.
+    trace: Recorder | None = None
     faults: FaultPlan | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     _round_compute: list[float] = field(default_factory=list)
@@ -131,6 +149,9 @@ class SimCluster:
         self.clocks[rank].charge("MPI", seconds)
         if self.trace is not None:
             self.trace.record_comm(rank, seconds, nbytes)
+        if METRICS.enabled:
+            METRICS.inc("wire.bytes", nbytes)
+            METRICS.inc("wire.transfers")
         return seconds
 
     def charge_wait(self, rank: int, seconds: float, label: str) -> None:
@@ -150,6 +171,10 @@ class SimCluster:
         """Record a fault event (DROP/CORRUPT/…/DEGRADE) in the trace."""
         if self.trace is not None:
             self.trace.record_fault(rank, label, seconds=seconds, nbytes=nbytes)
+        if METRICS.enabled:
+            METRICS.inc(f"faults.{label.lower()}")
+            if seconds > 0.0:
+                METRICS.inc("faults.wait_s", seconds)
 
     @contextmanager
     def timed(self, rank: int, bucket: str) -> Iterator[None]:
@@ -179,7 +204,7 @@ class SimCluster:
         self.total_time += duration
         self._round_compute = [0.0] * self.n_ranks
         if self.trace is not None:
-            self.trace.record_round(duration)
+            self.trace.record_round(duration, comm=comm)
         return duration
 
     def end_compute_phase(self) -> float:
@@ -188,8 +213,44 @@ class SimCluster:
         self.total_time += duration
         self._round_compute = [0.0] * self.n_ranks
         if self.trace is not None:
-            self.trace.record_round(duration)
+            self.trace.record_round(duration, comm=0.0)
         return duration
+
+    # ------------------------------------------------------------------ #
+    # span scopes
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def collective(self, name: str) -> Iterator[TraceScope]:
+        """Scope one collective operation; the yielded handle receives the
+        operation's own rebased trace slice when the block exits.
+
+        No-ops (yielding an empty scope) when tracing is off, so collectives
+        can wrap themselves unconditionally.
+        """
+        scope = TraceScope(name)
+        if self.trace is None:
+            yield scope
+            return
+        mark = self.trace.mark()
+        time_start = self.total_time
+        self.trace.begin_span("collective", name, time_start)
+        try:
+            yield scope
+        finally:
+            self.trace.end_span("collective", name, self.total_time)
+            scope.trace = self.trace.scoped(mark, time_start)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Scope one algorithmic phase (``compress``, ``exchange``, …)."""
+        if self.trace is None:
+            yield
+            return
+        self.trace.begin_span("phase", name, self.total_time)
+        try:
+            yield
+        finally:
+            self.trace.end_span("phase", name, self.total_time)
 
     # ------------------------------------------------------------------ #
     def breakdown(self) -> Breakdown:
@@ -197,8 +258,16 @@ class SimCluster:
         return Breakdown.from_clocks(self.clocks, self.total_time)
 
     def reset(self) -> None:
-        """Clear all clocks and accumulated time (fresh collective)."""
+        """Clear all clocks and accumulated time (fresh collective).
+
+        The trace is *rotated* — replaced with a fresh log rather than
+        cleared in place — so references handed out before the reset (e.g.
+        a ``CollectiveResult``'s scoped slice source) stay intact while the
+        next run starts from round 0 with no stale events.
+        """
         self.clocks = [VirtualClock() for _ in range(self.n_ranks)]
         self.total_time = 0.0
         self._round_compute = [0.0] * self.n_ranks
         self._channel = None
+        if self.trace is not None:
+            self.trace = TraceLog()

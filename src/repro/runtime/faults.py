@@ -34,10 +34,11 @@ Delivery goes through a :class:`ResilientChannel` owned by the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields as dataclass_fields
+from dataclasses import dataclass, fields as dataclass_fields
 from typing import TYPE_CHECKING, Any
 
 from ..compression.format import from_bytes
+from ..obs.metrics import METRICS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .cluster import SimCluster
@@ -367,6 +368,8 @@ class ResilientChannel:
 
     def _wait(self, rank: int, seconds: float, label: str) -> None:
         self.stats.retry_seconds += seconds
+        if METRICS.enabled:
+            METRICS.inc("channel.retries")
         self.cluster.charge_wait(rank, seconds, label)
 
     def charge_link(self, source: int, dest: int, nbytes: int) -> float:
@@ -522,4 +525,6 @@ class ResilientChannel:
     def degrade(self, reason: str = "stream-unrecoverable") -> None:
         """Record that the running collective fell back to the plain kernel."""
         self.stats.degraded_ops += 1
+        if METRICS.enabled:
+            METRICS.inc("channel.degrades")
         self.cluster.record_fault(-1, "DEGRADE")

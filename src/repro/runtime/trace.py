@@ -1,48 +1,140 @@
 """Execution tracing for simulated collectives.
 
 A :class:`TraceLog` attached to a :class:`~repro.runtime.cluster.SimCluster`
-records every compute charge, transfer, and round boundary.  Traces back
-the breakdown figures with per-round detail (which round was
+records every compute charge, transfer, fault wait, and round boundary.
+Traces back the breakdown figures with per-round detail (which round was
 compute-bound? how did message sizes shrink as the reduction compressed
-better?) and export to JSON for external timeline viewers.
+better?) and feed the :mod:`repro.obs` exporters (Chrome ``trace_event``
+JSON, per-bucket CSV, terminal summaries).
+
+Besides flat charge events the log carries *span* markers
+(``collective``/``phase`` begin/end pairs stamped with virtual time), from
+which :func:`repro.obs.spans.build_spans` reconstructs the hierarchy
+``collective → phase → round → charge``.  Collectives run inside
+:meth:`SimCluster.collective <repro.runtime.cluster.SimCluster.collective>`
+scopes, and every :class:`~repro.collectives.base.CollectiveResult` carries
+its own *scoped* slice of the log (rounds and span timestamps rebased to
+the collective's start), so back-to-back operations on one cluster no
+longer share one undifferentiated event soup.
+
+Time accounting invariant
+-------------------------
+For every closed round,
+
+``duration == max_compute + comm_time + wait_time``  (up to float ulps)
+
+where ``max_compute`` is the slowest rank's useful compute, ``comm_time``
+is the round's modelled exchange (recorded on the round boundary event
+itself), and ``wait_time`` is the critical-path stretch caused by
+fault-handling waits (timeouts, retransmission backoff).  Waits used to be
+charged to the makespan but invisible to the summaries, which misclassified
+rounds under retry storms.
+
+Serialisation schema
+--------------------
+Version 2 persists the round counter explicitly (``"rounds"``) alongside
+the events, so a log whose trailing round is still open — or whose event
+list was filtered by an external tool — round-trips exactly.  Version 1
+documents (no ``rounds`` field, events without ``label``/``comm_s``) are
+still accepted; the counter is then recovered by counting boundary events.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
-__all__ = ["TraceEvent", "RoundSummary", "TraceLog"]
+__all__ = [
+    "TraceEvent",
+    "RoundSummary",
+    "TraceLog",
+    "TraceMark",
+    "Recorder",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 2
+
+#: event kinds whose ``seconds`` field is a virtual *timestamp* (span
+#: markers) rather than a duration — scoped slices rebase these.
+_SPAN_KINDS = frozenset({"begin", "end"})
 
 
 @dataclass(frozen=True)
 class TraceEvent:
     """One traced occurrence inside a collective."""
 
-    kind: str  # "compute" | "comm" | "round" | "fault"
+    kind: str  # "compute" | "comm" | "round" | "fault" | "begin" | "end"
     round_index: int
-    rank: int  # -1 for round boundaries and cluster-wide fault events
+    rank: int  # -1 for round boundaries, span markers and cluster faults
     bucket: str  # CPR/DPR/CPT/HPR/MPI; "ROUND" for boundaries; for fault
     # events the *label* (DROP/CORRUPT/TRUNCATE/DUPLICATE/TIMEOUT/RETRY/
-    # DEGRADE) rides in this slot
-    seconds: float
+    # DEGRADE) rides in this slot; for span markers the span kind
+    # ("collective" | "phase")
+    seconds: float  # duration; for span markers the virtual timestamp
     nbytes: int = 0
+    label: str = ""  # span name ("hzccl_allreduce", "compress", ...)
+    comm_s: float | None = None  # round events: the modelled exchange term
 
 
 @dataclass(frozen=True)
 class RoundSummary:
-    """Aggregated view of one bulk-synchronous round."""
+    """Aggregated view of one bulk-synchronous round.
+
+    ``duration == max_compute + comm_time + wait_time`` holds (up to float
+    rounding) for rounds closed by the cluster; ``wait_time`` is the
+    critical-path stretch from fault-handling waits — the slowest rank's
+    compute-plus-wait total minus the slowest rank's compute alone.
+    """
 
     round_index: int
     duration: float
     max_compute: float
     comm_time: float
     bytes_moved: int
+    wait_time: float = 0.0
 
     @property
     def compute_bound(self) -> bool:
         return self.max_compute > self.comm_time
+
+
+@dataclass(frozen=True)
+class TraceMark:
+    """Opaque position in a recorder's stream (see :meth:`TraceLog.mark`)."""
+
+    event_index: int
+    round_index: int
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """What :class:`~repro.runtime.cluster.SimCluster` needs from a trace.
+
+    :class:`TraceLog` is the shipped implementation; anything honouring
+    this surface (a streaming writer, a sampling recorder) can be attached
+    to a cluster instead.
+    """
+
+    def record_compute(self, rank: int, bucket: str, seconds: float) -> None: ...
+
+    def record_comm(self, rank: int, seconds: float, nbytes: int) -> None: ...
+
+    def record_round(self, duration: float, comm: float | None = None) -> None: ...
+
+    def record_fault(
+        self, rank: int, label: str, seconds: float = 0.0, nbytes: int = 0
+    ) -> None: ...
+
+    def begin_span(self, kind: str, name: str, at: float) -> None: ...
+
+    def end_span(self, kind: str, name: str, at: float) -> None: ...
+
+    def mark(self) -> TraceMark: ...
+
+    def scoped(self, mark: TraceMark, time_start: float) -> "TraceLog": ...
 
 
 @dataclass
@@ -62,19 +154,74 @@ class TraceLog:
             TraceEvent("comm", self._round, rank, "MPI", seconds, nbytes)
         )
 
-    def record_round(self, duration: float) -> None:
+    def record_round(self, duration: float, comm: float | None = None) -> None:
+        """Close the current round.
+
+        ``comm`` is the modelled exchange component of ``duration`` (0 for
+        compute-only phases); summaries report it as the round's
+        ``comm_time`` so the accounting invariant holds exactly.  Logs
+        built by hand may omit it — the summary then falls back to the
+        largest observed transfer.
+        """
         self.events.append(
-            TraceEvent("round", self._round, -1, "ROUND", duration)
+            TraceEvent("round", self._round, -1, "ROUND", duration, comm_s=comm)
         )
         self._round += 1
 
     def record_fault(
         self, rank: int, label: str, seconds: float = 0.0, nbytes: int = 0
     ) -> None:
-        """Record a fault-injection event (drop, corruption, degrade, …)."""
+        """Record a fault-injection event (drop, corruption, degrade, …).
+
+        A non-zero ``seconds`` marks a *wait* charged to the rank's clock
+        (timeout, retransmission backoff) and is folded into the round
+        summary's ``wait_time``.
+        """
         self.events.append(
             TraceEvent("fault", self._round, rank, label, seconds, nbytes)
         )
+
+    # ------------------------------------------------------------------ #
+    # spans and scoped slices
+    # ------------------------------------------------------------------ #
+    def begin_span(self, kind: str, name: str, at: float) -> None:
+        """Open a ``collective``/``phase`` span at virtual time ``at``."""
+        self.events.append(
+            TraceEvent("begin", self._round, -1, kind, at, label=name)
+        )
+
+    def end_span(self, kind: str, name: str, at: float) -> None:
+        """Close the innermost span of ``kind``/``name`` at time ``at``."""
+        self.events.append(
+            TraceEvent("end", self._round, -1, kind, at, label=name)
+        )
+
+    def mark(self) -> TraceMark:
+        """Current position, for a later :meth:`scoped` slice."""
+        return TraceMark(len(self.events), self._round)
+
+    def scoped(self, mark: TraceMark, time_start: float) -> "TraceLog":
+        """Standalone log of everything recorded since ``mark``.
+
+        Round indices and span timestamps are rebased so the slice reads
+        as a complete trace of its own (round 0 at virtual time 0); the
+        frozen events themselves are shared, never copied deep.
+        """
+        events = []
+        for e in self.events[mark.event_index:]:
+            seconds = (
+                e.seconds - time_start if e.kind in _SPAN_KINDS else e.seconds
+            )
+            events.append(
+                replace(
+                    e,
+                    round_index=e.round_index - mark.round_index,
+                    seconds=seconds,
+                )
+            )
+        log = TraceLog(events=events)
+        log._round = self._round - mark.round_index
+        return log
 
     # ------------------------------------------------------------------ #
     @property
@@ -82,40 +229,80 @@ class TraceLog:
         return self._round
 
     def round_summaries(self) -> list[RoundSummary]:
-        """Per-round digest: duration, bottleneck side, bytes moved.
+        """Per-round digest: duration, bottleneck side, waits, bytes moved.
 
         One grouped sweep over the event list — O(events), independent of
         the round count.  (A per-round rescan is O(rounds × events), which
         dominated trace post-processing for long collectives.)
         """
         durations: dict[int, float] = {}
-        max_compute: dict[int, dict[int, float]] = {}
-        comm: dict[int, float] = {}
+        round_comm: dict[int, float] = {}
+        compute: dict[int, dict[int, float]] = {}
+        waits: dict[int, dict[int, float]] = {}
+        comm_max: dict[int, float] = {}
         moved: dict[int, int] = {}
         for e in self.events:
             r = e.round_index
             if e.kind == "round":
                 durations[r] = e.seconds
+                if e.comm_s is not None:
+                    round_comm[r] = e.comm_s
             elif e.kind == "compute":
-                ranks = max_compute.setdefault(r, {})
+                ranks = compute.setdefault(r, {})
                 ranks[e.rank] = ranks.get(e.rank, 0.0) + e.seconds
             elif e.kind == "comm":
-                comm[r] = max(comm.get(r, 0.0), e.seconds)
+                comm_max[r] = max(comm_max.get(r, 0.0), e.seconds)
                 moved[r] = moved.get(r, 0) + e.nbytes
-        return [
-            RoundSummary(
-                round_index=r,
-                duration=durations[r],
-                max_compute=max(max_compute.get(r, {}).values(), default=0.0),
-                comm_time=comm.get(r, 0.0),
-                bytes_moved=moved.get(r, 0),
+            elif e.kind == "fault" and e.seconds > 0.0 and e.rank >= 0:
+                ranks = waits.setdefault(r, {})
+                ranks[e.rank] = ranks.get(e.rank, 0.0) + e.seconds
+        summaries = []
+        for r in range(self._round):
+            comp = compute.get(r, {})
+            wait = waits.get(r, {})
+            max_compute = max(comp.values(), default=0.0)
+            # the makespan charges each rank its compute *plus* its waits;
+            # wait_time is how much the slowest such total exceeds the
+            # slowest pure-compute total — the critical-path stretch.
+            combined = max(
+                (
+                    comp.get(rank, 0.0) + wait.get(rank, 0.0)
+                    for rank in comp.keys() | wait.keys()
+                ),
+                default=0.0,
             )
-            for r in range(self._round)
-        ]
+            summaries.append(
+                RoundSummary(
+                    round_index=r,
+                    duration=durations[r],
+                    max_compute=max_compute,
+                    comm_time=round_comm.get(r, comm_max.get(r, 0.0)),
+                    bytes_moved=moved.get(r, 0),
+                    wait_time=max(0.0, combined - max_compute),
+                )
+            )
+        return summaries
 
     def bytes_per_round(self) -> list[int]:
         """Total bytes moved in each round (shows compression-size drift)."""
         return [s.bytes_moved for s in self.round_summaries()]
+
+    def bucket_totals(self) -> dict[str, float]:
+        """Rank-summed virtual seconds per breakdown bucket.
+
+        Compute charges land in their own bucket, transfers in ``MPI``,
+        and fault waits in ``WAIT`` — the trace-side mirror of the
+        per-rank clock ledgers.
+        """
+        totals: dict[str, float] = {}
+        for e in self.events:
+            if e.kind == "compute":
+                totals[e.bucket] = totals.get(e.bucket, 0.0) + e.seconds
+            elif e.kind == "comm":
+                totals["MPI"] = totals.get("MPI", 0.0) + e.seconds
+            elif e.kind == "fault" and e.seconds > 0.0:
+                totals["WAIT"] = totals.get("WAIT", 0.0) + e.seconds
+        return totals
 
     @property
     def fault_events(self) -> list[TraceEvent]:
@@ -130,10 +317,16 @@ class TraceLog:
                 counts[e.bucket] = counts.get(e.bucket, 0) + 1
         return counts
 
+    # ------------------------------------------------------------------ #
     def to_json(self, path: str | Path | None = None) -> str:
-        """Serialise the trace; optionally also write it to ``path``."""
+        """Serialise the trace (schema v2); optionally write it to ``path``."""
         document = json.dumps(
-            {"schema": 1, "events": [asdict(e) for e in self.events]}, indent=2
+            {
+                "schema": SCHEMA_VERSION,
+                "rounds": self._round,
+                "events": [_event_dict(e) for e in self.events],
+            },
+            indent=2,
         )
         if path is not None:
             Path(path).write_text(document)
@@ -142,10 +335,37 @@ class TraceLog:
     @classmethod
     def from_json(cls, document: str) -> "TraceLog":
         data = json.loads(document)
-        if data.get("schema") != 1:
-            raise ValueError("unsupported trace schema")
+        schema = data.get("schema")
+        if schema not in (1, SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported trace schema {schema!r} "
+                f"(this build reads versions 1 and {SCHEMA_VERSION})"
+            )
         log = cls()
         for raw in data["events"]:
             log.events.append(TraceEvent(**raw))
-        log._round = sum(1 for e in log.events if e.kind == "round")
+        if schema >= 2:
+            # v2 persists the counter: a trailing open round (or an event
+            # list filtered by an external tool) survives the round trip.
+            log._round = int(data["rounds"])
+        else:
+            log._round = sum(1 for e in log.events if e.kind == "round")
         return log
+
+
+def _event_dict(e: TraceEvent) -> dict:
+    """Compact event serialisation: default-valued fields are omitted."""
+    d = {
+        "kind": e.kind,
+        "round_index": e.round_index,
+        "rank": e.rank,
+        "bucket": e.bucket,
+        "seconds": e.seconds,
+    }
+    if e.nbytes:
+        d["nbytes"] = e.nbytes
+    if e.label:
+        d["label"] = e.label
+    if e.comm_s is not None:
+        d["comm_s"] = e.comm_s
+    return d

@@ -1,0 +1,174 @@
+"""Tests for the trace exporters (`repro.obs.export`)."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.api import HZCCL
+from repro.obs.export import (
+    bucket_csv,
+    chrome_trace,
+    diff_text,
+    summary_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.clock import BUCKETS
+from repro.runtime.trace import TraceLog
+
+
+@pytest.fixture(scope="module")
+def trace():
+    rng = np.random.default_rng(11)
+    data = [
+        np.cumsum(rng.standard_normal(2048)).astype(np.float32)
+        for _ in range(4)
+    ]
+    return HZCCL(trace=True).allreduce(data).trace
+
+
+class TestChromeTrace:
+    def test_document_validates(self, trace):
+        validate_chrome_trace(chrome_trace(trace))
+
+    def test_expected_event_phases(self, trace):
+        doc = chrome_trace(trace)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "B", "E", "X", "C"} <= phases
+
+    def test_rank_lanes_are_named(self, trace):
+        doc = chrome_trace(trace, name="unit")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "unit" in names  # process_name
+        assert {"rank 0", "rank 1", "rank 2", "rank 3"} <= names
+
+    def test_bytes_counter_totals_match(self, trace):
+        doc = chrome_trace(trace)
+        counted = sum(
+            e["args"]["bytes"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "C"
+        )
+        expected = sum(s.bytes_moved for s in trace.round_summaries())
+        assert counted == expected
+
+    def test_fault_instants(self):
+        log = TraceLog()
+        log.record_fault(2, "DROP", seconds=0.0)
+        log.record_round(0.1, comm=0.1)
+        doc = chrome_trace(log)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "DROP"
+        assert instants[0]["tid"] == 3  # rank lane = rank + 1
+        validate_chrome_trace(doc)
+
+    def test_write_round_trips(self, trace, tmp_path):
+        path = write_chrome_trace(trace, tmp_path / "out.json")
+        validate_chrome_trace(json.loads(path.read_text()))
+
+
+class TestValidator:
+    def test_rejects_non_document(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x"}]}
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_missing_required_key(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "dur": 1}]}
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_timestamp(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "ts": -1, "dur": 0,
+                 "pid": 0, "tid": 0}
+            ]
+        }
+        with pytest.raises(ValueError, match="bad ts"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unbalanced_begin(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "B", "name": "x", "ts": 0, "pid": 0, "tid": 0}
+            ]
+        }
+        with pytest.raises(ValueError, match="unbalanced"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_end_without_begin(self):
+        doc = {"traceEvents": [{"ph": "E", "ts": 0, "pid": 0, "tid": 0}]}
+        with pytest.raises(ValueError, match="E without matching B"):
+            validate_chrome_trace(doc)
+
+
+class TestBucketCsv:
+    def test_shape_and_totals(self, trace):
+        rows = list(csv.DictReader(io.StringIO(bucket_csv(trace))))
+        assert len(rows) == trace.n_rounds
+        header = rows[0].keys()
+        for bucket in list(BUCKETS) + ["WAIT"]:
+            assert bucket in header
+        summaries = trace.round_summaries()
+        for row, s in zip(rows, summaries):
+            assert int(row["round"]) == s.round_index
+            assert float(row["duration"]) == pytest.approx(
+                s.duration, rel=1e-6
+            )
+            assert int(row["bytes_moved"]) == s.bytes_moved
+
+    def test_wait_column(self):
+        log = TraceLog()
+        log.record_compute(0, "CPR", 0.1)
+        log.record_fault(0, "TIMEOUT", seconds=0.25)
+        log.record_round(0.45, comm=0.1)
+        (row,) = csv.DictReader(io.StringIO(bucket_csv(log)))
+        assert float(row["WAIT"]) == pytest.approx(0.25)
+        assert float(row["wait_time"]) == pytest.approx(0.25)
+
+
+class TestTextReports:
+    def test_summary_mentions_rounds_and_buckets(self, trace):
+        text = summary_text(trace)
+        assert "rounds:" in text
+        assert "bucket seconds" in text
+        assert "slowest rounds:" in text
+
+    def test_summary_includes_metrics(self, trace):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("wire.bytes", 123)
+        reg.observe("kernel.numpy.encode.gbps", 2.0)
+        text = summary_text(trace, metrics=reg)
+        assert "wire.bytes = 123" in text
+        assert "kernel.numpy.encode.gbps" in text
+
+    def test_summary_reports_wait(self):
+        log = TraceLog()
+        log.record_fault(0, "TIMEOUT", seconds=0.5)
+        log.record_round(0.5, comm=0.0)
+        assert "fault-wait on critical path" in summary_text(log)
+
+    def test_diff_shows_deltas_and_faults(self, trace):
+        other = TraceLog()
+        other.record_compute(0, "CPR", 0.1)
+        other.record_fault(0, "DROP")
+        other.record_round(0.1, comm=0.0)
+        text = diff_text(trace, other)
+        assert f"rounds: {trace.n_rounds} -> 1" in text
+        assert "total:" in text and "->" in text
+        assert "fault DROP: 0 -> 1" in text
+
+    def test_diff_identical_traces(self, trace):
+        text = diff_text(trace, trace)
+        assert "+0.0%" in text

@@ -1,0 +1,113 @@
+"""Tests for the process-wide metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import METRICS, MetricsRegistry, metrics_enabled
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert MetricsRegistry().enabled is False
+        assert METRICS.enabled is False
+
+    def test_disabled_mutations_record_nothing(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.gauge("b", 1.0)
+        reg.observe("c", 2.0)
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("wire.bytes", 100)
+        reg.inc("wire.bytes", 28)
+        reg.inc("calls")
+        assert reg.counter("wire.bytes") == 128
+        assert reg.counter("calls") == 1
+        assert reg.counter("missing") == 0.0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 7.5)
+        assert reg.gauges() == {"g": 7.5}
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry(enabled=True)
+        for v in (1.0, 2.0, 4.0, 9.0):
+            reg.observe("h", v)
+        hist = reg.histogram("h")
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.vmin == 1.0 and hist.vmax == 9.0
+        d = hist.as_dict()
+        assert d["count"] == 4 and d["total"] == pytest.approx(16.0)
+
+    def test_empty_histogram_dict_is_finite(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.observe("h", 1.0)
+        reg.reset()
+        assert reg.histogram("h") is None
+
+    def test_reset_keeps_enabled_flag(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("x")
+        reg.reset()
+        assert reg.enabled is True
+        assert reg.counters() == {}
+
+    def test_snapshot_is_json_shaped(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("c", 2)
+        reg.gauge("g", 3)
+        reg.observe("h", 4)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2.0}
+        assert snap["gauges"] == {"g": 3.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_threaded_increments_are_not_lost(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 4000
+
+
+class TestScopedEnable:
+    def test_context_manager_enables_and_restores(self):
+        reg = MetricsRegistry()
+        with metrics_enabled(reg) as inner:
+            assert inner is reg
+            assert reg.enabled
+            reg.inc("x")
+        assert not reg.enabled
+        assert reg.counter("x") == 1  # values survive, flag restored
+
+    def test_context_manager_resets_prior_values(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("stale")
+        with metrics_enabled(reg):
+            assert reg.counter("stale") == 0.0
+        assert reg.enabled  # prior enabled state restored
+
+    def test_reset_false_keeps_values(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("keep")
+        with metrics_enabled(reg, reset=False):
+            assert reg.counter("keep") == 1

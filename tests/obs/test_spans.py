@@ -1,0 +1,151 @@
+"""Tests for span-tree reconstruction (`repro.obs.spans`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import HZCCL
+from repro.obs.spans import Span, build_spans
+from repro.runtime.trace import TraceLog
+
+
+def _manual_log() -> TraceLog:
+    """collective > phase > one round with three charges."""
+    log = TraceLog()
+    log.begin_span("collective", "allreduce", 0.0)
+    log.begin_span("phase", "exchange", 0.0)
+    log.record_compute(0, "CPR", 0.5)
+    log.record_compute(1, "CPR", 0.3)
+    log.record_comm(0, 0.2, 100)
+    log.record_round(0.7, comm=0.2)
+    log.end_span("phase", "exchange", 0.7)
+    log.end_span("collective", "allreduce", 0.7)
+    return log
+
+
+class TestManualHierarchy:
+    def test_nesting(self):
+        root = build_spans(_manual_log())
+        assert root.kind == "trace"
+        (collective,) = root.children
+        assert (collective.kind, collective.name) == ("collective", "allreduce")
+        (phase,) = collective.children
+        assert (phase.kind, phase.name) == ("phase", "exchange")
+        (rnd,) = phase.children
+        assert rnd.kind == "round" and rnd.name == "round 0"
+        assert rnd.duration == pytest.approx(0.7)
+        assert len(rnd.children) == 3
+
+    def test_per_rank_cursors_are_back_to_back(self):
+        root = build_spans(_manual_log())
+        rnd = root.children[0].children[0].children[0]
+        rank0 = [c for c in rnd.children if c.rank == 0]
+        assert [c.kind for c in rank0] == ["compute", "comm"]
+        # rank 0's comm starts where its compute ends; rank 1 starts fresh
+        assert rank0[1].start == pytest.approx(rank0[0].end)
+        (rank1,) = [c for c in rnd.children if c.rank == 1]
+        assert rank1.start == pytest.approx(rnd.start)
+
+    def test_walk_visits_every_node(self):
+        root = build_spans(_manual_log())
+        kinds = [s.kind for s in root.walk()]
+        assert kinds == ["trace", "collective", "phase", "round",
+                         "compute", "compute", "comm"]
+
+    def test_duration_property(self):
+        span = Span("round", "round 0", 1.0, 3.5)
+        assert span.duration == pytest.approx(2.5)
+
+
+class TestFaultLeaves:
+    def test_timed_fault_becomes_wait(self):
+        log = TraceLog()
+        log.record_fault(1, "TIMEOUT", seconds=0.4)
+        log.record_round(0.4, comm=0.0)
+        rnd = build_spans(log).children[0]
+        (leaf,) = rnd.children
+        assert leaf.kind == "wait" and leaf.name == "TIMEOUT"
+        assert leaf.duration == pytest.approx(0.4)
+
+    def test_zero_second_fault_is_marker(self):
+        log = TraceLog()
+        log.record_fault(2, "DROP", seconds=0.0)
+        log.record_round(0.1, comm=0.1)
+        (leaf,) = build_spans(log).children[0].children
+        assert leaf.kind == "fault" and leaf.duration == 0.0
+
+
+class TestRobustness:
+    def test_open_round_is_preserved(self):
+        log = TraceLog()
+        log.record_compute(0, "CPR", 0.2)
+        log.record_round(0.2, comm=0.0)
+        log.record_compute(0, "DPR", 0.9)  # round 1 never closed
+        root = build_spans(log)
+        names = [c.name for c in root.children]
+        assert names == ["round 0", "round 1 (open)"]
+        open_round = root.children[1]
+        assert open_round.duration == 0.0
+        assert open_round.children[0].kind == "compute"
+
+    def test_unmatched_begin_closed_at_final_time(self):
+        log = TraceLog()
+        log.begin_span("collective", "crashed", 0.0)
+        log.record_compute(0, "CPR", 0.3)
+        log.record_round(0.3, comm=0.0)
+        root = build_spans(log)
+        (collective,) = root.children
+        assert collective.end == pytest.approx(0.3)
+
+    def test_unmatched_end_is_ignored(self):
+        log = TraceLog()
+        log.end_span("phase", "never-opened", 0.0)
+        log.record_round(0.1, comm=0.0)
+        root = build_spans(log)
+        assert [c.kind for c in root.children] == ["round"]
+
+    def test_empty_log(self):
+        root = build_spans(TraceLog())
+        assert root.children == [] and root.duration == 0.0
+
+
+class TestTracedRun:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        rng = np.random.default_rng(7)
+        data = [
+            np.cumsum(rng.standard_normal(2048)).astype(np.float32)
+            for _ in range(4)
+        ]
+        return HZCCL(trace=True).allreduce(data).trace
+
+    def test_full_hierarchy_present(self, trace):
+        root = build_spans(trace)
+        kinds = {s.kind for s in root.walk()}
+        assert {"trace", "collective", "phase", "round", "compute",
+                "comm"} <= kinds
+
+    def test_collective_and_phase_names(self, trace):
+        root = build_spans(trace)
+        (collective,) = root.children
+        assert collective.name == "hzccl_allreduce"
+        phase_names = [s.name for s in root.walk() if s.kind == "phase"]
+        assert {"compress", "exchange", "decompress"} <= set(phase_names)
+
+    def test_round_spans_tile_virtual_time(self, trace):
+        root = build_spans(trace)
+        rounds = sorted(
+            (s for s in root.walk() if s.kind == "round"),
+            key=lambda s: s.start,
+        )
+        assert len(rounds) == trace.n_rounds
+        total = sum(s.duration for s in trace.round_summaries())
+        assert root.end == pytest.approx(total)
+        for a, b in zip(rounds, rounds[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_charges_stay_inside_ranks(self, trace):
+        root = build_spans(trace)
+        n_ranks = 4
+        for s in root.walk():
+            if s.kind in ("compute", "comm", "wait"):
+                assert 0 <= s.rank < n_ranks
