@@ -15,6 +15,7 @@ from .rabenseifner import hzccl_rabenseifner_allreduce, rabenseifner_allreduce
 from .hzccl import (
     hzccl_allgather_compressed,
     hzccl_allreduce,
+    hzccl_pipelined_allreduce,
     hzccl_reduce_scatter,
 )
 from .ring import mpi_allgather, mpi_allreduce, mpi_reduce_scatter
@@ -39,6 +40,7 @@ __all__ = [
     "hzccl_reduce_scatter",
     "hzccl_allgather_compressed",
     "hzccl_allreduce",
+    "hzccl_pipelined_allreduce",
     "p2p_reduce_scatter",
     "p2p_allreduce",
     "p2p_hzccl_allreduce",

@@ -12,6 +12,11 @@ pays the full decompression–operation–compression cycle:
   forwarded ``N − 1`` rounds, and each rank decompresses what it received:
   ``CPR + (N−1)·DPR`` (§III-C2).
 
+Both run the *same* ring schedules as the plain baseline — only the codec
+differs (:class:`~repro.schedule.DocReduceCodec` recompresses per round,
+:class:`~repro.schedule.DocGatherCodec` compresses once and decodes per
+block).
+
 Accuracy note: each DOC round requantises the running partial sum, so the
 final error grows with the node count but stays bounded by
 ``(2N − 3)·eb`` per element — the controlled error propagation the C-Coll
@@ -22,11 +27,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..compression.format import CompressedField
-from ..compression.fzlight import FZLight
 from ..runtime.cluster import SimCluster
-from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
+from ..schedule import (
+    DocGatherCodec,
+    DocReduceCodec,
+    ScheduleExecutor,
+    ring_allgather,
+    ring_reduce_scatter,
+)
 from .base import (
     CollectiveResult,
     channel_stats,
@@ -37,14 +46,6 @@ from .base import (
 from .ring import mpi_allgather, mpi_reduce_scatter
 
 __all__ = ["ccoll_reduce_scatter", "ccoll_allgather", "ccoll_allreduce"]
-
-_SYNC_OVERHEAD_S = 2e-6  # size-synchronisation bookkeeping per rank ("OTHER")
-
-
-def _compressor(config) -> FZLight:
-    return FZLight(
-        block_size=config.block_size, n_threadblocks=config.n_threadblocks
-    )
 
 
 @traced_collective("ccoll_reduce_scatter")
@@ -57,55 +58,25 @@ def ccoll_reduce_scatter(
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     ring = Ring(n)
-    channel = cluster.channel
-    comp = _compressor(config)
-    eb = config.error_bound
-    bufs = [split_blocks(a, n) for a in arrays]
-    wire = 0
-
-    try:
-        with cluster.phase("doc-exchange"):
-            for j in range(n - 1):
-                outbox: list[CompressedField] = []
-                for i in range(n):
-                    with cluster.timed(i, "CPR"):
-                        outbox.append(
-                            comp.compress(
-                                bufs[i][ring.send_block(i, j)], abs_eb=eb
-                            )
-                        )
-                max_msg = 0
-                for i in range(n):
-                    pred = ring.predecessor(i)
-                    delivery = channel.deliver_compressed(
-                        pred, i, outbox[pred]
-                    )
-                    incoming = delivery.payload
-                    wire += delivery.nbytes
-                    max_msg = max(max_msg, incoming.nbytes)
-                    with cluster.timed(i, "DPR"):
-                        decoded = comp.decompress(incoming)
-                    with cluster.timed(i, "CPT"):
-                        blk = ring.recv_block(i, j)
-                        bufs[i][blk] = bufs[i][blk] + decoded
-                cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
+    state = [dict(enumerate(split_blocks(a, n))) for a in arrays]
+    outcome = ScheduleExecutor(cluster, DocReduceCodec(cluster, config)).run(
+        ring_reduce_scatter(n), state
+    )
+    if outcome.degraded:
         # Degrade: rerun the remainder on the plain uncompressed kernel.
-        channel.degrade()
         fallback = mpi_reduce_scatter(cluster, local_data)
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
+    outputs = [state[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -119,69 +90,26 @@ def ccoll_allgather(
     if len(chunks) != n:
         raise ValueError(f"got {len(chunks)} chunks for {n} ranks")
     ring = Ring(n)
-    channel = cluster.channel
-    comp = _compressor(config)
-    eb = config.error_bound
-    wire = 0
-
-    compressed: list[CompressedField] = []
-    with cluster.phase("compress"):
-        for i in range(n):
-            with cluster.timed(i, "CPR"):
-                compressed.append(comp.compress(chunks[i], abs_eb=eb))
-            cluster.clocks[i].charge("OTHER", _SYNC_OVERHEAD_S)  # size sync
-        cluster.end_compute_phase()
-
-    gathered: list[dict[int, CompressedField]] = [
-        {ring.owned_block(i): compressed[i]} for i in range(n)
-    ]
-    try:
-        with cluster.phase("forward"):
-            for j in range(n - 1):
-                outbox = {}
-                for i in range(n):
-                    blk = ring.allgather_send_block(i, j)
-                    outbox[i] = (blk, gathered[i][blk])
-                max_msg = 0
-                for i in range(n):
-                    pred = ring.predecessor(i)
-                    blk, field = outbox[pred]
-                    delivery = channel.deliver_compressed(pred, i, field)
-                    wire += delivery.nbytes
-                    max_msg = max(max_msg, field.nbytes)
-                    gathered[i][blk] = delivery.payload
-                cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
-        channel.degrade()
+    state = [{ring.owned_block(i): chunks[i]} for i in range(n)]
+    outcome = ScheduleExecutor(cluster, DocGatherCodec(cluster, config)).run(
+        ring_allgather(n), state
+    )
+    if outcome.degraded:
         fallback = mpi_allgather(cluster, list(chunks))
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    outputs = []
-    with cluster.phase("decompress"):
-        for i in range(n):
-            parts = []
-            for k in range(n):
-                field = gathered[i][k]
-                if k == ring.owned_block(i):
-                    parts.append(
-                        np.asarray(chunks[i], dtype=np.float32)  # local copy
-                    )
-                else:
-                    with cluster.timed(i, "DPR"):
-                        parts.append(comp.decompress(field))
-            outputs.append(np.concatenate(parts))
-        cluster.end_compute_phase()
-
+    outputs = [
+        np.concatenate([state[i][k] for k in range(n)]) for i in range(n)
+    ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 

@@ -14,6 +14,16 @@ The paper's co-design (§III-C).  Differences from C-Coll:
   forwards bytes, and decompresses everything once at the end:
   ``N·CPR + (N−1)·HPR + N·DPR`` total (the paper books ``N−1`` DPR by not
   counting the own-block decompress; we execute and charge all ``N``).
+* **Pipelined Allreduce** — the schedule-IR payoff: every ring round is
+  split into chunks so the wire time of chunk ``s`` overlaps the
+  homomorphic fold of chunk ``s − 1``
+  (:func:`~repro.schedule.pipelined_ring_reduce_scatter`), something no
+  monolithic send-then-fold loop could express.
+
+All variants are ring schedules run by the
+:class:`~repro.schedule.ScheduleExecutor` under the
+:class:`~repro.schedule.HomomorphicCodec` — the collective-specific code
+below only seeds state, picks slot names, and handles degrade fallbacks.
 
 Accuracy: each input is quantised exactly once and all reductions are
 exact in the integer domain, so the end-to-end error is bounded by
@@ -25,11 +35,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..compression.format import CompressedField
-from ..compression.fzlight import FZLight
-from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
-from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
+from ..schedule import (
+    SYNC_OVERHEAD_S,
+    HomomorphicCodec,
+    ScheduleExecutor,
+    pipelined_ring_reduce_scatter,
+    ring_allgather,
+    ring_reduce_scatter,
+)
 from .base import (
     CollectiveResult,
     channel_stats,
@@ -37,21 +52,18 @@ from .base import (
     traced_collective,
     validate_local_data,
 )
-from .ring import mpi_allgather, mpi_reduce_scatter
+from .ring import mpi_allgather, mpi_allreduce, mpi_reduce_scatter
 
 __all__ = [
     "hzccl_reduce_scatter",
     "hzccl_allgather_compressed",
     "hzccl_allreduce",
+    "hzccl_pipelined_allreduce",
 ]
 
-_SYNC_OVERHEAD_S = 2e-6  # size-synchronisation bookkeeping per rank ("OTHER")
-
-
-def _compressor(config) -> FZLight:
-    return FZLight(
-        block_size=config.block_size, n_threadblocks=config.n_threadblocks
-    )
+#: slot map for the fused allreduce's allgather stage: inputs arrive
+#: compressed, so there is no setup phase at all.
+_GATHER_SLOTS = {"setup": None, "finalize": "decompress"}
 
 
 @traced_collective("hzccl_reduce_scatter")
@@ -72,76 +84,29 @@ def hzccl_reduce_scatter(
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     ring = Ring(n)
-    comp = _compressor(config)
-    engine = HZDynamic()
-    eb = config.error_bound
-    wire = 0
-
-    # Round 1 setup: each rank compresses all N of its blocks exactly once.
-    partial: list[list[CompressedField]] = []
-    with cluster.phase("compress"):
-        for i in range(n):
-            blocks = split_blocks(arrays[i], n)
-            compressed_blocks = []
-            with cluster.timed(i, "CPR"):
-                for blk in blocks:
-                    compressed_blocks.append(comp.compress(blk, abs_eb=eb))
-            partial.append(compressed_blocks)
-        cluster.end_compute_phase()
-
-    channel = cluster.channel
-    try:
-        with cluster.phase("exchange"):
-            for j in range(n - 1):
-                outbox = [partial[i][ring.send_block(i, j)] for i in range(n)]
-                max_msg = 0
-                for i in range(n):
-                    pred = ring.predecessor(i)
-                    delivery = channel.deliver_compressed(
-                        pred, i, outbox[pred]
-                    )
-                    incoming = delivery.payload
-                    wire += delivery.nbytes
-                    max_msg = max(max_msg, incoming.nbytes)
-                    blk = ring.recv_block(i, j)
-                    with cluster.timed(i, "HPR"):
-                        # one fused fold of the local partial with the
-                        # incoming compressed block (k = 2 instance of the
-                        # k-way kernel)
-                        partial[i][blk] = engine.reduce_fused(
-                            (partial[i][blk], incoming)
-                        )
-                cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
+    codec = HomomorphicCodec(cluster, config)
+    state = [dict(enumerate(split_blocks(a, n))) for a in arrays]
+    outcome = ScheduleExecutor(cluster, codec).run(
+        ring_reduce_scatter(n, finalize=not return_compressed), state
+    )
+    if outcome.degraded:
         # Degrade: finish on the plain uncompressed kernel (the outputs are
         # then plain float blocks regardless of ``return_compressed``).
-        channel.degrade()
         fallback = mpi_reduce_scatter(cluster, local_data)
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
-            pipeline_stats=engine.stats,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    reduced = [partial[i][ring.owned_block(i)] for i in range(n)]
-    if return_compressed:
-        outputs: list = reduced
-    else:
-        outputs = []
-        with cluster.phase("decompress"):
-            for i in range(n):
-                with cluster.timed(i, "DPR"):
-                    outputs.append(comp.decompress(reduced[i]))
-            cluster.end_compute_phase()
-
+    outputs = [state[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
-        pipeline_stats=engine.stats,
+        bytes_on_wire=outcome.wire,
+        pipeline_stats=codec.engine.stats,
         fault_stats=channel_stats(cluster),
     )
 
@@ -160,63 +125,35 @@ def hzccl_allgather_compressed(
     if len(chunks) != n:
         raise ValueError(f"got {len(chunks)} compressed chunks for {n} ranks")
     ring = Ring(n)
-    comp = _compressor(config)
-    wire = 0
+    codec = HomomorphicCodec(cluster, config, slots=_GATHER_SLOTS)
 
     for i in range(n):
-        cluster.clocks[i].charge("OTHER", _SYNC_OVERHEAD_S)  # size sync only
+        cluster.clocks[i].charge("OTHER", SYNC_OVERHEAD_S)  # size sync only
 
-    channel = cluster.channel
-    gathered: list[dict[int, CompressedField]] = [
-        {ring.owned_block(i): chunks[i]} for i in range(n)
-    ]
-    try:
-        with cluster.phase("forward"):
-            for j in range(n - 1):
-                outbox = {}
-                for i in range(n):
-                    blk = ring.allgather_send_block(i, j)
-                    outbox[i] = (blk, gathered[i][blk])
-                max_msg = 0
-                for i in range(n):
-                    pred = ring.predecessor(i)
-                    blk, field = outbox[pred]
-                    delivery = channel.deliver_compressed(pred, i, field)
-                    wire += delivery.nbytes
-                    max_msg = max(max_msg, field.nbytes)
-                    gathered[i][blk] = delivery.payload
-                cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
+    state = [{ring.owned_block(i): chunks[i]} for i in range(n)]
+    outcome = ScheduleExecutor(cluster, codec).run(ring_allgather(n), state)
+    if outcome.degraded:
         # Degrade: decompress the local contributions and forward plain.
-        channel.degrade()
         plain_chunks = []
         for i in range(n):
             with cluster.timed(i, "DPR"):
-                plain_chunks.append(comp.decompress(chunks[i]))
+                plain_chunks.append(codec.comp.decompress(chunks[i]))
         cluster.end_compute_phase()
         fallback = mpi_allgather(cluster, plain_chunks)
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    outputs = []
-    with cluster.phase("decompress"):
-        for i in range(n):
-            parts = []
-            with cluster.timed(i, "DPR"):
-                for k in range(n):
-                    parts.append(comp.decompress(gathered[i][k]))
-            outputs.append(np.concatenate(parts))
-        cluster.end_compute_phase()
-
+    outputs = [
+        np.concatenate([state[i][k] for k in range(n)]) for i in range(n)
+    ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -244,5 +181,90 @@ def hzccl_allreduce(
         bytes_on_wire=rs.bytes_on_wire + ag.bytes_on_wire,
         pipeline_stats=rs.pipeline_stats,
         degraded=rs.degraded or ag.degraded,
+        fault_stats=channel_stats(cluster),
+    )
+
+
+@traced_collective("hzccl_pipelined_allreduce")
+def hzccl_pipelined_allreduce(
+    cluster: SimCluster,
+    local_data: list[np.ndarray],
+    config,
+    n_chunks: int = 2,
+) -> CollectiveResult:
+    """Chunk-pipelined hZCCL Allreduce (wire/HPR overlap per ring round).
+
+    Functionally equivalent to :func:`hzccl_allreduce` over finer blocks:
+    every block is split into ``n_chunks`` independently compressed chunks
+    whose transfers overlap the previous chunk's homomorphic fold.  The
+    overlap itself is a *cost-model* property (simulated time cannot
+    overlap wall-clock kernel runs); the outputs and the fault behaviour
+    exercise the exact staged schedule the model prices.
+    """
+    arrays = validate_local_data(local_data)
+    n = cluster.n_ranks
+    if len(arrays) != n:
+        raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
+    ring = Ring(n)
+    codec = HomomorphicCodec(cluster, config)
+    state = [
+        {
+            (b, c): chunk
+            for b, block in enumerate(split_blocks(a, n))
+            for c, chunk in enumerate(split_blocks(block, n_chunks))
+        }
+        for a in arrays
+    ]
+    executor = ScheduleExecutor(cluster, codec)
+    rs = executor.run(
+        pipelined_ring_reduce_scatter(n, n_chunks, finalize=False), state
+    )
+    if rs.degraded:
+        fallback = mpi_allreduce(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=rs.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
+    # fused hand-off: owned chunks stay compressed into the allgather stage
+    for i in range(n):
+        cluster.clocks[i].charge("OTHER", SYNC_OVERHEAD_S)  # size sync only
+    ag_codec = HomomorphicCodec(
+        cluster, config, engine=codec.engine, slots=_GATHER_SLOTS
+    )
+    ag_state = [
+        {
+            (ring.owned_block(i), c): state[i][(ring.owned_block(i), c)]
+            for c in range(n_chunks)
+        }
+        for i in range(n)
+    ]
+    ag = ScheduleExecutor(cluster, ag_codec).run(
+        ring_allgather(n, chunks=n_chunks), ag_state
+    )
+    if ag.degraded:
+        fallback = mpi_allreduce(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=rs.wire + ag.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
+    outputs = [
+        np.concatenate(
+            [ag_state[i][(k, c)] for k in range(n) for c in range(n_chunks)]
+        )
+        for i in range(n)
+    ]
+    return CollectiveResult(
+        outputs=outputs,
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=rs.wire + ag.wire,
+        pipeline_stats=codec.engine.stats,
         fault_stats=channel_stats(cluster),
     )

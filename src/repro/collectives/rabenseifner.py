@@ -9,6 +9,12 @@ the homomorphic kernels so the harness can show that the co-design is
 algorithm-agnostic: blocks are pre-compressed once and folded with
 hZ-dynamic regardless of which schedule moves them.
 
+The halving/doubling round structure is generated once by
+:func:`~repro.schedule.rabenseifner_allreduce_schedule`; both variants
+below run that same schedule through the
+:class:`~repro.schedule.ScheduleExecutor`, differing only in the payload
+codec (plain float adds vs. pre-compress / homomorphic fold / decompress).
+
 Rank counts must be powers of two (the classic formulation; MPICH's
 non-power-of-two pre-step is out of scope and rejected explicitly).
 """
@@ -17,11 +23,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..compression.format import CompressedField
-from ..compression.fzlight import FZLight
-from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
-from ..runtime.faults import UnrecoverableStreamError
+from ..schedule import (
+    HomomorphicCodec,
+    PlainCodec,
+    ScheduleExecutor,
+    rabenseifner_allreduce_schedule,
+)
 from .base import (
     CollectiveResult,
     channel_stats,
@@ -33,33 +41,6 @@ from .base import (
 __all__ = ["rabenseifner_allreduce", "hzccl_rabenseifner_allreduce"]
 
 
-def _check_power_of_two(n: int) -> int:
-    if n < 2 or n & (n - 1):
-        raise ValueError(
-            f"Rabenseifner's algorithm needs a power-of-two rank count, got {n}"
-        )
-    return int(np.log2(n))
-
-
-def _segment_ranges(n: int, rank: int, levels: int):
-    """Yield ``(round, partner, keep_range, send_range)`` per halving round.
-
-    Ranges are block-index intervals over the ``n`` segments; at round
-    ``k`` the rank keeps the half of its current range containing its own
-    final segment and sends the other half to its partner.
-    """
-    lo, hi = 0, n
-    for k in range(levels):
-        mid = (lo + hi) // 2
-        partner = rank ^ (n >> (k + 1))
-        if rank < partner:
-            keep, send = (lo, mid), (mid, hi)
-        else:
-            keep, send = (mid, hi), (lo, mid)
-        yield k, partner, keep, send
-        lo, hi = keep
-
-
 @traced_collective("rabenseifner_allreduce")
 def rabenseifner_allreduce(
     cluster: SimCluster, local_data: list[np.ndarray]
@@ -69,70 +50,18 @@ def rabenseifner_allreduce(
     n = cluster.n_ranks
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
-    levels = _check_power_of_two(n)
-    segs = [split_blocks(a, n) for a in arrays]
-    schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
-    # halving ranges nest, so a segment is folded again in later rounds;
-    # once a rank owns a freshly allocated partial it accumulates in place
-    # (the initial segments are views into caller arrays and must not be
-    # mutated).  Partners read disjoint halves from the snapshot, so the
-    # in-place update never races a concurrent reader.
-    owned = [[False] * n for _ in range(n)]
-    wire = 0
-
-    channel = cluster.channel
-    # phase 1: recursive halving reduce-scatter.  All exchanges of a round
-    # happen simultaneously, so partners' values are read from a snapshot.
-    with cluster.phase("halving"):
-        for k in range(levels):
-            snapshot = [list(s) for s in segs]
-            max_msg = 0
-            for i in range(n):
-                _, partner, keep, _send = schedules[i][k]
-                nbytes = sum(
-                    snapshot[partner][j].nbytes
-                    for j in range(keep[0], keep[1])
-                )
-                delivery = channel.deliver_plain(partner, i, None, nbytes)
-                wire += delivery.nbytes
-                max_msg = max(max_msg, nbytes)
-                with cluster.timed(i, "CPT"):
-                    for j in range(keep[0], keep[1]):
-                        if owned[i][j]:
-                            np.add(
-                                segs[i][j],
-                                snapshot[partner][j],
-                                out=segs[i][j],
-                            )
-                        else:
-                            segs[i][j] = snapshot[i][j] + snapshot[partner][j]
-                            owned[i][j] = True
-            cluster.end_round(max_msg)
-
-    # after halving, rank i holds the full sum of exactly segment i
-    gathered = [{i: segs[i][i]} for i in range(n)]
-
-    # phase 2: recursive doubling allgather
-    with cluster.phase("doubling"):
-        for k in range(levels - 1, -1, -1):
-            snapshot = [dict(g) for g in gathered]
-            max_msg = 0
-            for i in range(n):
-                partner = i ^ (n >> (k + 1))
-                nbytes = sum(v.nbytes for v in snapshot[partner].values())
-                delivery = channel.deliver_plain(partner, i, None, nbytes)
-                wire += delivery.nbytes
-                max_msg = max(max_msg, nbytes)
-                gathered[i].update(snapshot[partner])
-            cluster.end_round(max_msg)
-
+    schedule = rabenseifner_allreduce_schedule(n)
+    state = [dict(enumerate(split_blocks(a, n))) for a in arrays]
+    outcome = ScheduleExecutor(cluster, PlainCodec(cluster)).run(
+        schedule, state
+    )
     outputs = [
-        np.concatenate([gathered[i][j] for j in range(n)]) for i in range(n)
+        np.concatenate([state[i][j] for j in range(n)]) for i in range(n)
     ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -148,105 +77,28 @@ def hzccl_rabenseifner_allreduce(
     n = cluster.n_ranks
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
-    levels = _check_power_of_two(n)
-    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
-    engine = HZDynamic()
-    eb = config.error_bound
-    wire = 0
-
-    segs: list[list[CompressedField]] = []
-    with cluster.phase("compress"):
-        for i in range(n):
-            with cluster.timed(i, "CPR"):
-                segs.append(
-                    [
-                        comp.compress(b, abs_eb=eb)
-                        for b in split_blocks(arrays[i], n)
-                    ]
-                )
-        cluster.end_compute_phase()
-
-    channel = cluster.channel
-    schedules = [list(_segment_ranges(n, i, levels)) for i in range(n)]
-    try:
-        with cluster.phase("halving"):
-            for k in range(levels):
-                snapshot = [list(s) for s in segs]
-                max_msg = 0
-                for i in range(n):
-                    _, partner, keep, _ = schedules[i][k]
-                    # the round's segments travel as one bundled message;
-                    # the scheduled transfer is charged in aggregate, then
-                    # every segment is validated (faults charge only their
-                    # handling)
-                    nbytes = sum(
-                        snapshot[partner][j].nbytes
-                        for j in range(keep[0], keep[1])
-                    )
-                    channel.charge_link(partner, i, nbytes)
-                    wire += nbytes
-                    max_msg = max(max_msg, nbytes)
-                    received: dict[int, CompressedField] = {}
-                    for j in range(keep[0], keep[1]):
-                        delivery = channel.deliver_compressed(
-                            partner, i, snapshot[partner][j], charge_base=False
-                        )
-                        wire += delivery.nbytes
-                        received[j] = delivery.payload
-                    with cluster.timed(i, "HPR"):
-                        for j in range(keep[0], keep[1]):
-                            segs[i][j] = engine.reduce_fused(
-                                (snapshot[i][j], received[j])
-                            )
-                cluster.end_round(max_msg)
-
-        gathered: list[dict[int, CompressedField]] = [
-            {i: segs[i][i]} for i in range(n)
-        ]
-        with cluster.phase("doubling"):
-            for k in range(levels - 1, -1, -1):
-                snapshot2 = [dict(g) for g in gathered]
-                max_msg = 0
-                for i in range(n):
-                    partner = i ^ (n >> (k + 1))
-                    nbytes = sum(v.nbytes for v in snapshot2[partner].values())
-                    channel.charge_link(partner, i, nbytes)
-                    wire += nbytes
-                    max_msg = max(max_msg, nbytes)
-                    for j, seg in snapshot2[partner].items():
-                        delivery = channel.deliver_compressed(
-                            partner, i, seg, charge_base=False
-                        )
-                        wire += delivery.nbytes
-                        gathered[i][j] = delivery.payload
-                cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
+    schedule = rabenseifner_allreduce_schedule(n)
+    codec = HomomorphicCodec(cluster, config)
+    state = [dict(enumerate(split_blocks(a, n))) for a in arrays]
+    outcome = ScheduleExecutor(cluster, codec).run(schedule, state)
+    if outcome.degraded:
         # Degrade: rerun on the plain Rabenseifner schedule.
-        channel.degrade()
         fallback = rabenseifner_allreduce(cluster, local_data)
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
-            pipeline_stats=engine.stats,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    outputs = []
-    with cluster.phase("decompress"):
-        for i in range(n):
-            with cluster.timed(i, "DPR"):
-                outputs.append(
-                    np.concatenate(
-                        [comp.decompress(gathered[i][j]) for j in range(n)]
-                    )
-                )
-        cluster.end_compute_phase()
+    outputs = [
+        np.concatenate([state[i][j] for j in range(n)]) for i in range(n)
+    ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
-        pipeline_stats=engine.stats,
+        bytes_on_wire=outcome.wire,
+        pipeline_stats=codec.engine.stats,
         fault_stats=channel_stats(cluster),
     )

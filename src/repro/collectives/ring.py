@@ -11,7 +11,10 @@ this repo is structured around:
 * ``allgather`` — ``N − 1`` forwarding rounds.
 * ``allreduce`` — reduce-scatter then allgather (bandwidth-optimal).
 
-Every rank's arithmetic executes for real; only the wire time is modelled.
+The round structure lives in :mod:`repro.schedule.generators`; this module
+only seeds rank state, runs the :class:`~repro.schedule.ScheduleExecutor`
+under the plain codec, and assembles the outputs.  Every rank's arithmetic
+executes for real; only the wire time is modelled.
 """
 
 from __future__ import annotations
@@ -20,6 +23,12 @@ import numpy as np
 
 from ..runtime.cluster import SimCluster
 from ..runtime.topology import Ring
+from ..schedule import (
+    PlainCodec,
+    ScheduleExecutor,
+    ring_allgather,
+    ring_reduce_scatter,
+)
 from .base import (
     CollectiveResult,
     channel_stats,
@@ -41,35 +50,15 @@ def mpi_reduce_scatter(
     if len(arrays) != n:
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     ring = Ring(n)
-    channel = cluster.channel
-    bufs = [split_blocks(a, n) for a in arrays]
-    wire = 0
-
-    with cluster.phase("exchange"):
-        for j in range(n - 1):
-            outbox = [bufs[i][ring.send_block(i, j)] for i in range(n)]
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                delivery = channel.deliver_plain(
-                    pred, i, outbox[pred], outbox[pred].nbytes
-                )
-                incoming = delivery.payload
-                wire += delivery.nbytes
-                max_msg = max(max_msg, incoming.nbytes)
-                blk = ring.recv_block(i, j)
-                with cluster.timed(i, "CPT"):
-                    # each slot is folded exactly once per schedule and the
-                    # initial blocks are views into caller arrays, so the
-                    # fold must allocate rather than accumulate in place
-                    bufs[i][blk] = bufs[i][blk] + incoming
-            cluster.end_round(max_msg)
-
-    outputs = [bufs[i][ring.owned_block(i)] for i in range(n)]
+    state = [dict(enumerate(split_blocks(a, n))) for a in arrays]
+    outcome = ScheduleExecutor(cluster, PlainCodec(cluster)).run(
+        ring_reduce_scatter(n), state
+    )
+    outputs = [state[i][ring.owned_block(i)] for i in range(n)]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -88,36 +77,17 @@ def mpi_allgather(
     if len(chunks) != n:
         raise ValueError(f"got {len(chunks)} chunks for {n} ranks")
     ring = Ring(n)
-    channel = cluster.channel
-    # gathered[i][k] will hold block k at rank i; own contribution known.
-    gathered: list[dict[int, np.ndarray]] = [
-        {ring.owned_block(i): np.asarray(chunks[i])} for i in range(n)
-    ]
-    wire = 0
-
-    with cluster.phase("forward"):
-        for j in range(n - 1):
-            outbox = {}
-            for i in range(n):
-                blk = ring.allgather_send_block(i, j)
-                outbox[i] = (blk, gathered[i][blk])
-            max_msg = 0
-            for i in range(n):
-                pred = ring.predecessor(i)
-                blk, data = outbox[pred]
-                delivery = channel.deliver_plain(pred, i, data, data.nbytes)
-                wire += delivery.nbytes
-                max_msg = max(max_msg, data.nbytes)
-                gathered[i][blk] = delivery.payload
-            cluster.end_round(max_msg)
-
+    state = [{ring.owned_block(i): np.asarray(chunks[i])} for i in range(n)]
+    outcome = ScheduleExecutor(cluster, PlainCodec(cluster)).run(
+        ring_allgather(n), state
+    )
     outputs = [
-        np.concatenate([gathered[i][k] for k in range(n)]) for i in range(n)
+        np.concatenate([state[i][k] for k in range(n)]) for i in range(n)
     ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 

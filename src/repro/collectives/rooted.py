@@ -17,18 +17,31 @@ that compose naturally with the ring machinery:
   than ``N − 1`` ring latencies.
 * **Bcast** — root compresses once, the bytes ride a binomial tree, every
   rank decompresses once: ``1·CPR + (N−1 messages) + N−1 parallel DPR``.
+
+All schedules come from :mod:`repro.schedule.generators`
+(:func:`~repro.schedule.flat_gather`, :func:`~repro.schedule.direct_reduce`,
+:func:`~repro.schedule.binomial_bcast`) and run on the shared
+:class:`~repro.schedule.ScheduleExecutor`; the compressed gather's two
+historical degrade epilogues (mid-gather stream loss vs. an already
+degraded Reduce_scatter) now both funnel through the executor's single
+``UnrecoverableStreamError`` path and one plain-gather fallback below.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..compression.format import CompressedField
-from ..compression.fzlight import FZLight
-from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.cluster import SimCluster
-from ..runtime.faults import UnrecoverableStreamError
 from ..runtime.topology import Ring
+from ..schedule import (
+    CompressedBcastCodec,
+    HomomorphicCodec,
+    PlainCodec,
+    ScheduleExecutor,
+    binomial_bcast,
+    direct_reduce,
+    flat_gather,
+)
 from .base import (
     CollectiveResult,
     channel_stats,
@@ -46,33 +59,22 @@ __all__ = [
     "compressed_bcast",
 ]
 
+#: the compressed rooted reduce historically ran its gather and root
+#: decode without opening spans — ``""`` keeps the trace shape intact.
+_UNSPANNED_REDUCE_SLOTS = {"setup": None, "gather": "", "finalize": ""}
 
-def _gather_blocks(cluster, ring, items, nbytes_of, root, compressed=False):
-    """Gather per-rank items to the root (direct sends, concurrent).
 
-    The scheduled transfer is charged to each sender (the flat gather's
-    incast is concurrent); with ``compressed=True`` every stream is then
-    validated through the resilient channel, which may raise
-    :class:`UnrecoverableStreamError` for the caller to degrade on.
-    """
-    channel = cluster.channel
-    wire = 0
-    max_msg = 0
-    for i in range(cluster.n_ranks):
-        if i == root:
-            continue
-        nbytes = nbytes_of(items[i])
-        cluster.charge_comm(i, nbytes)
-        wire += nbytes
-        max_msg = max(max_msg, nbytes)
-        if compressed:
-            delivery = channel.deliver_compressed(
-                i, root, items[i], charge_base=False
-            )
-            wire += delivery.nbytes
-            items[i] = delivery.payload
-    cluster.end_round(max_msg)
-    return wire
+def _plain_gather(cluster, blocks, root, spanned):
+    """Gather plain ``blocks`` (rank-indexed) to the root; returns
+    ``(wire, result)`` with the result concatenated in block order."""
+    n = cluster.n_ranks
+    ring = Ring(n)
+    codec = PlainCodec(cluster)
+    if not spanned:
+        codec.slots = {**PlainCodec.slots, "gather": ""}
+    state = [{ring.owned_block(i): blocks[i]} for i in range(n)]
+    outcome = ScheduleExecutor(cluster, codec).run(flat_gather(n, root), state)
+    return outcome.wire, np.concatenate([state[root][k] for k in range(n)])
 
 
 @traced_collective("mpi_reduce")
@@ -83,22 +85,14 @@ def mpi_reduce(
     n = cluster.n_ranks
     if not 0 <= root < n:
         raise IndexError(f"root {root} out of range for {n} ranks")
-    ring = Ring(n)
     rs = mpi_reduce_scatter(cluster, local_data)
-    with cluster.phase("gather"):
-        wire = rs.bytes_on_wire + _gather_blocks(
-            cluster, ring, rs.outputs, lambda b: b.nbytes, root
-        )
-    ordered = [None] * n
-    for i in range(n):
-        ordered[ring.owned_block(i)] = rs.outputs[i]
-    result = np.concatenate(ordered)
+    wire, result = _plain_gather(cluster, rs.outputs, root, spanned=True)
     outputs: list = [None] * n
     outputs[root] = result
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=rs.bytes_on_wire + wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -113,50 +107,37 @@ def hzccl_reduce(
     if not 0 <= root < n:
         raise IndexError(f"root {root} out of range for {n} ranks")
     ring = Ring(n)
-    channel = cluster.channel
-    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
     rs = hzccl_reduce_scatter(cluster, local_data, config, return_compressed=True)
     degraded = rs.degraded
     if degraded:
         # Reduce_scatter already fell back: the blocks are plain floats.
-        blocks = list(rs.outputs)
-        wire = rs.bytes_on_wire + _gather_blocks(
-            cluster, ring, blocks, lambda b: b.nbytes, root
-        )
+        wire, result = _plain_gather(cluster, rs.outputs, root, spanned=False)
     else:
-        blocks = list(rs.outputs)
-        try:
-            wire = rs.bytes_on_wire + _gather_blocks(
-                cluster, ring, blocks, lambda f: f.nbytes, root, compressed=True
-            )
-        except UnrecoverableStreamError:
-            # Degrade: decompress at the owners, gather the plain blocks.
-            channel.degrade()
+        codec = HomomorphicCodec(cluster, config, slots=_UNSPANNED_REDUCE_SLOTS)
+        state = [{ring.owned_block(i): rs.outputs[i]} for i in range(n)]
+        outcome = ScheduleExecutor(cluster, codec).run(
+            flat_gather(n, root, finalize=True), state
+        )
+        if outcome.degraded:
+            # Degrade: decompress at the owners, gather the plain blocks
+            # (the aborted compressed gather's partial wire is not billed —
+            # its transfers never completed as a message).
             degraded = True
             plain = []
             for i in range(n):
                 with cluster.timed(i, "DPR"):
-                    plain.append(comp.decompress(rs.outputs[i]))
+                    plain.append(codec.comp.decompress(rs.outputs[i]))
             cluster.end_compute_phase()
-            blocks = plain
-            wire = rs.bytes_on_wire + _gather_blocks(
-                cluster, ring, blocks, lambda b: b.nbytes, root
-            )
-    ordered: list = [None] * n
-    for i in range(n):
-        ordered[ring.owned_block(i)] = blocks[i]
-    if degraded:
-        result = np.concatenate(ordered)
-    else:
-        with cluster.timed(root, "DPR"):
-            result = np.concatenate([comp.decompress(f) for f in ordered])
-        cluster.end_compute_phase()
+            wire, result = _plain_gather(cluster, plain, root, spanned=False)
+        else:
+            wire = outcome.wire
+            result = np.concatenate([state[root][k] for k in range(n)])
     outputs: list = [None] * n
     outputs[root] = result
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=rs.bytes_on_wire + wire,
         pipeline_stats=rs.pipeline_stats,
         degraded=degraded,
         fault_stats=channel_stats(cluster),
@@ -180,86 +161,30 @@ def hzccl_reduce_direct(
         raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
     if not 0 <= root < n:
         raise IndexError(f"root {root} out of range for {n} ranks")
-    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
-    engine = HZDynamic()
-    fields: list[CompressedField] = []
-    with cluster.phase("compress"):
-        for i in range(n):
-            with cluster.timed(i, "CPR"):
-                fields.append(
-                    comp.compress(arrays[i], abs_eb=config.error_bound)
-                )
-        cluster.end_compute_phase()
-
-    # flat gather of the compressed streams to the root (concurrent sends)
-    channel = cluster.channel
-    wire = 0
-    max_msg = 0
-    try:
-        with cluster.phase("gather"):
-            for i in range(n):
-                if i == root:
-                    continue
-                nbytes = fields[i].nbytes
-                cluster.charge_comm(i, nbytes)
-                wire += nbytes
-                max_msg = max(max_msg, nbytes)
-                delivery = channel.deliver_compressed(
-                    i, root, fields[i], charge_base=False
-                )
-                wire += delivery.nbytes
-                fields[i] = delivery.payload
-            cluster.end_round(max_msg)
-    except UnrecoverableStreamError:
+    codec = HomomorphicCodec(cluster, config)
+    state = [{("vec", i): arrays[i]} for i in range(n)]
+    outcome = ScheduleExecutor(cluster, codec).run(direct_reduce(n, root), state)
+    if outcome.degraded:
         # Degrade: rerun as a plain rooted Reduce.
-        channel.degrade()
         fallback = mpi_reduce(cluster, local_data, root)
         return CollectiveResult(
             outputs=fallback.outputs,
             breakdown=cluster.breakdown(),
-            bytes_on_wire=wire + fallback.bytes_on_wire,
-            pipeline_stats=engine.stats,
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
             degraded=True,
             fault_stats=channel_stats(cluster),
         )
-
-    with cluster.phase("fused-fold"):
-        with cluster.timed(root, "HPR"):
-            total = engine.reduce_fused(fields)
-        with cluster.timed(root, "DPR"):
-            result = comp.decompress(total)
-        cluster.end_compute_phase()
-
     outputs: list = [None] * n
-    outputs[root] = result
+    outputs[root] = state[root]["fused"]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
-        pipeline_stats=engine.stats,
+        bytes_on_wire=outcome.wire,
+        pipeline_stats=codec.engine.stats,
         degraded=False,
         fault_stats=channel_stats(cluster),
     )
-
-
-def _binomial_rounds(cluster, payload_nbytes: int, root: int) -> int:
-    """Charge the binomial-tree dissemination; returns bytes on the wire.
-
-    In round ``k`` every rank that already holds the data sends to one new
-    rank, so the tree completes in ``ceil(log2 N)`` rounds.
-    """
-    n = cluster.n_ranks
-    holders = 1
-    wire = 0
-    while holders < n:
-        senders = min(holders, n - holders)
-        wire += senders * payload_nbytes
-        # all of a round's sends are concurrent; charge the representative
-        # flow to the root and close the round on the message size
-        cluster.charge_comm(root, payload_nbytes)
-        cluster.end_round(payload_nbytes)
-        holders += senders
-    return wire
 
 
 @traced_collective("mpi_bcast")
@@ -268,13 +193,17 @@ def mpi_bcast(
 ) -> CollectiveResult:
     """Plain binomial-tree broadcast of ``data`` from the root."""
     data = validate_local_data([data])[0]
-    with cluster.phase("tree"):
-        wire = _binomial_rounds(cluster, data.nbytes, root)
-    outputs = [data.copy() for _ in range(cluster.n_ranks)]
+    n = cluster.n_ranks
+    state: list[dict] = [{} for _ in range(n)]
+    state[root]["data"] = data
+    outcome = ScheduleExecutor(cluster, PlainCodec(cluster)).run(
+        binomial_bcast(n, root), state
+    )
+    outputs = [data.copy() for _ in range(n)]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
+        bytes_on_wire=outcome.wire,
         fault_stats=channel_stats(cluster),
     )
 
@@ -284,43 +213,27 @@ def compressed_bcast(
     cluster: SimCluster, data: np.ndarray, config, root: int = 0
 ) -> CollectiveResult:
     """Compressed broadcast: one CPR at the root, compressed bytes on the
-    tree, one DPR per receiving rank (all concurrent)."""
+    tree, one DPR per receiving rank (all concurrent).
+
+    Per-rank stream loss degrades *individually*
+    (``CommOp(degrade="op")``): the root re-sends that rank's share plain
+    while every other rank still decodes the compressed stream.
+    """
     data = validate_local_data([data])[0]
-    channel = cluster.channel
-    comp = FZLight(block_size=config.block_size, n_threadblocks=config.n_threadblocks)
-    with cluster.phase("compress"):
-        with cluster.timed(root, "CPR"):
-            field = comp.compress(data, abs_eb=config.error_bound)
-        cluster.end_compute_phase()
-    with cluster.phase("tree"):
-        wire = _binomial_rounds(cluster, field.nbytes, root)
-    degraded = False
-    outputs = []
-    with cluster.phase("decompress"):
-        for i in range(cluster.n_ranks):
-            if i == root:
-                outputs.append(data.copy())
-                continue
-            try:
-                delivery = channel.deliver_compressed(
-                    root, i, field, charge_base=False
-                )
-                wire += delivery.nbytes
-                with cluster.timed(i, "DPR"):
-                    outputs.append(comp.decompress(delivery.payload))
-            except UnrecoverableStreamError:
-                # Degrade per rank: the root re-sends that rank's share
-                # plain.
-                channel.degrade()
-                degraded = True
-                cluster.charge_comm(i, data.nbytes)
-                wire += data.nbytes
-                outputs.append(data.copy())
-        cluster.end_compute_phase()
+    n = cluster.n_ranks
+    codec = CompressedBcastCodec(cluster, config, data)
+    state: list[dict] = [{} for _ in range(n)]
+    state[root]["data"] = data
+    outcome = ScheduleExecutor(cluster, codec).run(
+        binomial_bcast(n, root, deliver=True), state
+    )
+    outputs = [
+        data.copy() if i == root else state[i]["data"] for i in range(n)
+    ]
     return CollectiveResult(
         outputs=outputs,
         breakdown=cluster.breakdown(),
-        bytes_on_wire=wire,
-        degraded=degraded,
+        bytes_on_wire=outcome.wire,
+        degraded=outcome.degraded,
         fault_stats=channel_stats(cluster),
     )

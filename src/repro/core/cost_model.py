@@ -31,8 +31,21 @@ import numpy as np
 
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
-from ..runtime.clock import BUCKETS, Breakdown
+from ..runtime.clock import Breakdown
 from ..runtime.network import NetworkModel
+from ..schedule import (
+    DOC_GATHER,
+    DOC_REDUCE,
+    HZ_GATHER,
+    HZ_REDUCE,
+    PLAIN,
+    combine,
+    direct_reduce,
+    pipelined_ring_reduce_scatter,
+    ring_allgather,
+    ring_reduce_scatter,
+    schedule_cost,
+)
 from ..utils.validation import ensure_positive, ensure_positive_int
 
 __all__ = [
@@ -46,6 +59,7 @@ __all__ = [
     "model_ccoll_allreduce",
     "model_hzccl_reduce_scatter",
     "model_hzccl_allreduce",
+    "model_hzccl_allreduce_pipelined",
     "model_hzccl_reduce",
 ]
 
@@ -249,59 +263,20 @@ def matched_network(
 
 
 # ---------------------------------------------------------------------- #
-# §III-C closed-form round models
+# §III-C round models — analytic dry runs of the executor's schedules
 # ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class _Model:
-    """Internal accumulator that mirrors the Breakdown bucket layout."""
-
-    n: int
-    block_bytes: float
-    rates: CostRates
-    network: NetworkModel
-
-    def net(self, nbytes: float) -> float:
-        return self.network.transfer_time(int(nbytes), self.n)
-
-    @property
-    def compressed_bytes(self) -> float:
-        return self.block_bytes / self.rates.ratio
-
-    def compute(self, rate: float, count: int, invocations: int | None = None) -> float:
-        """``count`` block-sized units of work in ``invocations`` kernel calls.
-
-        ``invocations`` defaults to one call per block; batched stages (the
-        fused Allgather decompresses all gathered chunks in a single pass)
-        pay the fixed overhead once.
-        """
-        if invocations is None:
-            invocations = count
-        return count * self.block_bytes * rate + invocations * self.rates.op_overhead_s
+# Every model below prices the *same* Schedule object the functional
+# executor runs (repro.schedule.generators), paired with the matching
+# charge Discipline instead of a PayloadCodec.  The closed forms of
+# §III-C — (N−1)(CPR+DPR+CPT) for C-Coll, N·CPR+(N−1)·HPR+1·DPR for
+# hZCCL, and so on — fall out of the round walk instead of being
+# hand-derived per family, so a new schedule generator is priced for
+# free (see model_hzccl_allreduce_pipelined).
 
 
-def _result(buckets: dict[str, float]) -> Breakdown:
-    full = {b: buckets.get(b, 0.0) for b in BUCKETS}
-    return Breakdown(buckets=full, total_time=sum(full.values()))
-
-
-def _prepare(
-    n_nodes: int,
-    total_bytes: int,
-    rates: CostRates,
-    network: NetworkModel,
-    multithread: bool,
-    thread_speedup: float,
-) -> _Model:
+def _args(n_nodes: int, total_bytes: int) -> None:
     ensure_positive_int(n_nodes, "n_nodes")
     ensure_positive(total_bytes, "total_bytes")
-    if multithread:
-        rates = rates.scaled(thread_speedup)
-    return _Model(
-        n=n_nodes,
-        block_bytes=total_bytes / n_nodes,
-        rates=rates,
-        network=network,
-    )
 
 
 def model_mpi_reduce_scatter(
@@ -313,13 +288,10 @@ def model_mpi_reduce_scatter(
     thread_speedup: float = 6.0,
 ) -> Breakdown:
     """Plain ring Reduce_scatter: ``(N−1)`` rounds of send + local add."""
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "MPI": rounds * m.net(m.block_bytes),
-            "CPT": m.compute(m.rates.cpt_s_per_byte, rounds),
-        }
+    _args(n_nodes, total_bytes)
+    return schedule_cost(
+        ring_reduce_scatter(n_nodes), PLAIN, total_bytes, rates, network,
+        multithread, thread_speedup,
     )
 
 
@@ -332,13 +304,16 @@ def model_mpi_allreduce(
     thread_speedup: float = 6.0,
 ) -> Breakdown:
     """Plain ring Allreduce = Reduce_scatter + Allgather."""
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "MPI": 2 * rounds * m.net(m.block_bytes),
-            "CPT": m.compute(m.rates.cpt_s_per_byte, rounds),
-        }
+    _args(n_nodes, total_bytes)
+    return combine(
+        schedule_cost(
+            ring_reduce_scatter(n_nodes), PLAIN, total_bytes, rates,
+            network, multithread, thread_speedup,
+        ),
+        schedule_cost(
+            ring_allgather(n_nodes), PLAIN, total_bytes, rates, network,
+            multithread, thread_speedup,
+        ),
     )
 
 
@@ -351,15 +326,10 @@ def model_ccoll_reduce_scatter(
     thread_speedup: float = 6.0,
 ) -> Breakdown:
     """C-Coll: ``(N−1)(CPR + DPR + CPT)`` plus compressed transfers."""
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "CPR": m.compute(m.rates.cpr_s_per_byte, rounds),
-            "DPR": m.compute(m.rates.dpr_s_per_byte, rounds),
-            "CPT": m.compute(m.rates.cpt_s_per_byte, rounds),
-            "MPI": rounds * m.net(m.compressed_bytes),
-        }
+    _args(n_nodes, total_bytes)
+    return schedule_cost(
+        ring_reduce_scatter(n_nodes), DOC_REDUCE, total_bytes, rates,
+        network, multithread, thread_speedup,
     )
 
 
@@ -372,15 +342,16 @@ def model_ccoll_allreduce(
     thread_speedup: float = 6.0,
 ) -> Breakdown:
     """C-Coll Allreduce: ``N·CPR + 2(N−1)·DPR + (N−1)·CPT`` (§III-C2)."""
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "CPR": m.compute(m.rates.cpr_s_per_byte, m.n),
-            "DPR": m.compute(m.rates.dpr_s_per_byte, 2 * rounds),
-            "CPT": m.compute(m.rates.cpt_s_per_byte, rounds),
-            "MPI": 2 * rounds * m.net(m.compressed_bytes),
-        }
+    _args(n_nodes, total_bytes)
+    return combine(
+        schedule_cost(
+            ring_reduce_scatter(n_nodes), DOC_REDUCE, total_bytes, rates,
+            network, multithread, thread_speedup,
+        ),
+        schedule_cost(
+            ring_allgather(n_nodes), DOC_GATHER, total_bytes, rates,
+            network, multithread, thread_speedup,
+        ),
     )
 
 
@@ -393,15 +364,10 @@ def model_hzccl_reduce_scatter(
     thread_speedup: float = 6.0,
 ) -> Breakdown:
     """hZCCL: ``N·CPR + (N−1)·HPR + 1·DPR`` plus compressed transfers."""
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "CPR": m.compute(m.rates.cpr_s_per_byte, m.n),
-            "HPR": m.compute(m.rates.hpr_s_per_byte, rounds),
-            "DPR": m.compute(m.rates.dpr_s_per_byte, 1),
-            "MPI": rounds * m.net(m.compressed_bytes),
-        }
+    _args(n_nodes, total_bytes)
+    return schedule_cost(
+        ring_reduce_scatter(n_nodes), HZ_REDUCE, total_bytes, rates,
+        network, multithread, thread_speedup,
     )
 
 
@@ -415,19 +381,53 @@ def model_hzccl_allreduce(
 ) -> Breakdown:
     """hZCCL fused Allreduce: ``N·CPR + (N−1)·HPR + (N−1)·DPR`` (§III-C2).
 
-    The final decompression covers all gathered chunks in one batched
-    kernel call — part of the fused design (no per-round decompression
-    exists to amortise against, unlike C-Coll's Allgather).
+    The Reduce_scatter stage runs with ``finalize=False`` (the fused
+    hand-off: its output stays compressed) and the Allgather stage's final
+    decompression covers all gathered chunks in one batched kernel call.
     """
-    m = _prepare(n_nodes, total_bytes, rates, network, multithread, thread_speedup)
-    rounds = m.n - 1
-    return _result(
-        {
-            "CPR": m.compute(m.rates.cpr_s_per_byte, m.n),
-            "HPR": m.compute(m.rates.hpr_s_per_byte, rounds),
-            "DPR": m.compute(m.rates.dpr_s_per_byte, rounds, invocations=1),
-            "MPI": 2 * rounds * m.net(m.compressed_bytes),
-        }
+    _args(n_nodes, total_bytes)
+    return combine(
+        schedule_cost(
+            ring_reduce_scatter(n_nodes, finalize=False), HZ_REDUCE,
+            total_bytes, rates, network, multithread, thread_speedup,
+        ),
+        schedule_cost(
+            ring_allgather(n_nodes), HZ_GATHER, total_bytes, rates,
+            network, multithread, thread_speedup,
+        ),
+    )
+
+
+def model_hzccl_allreduce_pipelined(
+    n_nodes: int,
+    total_bytes: int,
+    rates: CostRates,
+    network: NetworkModel,
+    multithread: bool = False,
+    thread_speedup: float = 6.0,
+    n_chunks: int = 2,
+) -> Breakdown:
+    """Chunk-pipelined hZCCL Allreduce: wire time overlaps the HPR folds.
+
+    Prices :func:`~repro.schedule.pipelined_ring_reduce_scatter`: every
+    ring round is split into ``n_chunks`` sub-rounds whose transfers
+    overlap the previous chunk's homomorphic fold, so each sub-round
+    costs ``max(wire, HPR)`` instead of ``wire + HPR``.  The buckets
+    still report the full charged work — ``total_time`` is the sum of
+    round *makespans* and is deliberately below the bucket sum whenever
+    the overlap hides anything.
+    """
+    _args(n_nodes, total_bytes)
+    return combine(
+        schedule_cost(
+            pipelined_ring_reduce_scatter(n_nodes, n_chunks, finalize=False),
+            HZ_REDUCE, total_bytes, rates, network, multithread,
+            thread_speedup,
+        ),
+        schedule_cost(
+            ring_allgather(n_nodes, chunks=n_chunks), HZ_GATHER,
+            total_bytes, rates, network, multithread, thread_speedup,
+        ),
     )
 
 
@@ -448,18 +448,8 @@ def model_hzccl_reduce(
     :meth:`CostRates.fused_hpr_s_per_byte` instead of the pairwise fold's
     ``(N−1)·HPR`` — followed by one decompression.
     """
-    ensure_positive_int(n_nodes, "n_nodes")
-    ensure_positive(total_bytes, "total_bytes")
-    if multithread:
-        rates = rates.scaled(thread_speedup)
-    compressed = total_bytes / rates.ratio
-    incast = (n_nodes - 1) * network.transfer_time(int(compressed), n_nodes)
-    return _result(
-        {
-            "CPR": total_bytes * rates.cpr_s_per_byte + rates.op_overhead_s,
-            "MPI": incast,
-            "HPR": total_bytes * rates.fused_hpr_s_per_byte(n_nodes)
-            + rates.op_overhead_s,
-            "DPR": total_bytes * rates.dpr_s_per_byte + rates.op_overhead_s,
-        }
+    _args(n_nodes, total_bytes)
+    return schedule_cost(
+        direct_reduce(n_nodes, 0), HZ_REDUCE, total_bytes, rates, network,
+        multithread, thread_speedup,
     )

@@ -1,0 +1,83 @@
+"""repro.schedule: collective schedules as data (control/data plane split).
+
+* :mod:`~repro.schedule.ir` — the IR: ``CommOp``/``LocalOp`` grouped into
+  ``Round``/``Phase``/``Schedule``;
+* :mod:`~repro.schedule.generators` — pure schedule generators (ring,
+  chunk-pipelined ring, Rabenseifner, rooted trees);
+* :mod:`~repro.schedule.codecs` — payload disciplines (plain / DOC /
+  homomorphic) the executor pairs a schedule with;
+* :mod:`~repro.schedule.executor` — the single engine all collective
+  families run on;
+* :mod:`~repro.schedule.cost` — analytic dry runs of the same schedule
+  objects (the cost model's backend).
+"""
+
+from .codecs import (
+    SYNC_OVERHEAD_S,
+    CompressedBcastCodec,
+    DocGatherCodec,
+    DocReduceCodec,
+    HomomorphicCodec,
+    PayloadCodec,
+    PlainCodec,
+)
+from .cost import (
+    DOC_GATHER,
+    DOC_REDUCE,
+    HZ_GATHER,
+    HZ_REDUCE,
+    PLAIN,
+    Discipline,
+    combine,
+    schedule_cost,
+)
+from .executor import Outcome, ScheduleExecutor
+from .generators import (
+    binomial_bcast,
+    direct_reduce,
+    flat_gather,
+    pipelined_ring_reduce_scatter,
+    rabenseifner_allreduce_schedule,
+    rabenseifner_ranges,
+    ring_allgather,
+    ring_reduce_scatter,
+)
+from .ir import CommOp, LocalOp, Phase, Round, Schedule
+
+__all__ = [
+    # ir
+    "CommOp",
+    "LocalOp",
+    "Round",
+    "Phase",
+    "Schedule",
+    # generators
+    "ring_reduce_scatter",
+    "ring_allgather",
+    "pipelined_ring_reduce_scatter",
+    "rabenseifner_allreduce_schedule",
+    "rabenseifner_ranges",
+    "flat_gather",
+    "direct_reduce",
+    "binomial_bcast",
+    # codecs
+    "PayloadCodec",
+    "PlainCodec",
+    "DocReduceCodec",
+    "DocGatherCodec",
+    "HomomorphicCodec",
+    "CompressedBcastCodec",
+    "SYNC_OVERHEAD_S",
+    # executor
+    "ScheduleExecutor",
+    "Outcome",
+    # cost
+    "Discipline",
+    "PLAIN",
+    "DOC_REDUCE",
+    "DOC_GATHER",
+    "HZ_REDUCE",
+    "HZ_GATHER",
+    "schedule_cost",
+    "combine",
+]
