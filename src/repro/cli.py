@@ -99,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed slowdown factor for --compare (default 2.0)")
 
     p = sub.add_parser(
+        "bench-hierarchy",
+        help="hierarchical vs flat allreduce sweep (model + executed)",
+    )
+    p.add_argument("--full", action="store_true",
+                   help="include the n=1024 model grid (slow: the flat "
+                        "ring schedule at 1024 ranks takes ~1 min to build)")
+    p.add_argument("--skip-executed", action="store_true",
+                   help="model grid only; skip the functional spot checks")
+    p.add_argument("--json", dest="json_path", default=None, metavar="PATH",
+                   help="write the machine-readable document to PATH")
+
+    p = sub.add_parser(
         "trace", help="trace observability: export / summary / diff"
     )
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -346,6 +358,44 @@ def _cmd_bench_kernels(args) -> int:
     return 0
 
 
+def _cmd_bench_hierarchy(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.hierarchy import (
+        HZ_COMM_RTOL,
+        executed_rows,
+        executed_sweep,
+        model_rows,
+        model_sweep,
+    )
+    from repro.bench.tables import format_table
+
+    ranks = (256, 1024) if args.full else (256,)
+    doc = {"rates": "PAPER_BROADWELL", "ranks_per_node": 8,
+           "model": model_sweep(ranks=ranks)}
+    print(format_table(
+        ["ranks", "MB", "fabric", "inter", "flat hz ms", "hier hz ms",
+         "hz speedup", "mpi speedup"],
+        model_rows(doc["model"]),
+        title="Hierarchical vs flat allreduce (modelled, 8 ranks/node)",
+    ))
+    if not args.skip_executed:
+        doc["executed"] = executed_sweep()
+        print(format_table(
+            ["ranks", "rpn", "mpi exec µs", "mpi model µs", "hz exec µs",
+             "hz model µs", "hz exec/model", "wire ratio"],
+            executed_rows(doc["executed"]),
+            title=f"Executed vs modelled comm (tolerance {HZ_COMM_RTOL:.0%})",
+        ))
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json_path}")
+    return 0
+
+
 def _run_traced(args):
     """Run one collective with tracing on; returns its CollectiveResult."""
     from repro.core.api import HZCCL
@@ -441,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         "stacking": lambda: _cmd_stacking(args),
         "chaos": lambda: _cmd_chaos(args),
         "bench-kernels": lambda: _cmd_bench_kernels(args),
+        "bench-hierarchy": lambda: _cmd_bench_hierarchy(args),
         "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()

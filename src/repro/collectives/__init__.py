@@ -10,6 +10,7 @@ Three families, all ring-based:
 
 from .base import CollectiveResult, split_blocks, validate_local_data
 from .ccoll import ccoll_allgather, ccoll_allreduce, ccoll_reduce_scatter
+from .hierarchy import hzccl_hierarchical_allreduce, mpi_hierarchical_allreduce
 from .p2p import p2p_allreduce, p2p_hzccl_allreduce, p2p_reduce_scatter
 from .rabenseifner import hzccl_rabenseifner_allreduce, rabenseifner_allreduce
 from .hzccl import (
@@ -51,4 +52,6 @@ __all__ = [
     "compressed_bcast",
     "rabenseifner_allreduce",
     "hzccl_rabenseifner_allreduce",
+    "mpi_hierarchical_allreduce",
+    "hzccl_hierarchical_allreduce",
 ]

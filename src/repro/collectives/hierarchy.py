@@ -1,0 +1,128 @@
+"""Two-level hierarchical allreduce entry points.
+
+Both kernels run the same
+:func:`~repro.schedule.hierarchical_allreduce_schedule` — per-node
+binomial reduce onto leaders, the selected inter-node family over the
+leaders, binomial broadcast back down — and differ only in the codec:
+
+* :func:`mpi_hierarchical_allreduce` — plain floats at every level;
+* :func:`hzccl_hierarchical_allreduce` — the paper's co-design lifted to
+  two levels: each rank compresses its ``n_nodes`` blocks once, *every*
+  fold at *both* levels is an exact integer-domain homomorphic reduce,
+  and each rank decodes once at the end.  Because quantisation happens
+  exactly once per input, the result is bit-identical to a flat fused
+  reduction over the same block split — hierarchy changes the time, not
+  the answer.
+
+``inter=None`` defers to :func:`~repro.schedule.select_inter_family` on
+the cluster's network model — the fabric-aware default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime.cluster import SimCluster
+from ..runtime.nodemap import NodeMap
+from ..schedule import (
+    HomomorphicCodec,
+    PlainCodec,
+    ScheduleExecutor,
+    hierarchical_allreduce_schedule,
+    select_inter_family,
+)
+from .base import (
+    CollectiveResult,
+    channel_stats,
+    split_blocks,
+    traced_collective,
+    validate_local_data,
+)
+from .ring import mpi_allreduce
+
+__all__ = ["mpi_hierarchical_allreduce", "hzccl_hierarchical_allreduce"]
+
+
+def _setup(cluster: SimCluster, local_data, nodemap: NodeMap, inter):
+    arrays = validate_local_data(local_data)
+    n = cluster.n_ranks
+    if len(arrays) != n:
+        raise ValueError(f"got {len(arrays)} rank arrays for {n} ranks")
+    if nodemap.n_ranks != n:
+        raise ValueError(
+            f"NodeMap places {nodemap.n_ranks} ranks but the cluster has {n}"
+        )
+    if inter is None:
+        inter = select_inter_family(cluster.network, nodemap)
+    schedule = hierarchical_allreduce_schedule(nodemap, inter)
+    state = [
+        dict(enumerate(split_blocks(a, nodemap.n_nodes))) for a in arrays
+    ]
+    return arrays, schedule, state
+
+
+def _outputs(state, n_ranks: int, n_nodes: int) -> list[np.ndarray]:
+    return [
+        np.concatenate([state[i][b] for b in range(n_nodes)])
+        for i in range(n_ranks)
+    ]
+
+
+@traced_collective("mpi_hierarchical_allreduce")
+def mpi_hierarchical_allreduce(
+    cluster: SimCluster,
+    local_data: list[np.ndarray],
+    nodemap: NodeMap,
+    inter: str | None = None,
+) -> CollectiveResult:
+    """Plain hierarchical Allreduce (float adds at both levels)."""
+    _, schedule, state = _setup(cluster, local_data, nodemap, inter)
+    outcome = ScheduleExecutor(cluster, PlainCodec(cluster)).run(
+        schedule, state
+    )
+    return CollectiveResult(
+        outputs=_outputs(state, cluster.n_ranks, nodemap.n_nodes),
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=outcome.wire,
+        fault_stats=channel_stats(cluster),
+    )
+
+
+@traced_collective("hzccl_hierarchical_allreduce")
+def hzccl_hierarchical_allreduce(
+    cluster: SimCluster,
+    local_data: list[np.ndarray],
+    config,
+    nodemap: NodeMap,
+    inter: str | None = None,
+) -> CollectiveResult:
+    """Homomorphic hierarchical Allreduce: compressed at every level.
+
+    Cost shape per rank: ``n_nodes·CPR`` once, one HPR fold of the full
+    vector per binomial step plus the inter-node family's folds at the
+    leaders, and a single batched DPR decode — against the flat fused
+    ring's ``n_ranks·CPR + (n_ranks−1)·HPR`` *invocations*, which is
+    where the high-rank-count op-overhead dip of Fig. 10 comes from.
+    """
+    _, schedule, state = _setup(cluster, local_data, nodemap, inter)
+    codec = HomomorphicCodec(cluster, config)
+    outcome = ScheduleExecutor(cluster, codec).run(schedule, state)
+    if outcome.degraded:
+        # degrade-to-plain: rerun the whole collective on the flat
+        # uncompressed ring (same contract as the other hzccl kernels)
+        fallback = mpi_allreduce(cluster, local_data)
+        return CollectiveResult(
+            outputs=fallback.outputs,
+            breakdown=cluster.breakdown(),
+            bytes_on_wire=outcome.wire + fallback.bytes_on_wire,
+            pipeline_stats=codec.engine.stats,
+            degraded=True,
+            fault_stats=channel_stats(cluster),
+        )
+    return CollectiveResult(
+        outputs=_outputs(state, cluster.n_ranks, nodemap.n_nodes),
+        breakdown=cluster.breakdown(),
+        bytes_on_wire=outcome.wire,
+        pipeline_stats=codec.engine.stats,
+        fault_stats=channel_stats(cluster),
+    )

@@ -20,8 +20,10 @@ from .cost_model import (
     model_ccoll_allreduce,
     model_ccoll_reduce_scatter,
     model_hzccl_allreduce,
+    model_hzccl_hierarchical_allreduce,
     model_hzccl_reduce_scatter,
     model_mpi_allreduce,
+    model_mpi_hierarchical_allreduce,
     model_mpi_reduce_scatter,
 )
 
@@ -39,6 +41,8 @@ __all__ = [
     "model_ccoll_allreduce",
     "model_hzccl_reduce_scatter",
     "model_hzccl_allreduce",
+    "model_mpi_hierarchical_allreduce",
+    "model_hzccl_hierarchical_allreduce",
     "OperationCounts",
     "reduce_scatter_counts",
     "allreduce_counts",

@@ -24,10 +24,12 @@ from ..collectives import (
     ccoll_reduce_scatter,
     compressed_bcast,
     hzccl_allreduce,
+    hzccl_hierarchical_allreduce,
     hzccl_reduce,
     hzccl_reduce_direct,
     hzccl_reduce_scatter,
     mpi_allreduce,
+    mpi_hierarchical_allreduce,
     mpi_bcast,
     mpi_reduce,
     mpi_reduce_scatter,
@@ -37,6 +39,7 @@ from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..kernels.dispatch import use_backend
 from ..runtime.cluster import SimCluster
+from ..runtime.nodemap import NodeMap
 from ..runtime.trace import TraceLog
 from .config import CollectiveConfig
 
@@ -125,11 +128,37 @@ class HZCCL:
         raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
 
     def allreduce(
-        self, local_data: list[np.ndarray], kernel: str = "hzccl"
+        self,
+        local_data: list[np.ndarray],
+        kernel: str = "hzccl",
+        nodemap: "NodeMap | None" = None,
+        inter: str | None = None,
     ) -> CollectiveResult:
-        """SUM Allreduce across ``len(local_data)`` simulated ranks."""
+        """SUM Allreduce across ``len(local_data)`` simulated ranks.
+
+        Passing a :class:`~repro.runtime.NodeMap` switches the ``hzccl``
+        and ``mpi`` kernels to the two-level hierarchical schedule
+        (per-node binomial trees around an inter-node stage over one
+        leader per node).  ``inter`` picks the inter-node family
+        (``"ring"`` / ``"rabenseifner"``); ``None`` lets
+        :func:`~repro.schedule.select_inter_family` read the configured
+        fabric.
+        """
         cluster = self._cluster(len(local_data))
         with use_backend(self.config.kernel_backend):
+            if nodemap is not None:
+                if kernel == "hzccl":
+                    return hzccl_hierarchical_allreduce(
+                        cluster, local_data, self.config, nodemap, inter
+                    )
+                if kernel == "mpi":
+                    return mpi_hierarchical_allreduce(
+                        cluster, local_data, nodemap, inter
+                    )
+                raise ValueError(
+                    "hierarchical allreduce supports kernels 'hzccl' and "
+                    f"'mpi', got {kernel!r}"
+                )
             if kernel == "hzccl":
                 return hzccl_allreduce(cluster, local_data, self.config)
             if kernel == "ccoll":

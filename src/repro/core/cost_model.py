@@ -33,6 +33,7 @@ from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
 from ..runtime.clock import Breakdown
 from ..runtime.network import NetworkModel
+from ..runtime.nodemap import NodeMap
 from ..schedule import (
     DOC_GATHER,
     DOC_REDUCE,
@@ -41,10 +42,12 @@ from ..schedule import (
     PLAIN,
     combine,
     direct_reduce,
+    hierarchical_allreduce_schedule,
     pipelined_ring_reduce_scatter,
     ring_allgather,
     ring_reduce_scatter,
     schedule_cost,
+    select_inter_family,
 )
 from ..utils.validation import ensure_positive, ensure_positive_int
 
@@ -61,6 +64,8 @@ __all__ = [
     "model_hzccl_allreduce",
     "model_hzccl_allreduce_pipelined",
     "model_hzccl_reduce",
+    "model_mpi_hierarchical_allreduce",
+    "model_hzccl_hierarchical_allreduce",
 ]
 
 
@@ -452,4 +457,62 @@ def model_hzccl_reduce(
     return schedule_cost(
         direct_reduce(n_nodes, 0), HZ_REDUCE, total_bytes, rates, network,
         multithread, thread_speedup,
+    )
+
+
+def _hierarchical_schedule(
+    nodemap: NodeMap, network: NetworkModel, inter: str | None
+):
+    if inter is None:
+        inter = select_inter_family(network, nodemap)
+    return hierarchical_allreduce_schedule(nodemap, inter)
+
+
+def model_mpi_hierarchical_allreduce(
+    nodemap: NodeMap,
+    total_bytes: int,
+    rates: CostRates,
+    network: NetworkModel,
+    inter: str | None = None,
+    multithread: bool = False,
+    thread_speedup: float = 6.0,
+) -> Breakdown:
+    """Plain two-level hierarchical Allreduce over a :class:`NodeMap`.
+
+    One priced schedule end-to-end (no stage combination): binomial
+    intra-node reduce on ``intra_scale``-fast links at per-node
+    concurrency, the inter-node family over ``n_nodes`` leader flows,
+    binomial broadcast back.  The congestion law is evaluated with each
+    round's *declared* flow count — the whole point of the hierarchy is
+    that the fabric never sees ``n_ranks`` concurrent flows.
+    """
+    _args(nodemap.n_ranks, total_bytes)
+    return schedule_cost(
+        _hierarchical_schedule(nodemap, network, inter), PLAIN,
+        total_bytes, rates, network, multithread, thread_speedup,
+    )
+
+
+def model_hzccl_hierarchical_allreduce(
+    nodemap: NodeMap,
+    total_bytes: int,
+    rates: CostRates,
+    network: NetworkModel,
+    inter: str | None = None,
+    multithread: bool = False,
+    thread_speedup: float = 6.0,
+) -> Breakdown:
+    """Homomorphic hierarchical Allreduce: ``n_nodes·CPR`` once per rank,
+    HPR folds at both levels, one batched DPR.
+
+    Against the flat fused ring this trades larger HPR byte volume
+    (full-vector folds in the binomial trees) for ~``log`` rounds instead
+    of ``2(n−1)``, ``n_nodes``-way instead of ``n_ranks``-way congestion
+    on the fabric, and far fewer kernel invocations — which is exactly
+    the regime (Fig. 10's dip) where the flat schedules fall over.
+    """
+    _args(nodemap.n_ranks, total_bytes)
+    return schedule_cost(
+        _hierarchical_schedule(nodemap, network, inter), HZ_REDUCE,
+        total_bytes, rates, network, multithread, thread_speedup,
     )

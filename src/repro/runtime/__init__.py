@@ -20,6 +20,7 @@ from .faults import (
     UnrecoverableStreamError,
 )
 from .network import OMNIPATH_100G, NetworkModel
+from .nodemap import NodeMap
 from .topology import Ring
 from .trace import RoundSummary, TraceEvent, TraceLog
 
@@ -28,6 +29,7 @@ __all__ = [
     "measured",
     "NetworkModel",
     "OMNIPATH_100G",
+    "NodeMap",
     "Ring",
     "VirtualClock",
     "Breakdown",

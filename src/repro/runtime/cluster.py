@@ -136,14 +136,27 @@ class SimCluster:
             self.trace.record_compute(rank, bucket, seconds)
 
     def charge_comm(
-        self, rank: int, nbytes: int, bandwidth_factor: float = 1.0
+        self,
+        rank: int,
+        nbytes: int,
+        bandwidth_factor: float = 1.0,
+        n_flows: int | None = None,
+        link_scale: float = 1.0,
     ) -> float:
         """Charge one rank's modelled transfer; returns the seconds charged.
 
         ``bandwidth_factor`` (0 < f ≤ 1) stretches the transfer for
         degraded links: effective time = modelled time / factor.
+        ``n_flows`` is the congestion-law argument — how many flows contend
+        for the fabric during this transfer (``None`` = all ``n_ranks``,
+        the flat-collective default); ``link_scale`` > 1 speeds the
+        transfer up for rounds riding faster intra-node links.
         """
-        seconds = self.network.transfer_time(nbytes, self.n_ranks)
+        seconds = self.network.transfer_time(
+            nbytes, self.n_ranks if n_flows is None else n_flows
+        )
+        if link_scale != 1.0:
+            seconds /= link_scale
         if bandwidth_factor != 1.0:
             seconds /= bandwidth_factor
         self.clocks[rank].charge("MPI", seconds)
@@ -188,15 +201,28 @@ class SimCluster:
     # ------------------------------------------------------------------ #
     # round synchronisation
     # ------------------------------------------------------------------ #
-    def end_round(self, max_message_bytes: int) -> float:
+    def end_round(
+        self,
+        max_message_bytes: int,
+        n_flows: int | None = None,
+        link_scale: float = 1.0,
+    ) -> float:
         """Close a bulk-synchronous round; returns the round's duration.
 
         Round time = slowest rank's compute this round + the modelled ring
-        exchange of the largest in-flight message (full-duplex links, all
-        ranks exchanging concurrently).
+        exchange of the largest in-flight message (full-duplex links).
+        ``n_flows`` is the number of flows concurrently on the fabric
+        (``None`` = all ranks — the flat-collective default); hierarchical
+        schedules pass the round's declared concurrency so an intra-node
+        exchange is not charged job-wide congestion.  ``link_scale``
+        speeds up rounds riding faster intra-node links.
         """
         comm = (
-            self.network.ring_round_time(max_message_bytes, self.n_ranks)
+            self.network.ring_round_time(
+                max_message_bytes,
+                self.n_ranks if n_flows is None else n_flows,
+            )
+            / link_scale
             if max_message_bytes >= 0
             else 0.0
         )

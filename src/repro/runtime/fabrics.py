@@ -67,8 +67,12 @@ class DragonflyNetwork(NetworkModel):
             raise ValueError("cliff_factor must be >= 1")
 
     def congestion_factor(self, n_nodes: int) -> float:
+        if n_nodes <= 2:
+            # base-class contract (network.py): two nodes see the full
+            # physical wire speed on every fabric
+            return 1.0
         if n_nodes <= self.saturation_nodes:
-            return 1.0 + 0.05 * math.log2(max(n_nodes, 2))
+            return 1.0 + 0.05 * math.log2(n_nodes)
         # past saturation: the cliff plus a gentle continuing slope
         excess = math.log2(n_nodes / self.saturation_nodes)
         return self.cliff_factor * (1.0 + 0.1 * excess)

@@ -372,16 +372,40 @@ class ResilientChannel:
             METRICS.inc("channel.retries")
         self.cluster.charge_wait(rank, seconds, label)
 
-    def charge_link(self, source: int, dest: int, nbytes: int) -> float:
-        """Charge one scheduled transfer, honouring link degradation."""
+    def charge_link(
+        self,
+        source: int,
+        dest: int,
+        nbytes: int,
+        n_flows: int | None = None,
+        link_scale: float = 1.0,
+    ) -> float:
+        """Charge one scheduled transfer, honouring link degradation.
+
+        ``n_flows``/``link_scale`` carry the surrounding round's declared
+        concurrency and link speed into the congestion law (see
+        :meth:`SimCluster.charge_comm`).
+        """
         factor = (
             self.plan.bandwidth_factor(source, dest) if self.plan is not None else 1.0
         )
-        return self.cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+        return self.cluster.charge_comm(
+            dest,
+            nbytes,
+            bandwidth_factor=factor,
+            n_flows=n_flows,
+            link_scale=link_scale,
+        )
 
     # ------------------------------------------------------------------ #
     def deliver_plain(
-        self, source: int, dest: int, payload: Any, nbytes: int
+        self,
+        source: int,
+        dest: int,
+        payload: Any,
+        nbytes: int,
+        n_flows: int | None = None,
+        link_scale: float = 1.0,
     ) -> Delivery:
         """Deliver over the reliable (checksummed, retrying) plain path.
 
@@ -390,9 +414,19 @@ class ResilientChannel:
         compressed paths degrade to, so it can never fail itself.
         """
         self.stats.messages += 1
+
+        def charge(factor: float = 1.0) -> float:
+            return self.cluster.charge_comm(
+                dest,
+                nbytes,
+                bandwidth_factor=factor,
+                n_flows=n_flows,
+                link_scale=link_scale,
+            )
+
         plan = self.plan
         if plan is None:
-            self.cluster.charge_comm(dest, nbytes)
+            charge()
             return Delivery(payload, nbytes)
         policy = self.retry
         factor = plan.bandwidth_factor(source, dest)
@@ -405,7 +439,7 @@ class ResilientChannel:
                 self.cluster.record_fault(dest, "DROP", nbytes=nbytes)
                 self._wait(dest, policy.timeout_s + policy.delay(attempt), "TIMEOUT")
                 continue
-            self.cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+            charge(factor)
             charged += nbytes
             if decision.corrupt or decision.truncate:
                 # transport checksum catches the damage; NACK and retry
@@ -425,7 +459,7 @@ class ResilientChannel:
             if decision.duplicate:
                 self.stats.duplicates += 1
                 self.cluster.record_fault(dest, "DUPLICATE", nbytes=nbytes)
-                self.cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+                charge(factor)
                 charged += nbytes
             self.stats.retransmissions += attempt
             return Delivery(payload, charged, attempt + 1)
@@ -435,7 +469,7 @@ class ResilientChannel:
         self.stats.retransmissions += policy.max_attempts
         self.stats.forced_deliveries += 1
         self._wait(dest, policy.timeout_s, "TIMEOUT")
-        self.cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+        charge(factor)
         return Delivery(payload, charged + nbytes, policy.max_attempts + 1)
 
     def deliver_compressed(
@@ -444,6 +478,8 @@ class ResilientChannel:
         dest: int,
         stream,
         charge_base: bool = True,
+        n_flows: int | None = None,
+        link_scale: float = 1.0,
     ) -> Delivery:
         """Deliver a :class:`CompressedField`, validating the byte stream.
 
@@ -462,10 +498,20 @@ class ResilientChannel:
         self.stats.messages += 1
         nbytes = stream.nbytes
         cluster = self.cluster
+
+        def charge(factor: float = 1.0) -> float:
+            return cluster.charge_comm(
+                dest,
+                nbytes,
+                bandwidth_factor=factor,
+                n_flows=n_flows,
+                link_scale=link_scale,
+            )
+
         plan = self.plan
         if plan is None:
             if charge_base:
-                cluster.charge_comm(dest, nbytes)
+                charge()
                 return Delivery(stream, nbytes)
             return Delivery(stream, 0)
         policy = self.retry
@@ -481,7 +527,7 @@ class ResilientChannel:
                 self._wait(dest, policy.timeout_s + policy.delay(attempt), "TIMEOUT")
                 continue
             if charge_base or attempt > 0:
-                cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+                charge(factor)
                 charged += nbytes
             if decision.corrupt or decision.truncate:
                 blob = stream.to_bytes()
@@ -514,7 +560,7 @@ class ResilientChannel:
             if decision.duplicate:
                 self.stats.duplicates += 1
                 cluster.record_fault(dest, "DUPLICATE", nbytes=nbytes)
-                cluster.charge_comm(dest, nbytes, bandwidth_factor=factor)
+                charge(factor)
                 charged += nbytes
             self.stats.retransmissions += attempt
             return Delivery(stream, charged, attempt + 1)

@@ -1,0 +1,119 @@
+"""Rank-to-node placement for hierarchical collectives.
+
+The paper's testbed runs one MPI rank per physical node, so its flat ring
+collectives see a uniform fabric.  Real deployments pack many ranks onto
+one node (gZCCL/NCCLZ: 4–8 GPUs behind NVLink, one NIC per node), and the
+two-level schedules in :mod:`repro.schedule.generators` exploit exactly
+that structure: intra-node exchanges ride links that are
+``intra_scale`` × faster than the inter-node fabric and contend only with
+the node's own flows, while the inter-node stage runs over one *leader*
+rank per node.
+
+A :class:`NodeMap` is pure placement data — it knows nothing about
+schedules or networks.  It is hashable (ranks are stored as a tuple), so
+the cached schedule generators can key on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeMap"]
+
+
+@dataclass(frozen=True)
+class NodeMap:
+    """Placement of ``n_ranks`` ranks onto nodes, plus the link-rate split.
+
+    Parameters
+    ----------
+    node_of_rank : tuple mapping rank → node id.  Node ids must be the
+        contiguous integers ``0 … n_nodes − 1`` (any order across ranks).
+    intra_scale : how many times faster an intra-node link is than one
+        inter-node fabric link (NVLink/shared-memory vs NIC).  ``1.0``
+        models a cluster with no locality advantage at all — the
+        hierarchical schedules still win on congestion alone.
+    """
+
+    node_of_rank: tuple[int, ...]
+    intra_scale: float = 4.0
+    #: rank lists per node, derived in ``__post_init__`` (leader first).
+    _members: tuple[tuple[int, ...], ...] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.node_of_rank:
+            raise ValueError("NodeMap needs at least one rank")
+        if self.intra_scale <= 0:
+            raise ValueError("intra_scale must be > 0")
+        nodes = sorted(set(self.node_of_rank))
+        if nodes != list(range(len(nodes))):
+            raise ValueError(
+                f"node ids must be contiguous 0…k−1, got {nodes}"
+            )
+        members: list[list[int]] = [[] for _ in nodes]
+        for rank, node in enumerate(self.node_of_rank):
+            members[node].append(rank)
+        object.__setattr__(
+            self, "_members", tuple(tuple(m) for m in members)
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def regular(
+        cls, n_ranks: int, ranks_per_node: int, intra_scale: float = 4.0
+    ) -> "NodeMap":
+        """Even block placement: ranks ``[k·r, (k+1)·r)`` share node ``k``.
+
+        ``n_ranks`` must be a multiple of ``ranks_per_node``.
+        ``ranks_per_node=1`` degenerates to the paper's one-rank-per-node
+        flat layout (the hierarchical schedule then *is* the inter-node
+        algorithm).
+        """
+        if n_ranks < 1 or ranks_per_node < 1:
+            raise ValueError("n_ranks and ranks_per_node must be >= 1")
+        if n_ranks % ranks_per_node:
+            raise ValueError(
+                f"{n_ranks} ranks do not fill {ranks_per_node}-rank nodes "
+                "evenly"
+            )
+        return cls(
+            tuple(r // ranks_per_node for r in range(n_ranks)),
+            intra_scale=intra_scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ranks(self) -> int:
+        return len(self.node_of_rank)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._members)
+
+    @property
+    def max_node_size(self) -> int:
+        return max(len(m) for m in self._members)
+
+    def node_of(self, rank: int) -> int:
+        return self.node_of_rank[rank]
+
+    def members(self, node: int) -> tuple[int, ...]:
+        """Ranks on ``node``, ascending (the leader is ``members[0]``)."""
+        return self._members[node]
+
+    def leader(self, node: int) -> int:
+        """The node's representative in the inter-node stage (lowest rank)."""
+        return self._members[node][0]
+
+    def leaders(self) -> tuple[int, ...]:
+        """One leader per node, in node order."""
+        return tuple(m[0] for m in self._members)
+
+    def is_leader(self, rank: int) -> bool:
+        return self.leader(self.node_of(rank)) == rank
+
+    def local_index(self, rank: int) -> int:
+        """The rank's position within its node (leader = 0)."""
+        return self._members[self.node_of(rank)].index(rank)

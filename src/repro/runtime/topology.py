@@ -63,7 +63,9 @@ class Ring:
     def _check(self, rank: int, round_index: int) -> None:
         if not 0 <= rank < self.n:
             raise IndexError(f"rank {rank} out of range for ring of {self.n}")
-        if not 0 <= round_index < max(self.n - 1, 1):
+        # a ring of n ranks has exactly n − 1 rounds, so a 1-rank ring has
+        # none at all — round 0 must be rejected there, not accepted
+        if not 0 <= round_index < self.n - 1:
             raise IndexError(
                 f"round {round_index} out of range (ring of {self.n} has "
                 f"{self.n - 1} rounds)"

@@ -33,14 +33,17 @@ from .cost import (
 )
 from .executor import Outcome, ScheduleExecutor
 from .generators import (
+    INTER_FAMILIES,
     binomial_bcast,
     direct_reduce,
     flat_gather,
+    hierarchical_allreduce_schedule,
     pipelined_ring_reduce_scatter,
     rabenseifner_allreduce_schedule,
     rabenseifner_ranges,
     ring_allgather,
     ring_reduce_scatter,
+    select_inter_family,
 )
 from .ir import CommOp, LocalOp, Phase, Round, Schedule
 
@@ -60,6 +63,9 @@ __all__ = [
     "flat_gather",
     "direct_reduce",
     "binomial_bcast",
+    "hierarchical_allreduce_schedule",
+    "select_inter_family",
+    "INTER_FAMILIES",
     # codecs
     "PayloadCodec",
     "PlainCodec",

@@ -24,6 +24,7 @@ round loop, not a quarter-million dataclass visits per call.
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any
@@ -104,7 +105,15 @@ HZ_GATHER = Discipline(
 # Block sizes are kept symbolic as (n_default, weight_sum): a block with
 # no explicit weight contributes total_bytes/n_ranks (the same expression
 # the legacy closed forms used, bit-for-bit), a weighted one w*total.
-_PROFILE_CACHE: dict[tuple[int, str], tuple[Schedule, list]] = {}
+#
+# The cache is keyed by object identity for O(1) lookups but holds only a
+# weak reference to the schedule: a dead entry is evicted by the weakref
+# callback the moment the schedule is collected, so tuning sweeps over
+# thousands of throwaway schedules cannot accumulate profiles, and a
+# recycled id() can never serve a stale profile (the old entry is gone
+# before the id can be reused).  Each live schedule carries one memo of
+# profiles keyed by discipline name.
+_PROFILE_CACHE: dict[int, tuple[weakref.ref, dict[str, list]]] = {}
 
 
 def _coeff(schedule: Schedule, blocks) -> tuple[int, float]:
@@ -119,10 +128,19 @@ def _coeff(schedule: Schedule, blocks) -> tuple[int, float]:
 
 
 def _profile(schedule: Schedule, discipline: Discipline) -> list:
-    key = (id(schedule), discipline.name)
+    key = id(schedule)
     hit = _PROFILE_CACHE.get(key)
-    if hit is not None and hit[0] is schedule:
-        return hit[1]
+    if hit is not None and hit[0]() is schedule:
+        memo = hit[1]
+        cached = memo.get(discipline.name)
+        if cached is not None:
+            return cached
+    else:
+        memo = {}
+        ref = weakref.ref(
+            schedule, lambda _, key=key: _PROFILE_CACHE.pop(key, None)
+        )
+        _PROFILE_CACHE[key] = (ref, memo)
 
     profile = []
     for rnd in schedule.rounds():
@@ -195,9 +213,17 @@ def _profile(schedule: Schedule, discipline: Discipline) -> list:
                 comm_spec = ("incast", tuple(incast))
         elif wire_max is not None:
             comm_spec = ("exchange", wire_max)
-        profile.append((rnd.overlap, comm_spec, tuple(rows)))
+        profile.append(
+            (
+                rnd.overlap,
+                comm_spec,
+                tuple(rows),
+                rnd.flows(schedule.n_ranks),
+                rnd.link_scale,
+            )
+        )
 
-    _PROFILE_CACHE[key] = (schedule, profile)
+    memo[discipline.name] = profile
     return profile
 
 
@@ -231,23 +257,28 @@ def schedule_cost(
             return rates.fused_hpr_s_per_byte(rate[1])
         return getattr(rates, rate + "_s_per_byte")
 
-    def transfer(nd: int, w: float) -> float:
+    def transfer(nd: int, w: float, flows: int, scale: float) -> float:
+        # ``flows`` comes from the Round's declared concurrency (all ranks
+        # for flat schedules) — never from n_ranks directly, so an 8-rank
+        # intra-node round on a 1024-rank job pays 8-way congestion.
         wire = nbytes(nd, w)
         if discipline.compressed_wire:
             wire /= rates.ratio
-        return network.transfer_time(int(wire), n)
+        return network.transfer_time(int(wire), flows) / scale
 
     buckets: dict[str, float] = defaultdict(float)
     total = 0.0
-    for overlap, comm_spec, rows in _profile(schedule, discipline):
+    for overlap, comm_spec, rows, flows, scale in _profile(
+        schedule, discipline
+    ):
         comm_time = 0.0
         if comm_spec is not None:
             kind, data = comm_spec
             if kind == "exchange":
-                comm_time = transfer(*data)
+                comm_time = transfer(*data, flows, scale)
             else:
                 for nd, w in data:
-                    comm_time += transfer(nd, w)
+                    comm_time += transfer(nd, w, flows, scale)
 
         serial_tot = overlap_tot = 0.0
         bucket_max: dict[str, float] = {}

@@ -76,6 +76,10 @@ class ScheduleExecutor:
     def _round(self, rnd: Round, state, pending, outcome: Outcome) -> None:
         cluster = self.cluster
         codec = self.codec
+        # the round's declared congestion context: how many flows contend
+        # for the fabric (None = all ranks) and how fast its links are
+        flows = rnd.concurrency if rnd.concurrency > 0 else None
+        scale = rnd.link_scale
         # pack pass: snapshot every sender's payload before any delivery
         payloads = [
             codec.pack(comm.src, comm.blocks, state) for comm in rnd.comms
@@ -85,7 +89,8 @@ class ScheduleExecutor:
             sent = sum(int(item.nbytes) for item in items)
             max_sent = max(max_sent, sent)
             try:
-                received = self._deliver(comm, items, sent, outcome)
+                received = self._deliver(comm, items, sent, outcome,
+                                         flows, scale)
             except UnrecoverableStreamError:
                 if comm.degrade != "op":
                     raise
@@ -107,11 +112,17 @@ class ScheduleExecutor:
         if rnd.kind == "compute":
             cluster.end_compute_phase()
         else:
-            cluster.end_round(max_sent)
+            cluster.end_round(max_sent, n_flows=flows, link_scale=scale)
 
     # ------------------------------------------------------------------ #
     def _deliver(
-        self, comm: CommOp, items: tuple[Any, ...], sent: int, outcome: Outcome
+        self,
+        comm: CommOp,
+        items: tuple[Any, ...],
+        sent: int,
+        outcome: Outcome,
+        flows: int | None,
+        scale: float,
     ):
         """Move one comm's payload, charging per its declared transport."""
         cluster = self.cluster
@@ -122,24 +133,28 @@ class ScheduleExecutor:
         if transport in ("link", "bundle"):
             if not compressed:
                 delivery = channel.deliver_plain(
-                    comm.src, comm.dst, items, sent
+                    comm.src, comm.dst, items, sent,
+                    n_flows=flows, link_scale=scale,
                 )
                 outcome.wire += delivery.nbytes
                 return delivery.payload
             if transport == "link":
                 delivery = channel.deliver_compressed(
-                    comm.src, comm.dst, items[0]
+                    comm.src, comm.dst, items[0],
+                    n_flows=flows, link_scale=scale,
                 )
                 outcome.wire += delivery.nbytes
                 return (delivery.payload,)
             # bundle: one aggregate scheduled transfer, then each
             # compressed item validated individually
-            channel.charge_link(comm.src, comm.dst, sent)
+            channel.charge_link(comm.src, comm.dst, sent,
+                                n_flows=flows, link_scale=scale)
             outcome.wire += sent
             received = []
             for item in items:
                 delivery = channel.deliver_compressed(
-                    comm.src, comm.dst, item, charge_base=False
+                    comm.src, comm.dst, item, charge_base=False,
+                    n_flows=flows, link_scale=scale,
                 )
                 outcome.wire += delivery.nbytes
                 received.append(delivery.payload)
@@ -147,13 +162,15 @@ class ScheduleExecutor:
 
         if transport == "sender":
             # concurrent direct send charged to the sender's clock
-            cluster.charge_comm(comm.src, sent)
+            cluster.charge_comm(comm.src, sent, n_flows=flows,
+                                link_scale=scale)
             outcome.wire += sent
             if compressed:
                 received = []
                 for item in items:
                     delivery = channel.deliver_compressed(
-                        comm.src, comm.dst, item, charge_base=False
+                        comm.src, comm.dst, item, charge_base=False,
+                        n_flows=flows, link_scale=scale,
                     )
                     outcome.wire += delivery.nbytes
                     received.append(delivery.payload)
@@ -163,7 +180,8 @@ class ScheduleExecutor:
         if transport == "flow":
             # representative-flow accounting (binomial dissemination):
             # wire_count concurrent copies, one representative charge
-            cluster.charge_comm(comm.dst, sent)
+            cluster.charge_comm(comm.dst, sent, n_flows=flows,
+                                link_scale=scale)
             outcome.wire += comm.wire_count * sent
             return items
 
@@ -172,7 +190,8 @@ class ScheduleExecutor:
             received = []
             for item in items:
                 delivery = channel.deliver_compressed(
-                    comm.src, comm.dst, item, charge_base=False
+                    comm.src, comm.dst, item, charge_base=False,
+                    n_flows=flows, link_scale=scale,
                 )
                 outcome.wire += delivery.nbytes
                 received.append(delivery.payload)

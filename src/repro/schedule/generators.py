@@ -22,6 +22,9 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Callable, Hashable
 
+from ..runtime.fabrics import DragonflyNetwork
+from ..runtime.network import NetworkModel
+from ..runtime.nodemap import NodeMap
 from ..runtime.topology import Ring
 from .ir import CommOp, LocalOp, Phase, Round, Schedule
 
@@ -34,6 +37,9 @@ __all__ = [
     "flat_gather",
     "direct_reduce",
     "binomial_bcast",
+    "hierarchical_allreduce_schedule",
+    "select_inter_family",
+    "INTER_FAMILIES",
 ]
 
 
@@ -547,3 +553,244 @@ def binomial_bcast(n: int, root: int, deliver: bool = False) -> Schedule:
         phases=tuple(phases),
         weights={"data": 1.0},
     ).validate()
+
+
+# --------------------------------------------------------------------- #
+# two-level hierarchical allreduce
+# --------------------------------------------------------------------- #
+#: inter-node algorithm families ``hierarchical_allreduce_schedule`` knows.
+INTER_FAMILIES = ("ring", "rabenseifner")
+
+
+def _binomial_steps(size: int) -> list[int]:
+    """The doubling step sizes of a ``size``-leaf binomial tree (1,2,4,…)."""
+    steps, step = [], 1
+    while step < size:
+        steps.append(step)
+        step *= 2
+    return steps
+
+
+def _intra_rounds(
+    nodemap: NodeMap, blocks: tuple[int, ...], direction: str
+) -> tuple[Round, ...]:
+    """Per-node binomial rounds: ``reduce`` onto each leader or ``bcast``
+    from it.
+
+    Every node runs its own tree concurrently inside one Round; the
+    round's ``concurrency`` is the *largest per-node* send count, because
+    flows on different nodes ride disjoint local fabrics and never
+    contend with each other — the whole point of the congestion-law fix.
+    """
+    steps = _binomial_steps(nodemap.max_node_size)
+    rounds = []
+    for step in steps if direction == "reduce" else reversed(steps):
+        comms: list[CommOp] = []
+        busiest = 0
+        for node in range(nodemap.n_nodes):
+            members = nodemap.members(node)
+            sends = 0
+            for j in range(0, len(members) - step, 2 * step):
+                lo, hi = members[j], members[j + step]
+                comms.append(
+                    CommOp(
+                        src=hi if direction == "reduce" else lo,
+                        dst=lo if direction == "reduce" else hi,
+                        blocks=blocks,
+                        action="fold" if direction == "reduce" else "store",
+                        transport="bundle",
+                    )
+                )
+                sends += 1
+            busiest = max(busiest, sends)
+        rounds.append(
+            Round(
+                kind="exchange",
+                comms=tuple(comms),
+                concurrency=busiest,
+                link_scale=nodemap.intra_scale,
+            )
+        )
+    return tuple(rounds)
+
+
+def _inter_ring_rounds(leaders: tuple[int, ...]) -> tuple[Round, ...]:
+    """Ring reduce-scatter + allgather over one leader rank per node."""
+    k = len(leaders)
+    ring = Ring(k)
+    rounds = []
+    for j in range(k - 1):
+        rounds.append(
+            Round(
+                kind="exchange",
+                comms=tuple(
+                    CommOp(
+                        src=leaders[ring.predecessor(i)],
+                        dst=leaders[i],
+                        blocks=(ring.recv_block(i, j),),
+                        action="fold",
+                    )
+                    for i in range(k)
+                ),
+                concurrency=k,
+            )
+        )
+    for j in range(k - 1):
+        rounds.append(
+            Round(
+                kind="exchange",
+                comms=tuple(
+                    CommOp(
+                        src=leaders[ring.predecessor(i)],
+                        dst=leaders[i],
+                        blocks=(
+                            ring.allgather_send_block(ring.predecessor(i), j),
+                        ),
+                        action="store",
+                    )
+                    for i in range(k)
+                ),
+                concurrency=k,
+            )
+        )
+    return tuple(rounds)
+
+
+def _inter_rabenseifner_rounds(leaders: tuple[int, ...]) -> tuple[Round, ...]:
+    """Rabenseifner halving/doubling over one leader rank per node."""
+    k = len(leaders)
+    levels = _check_power_of_two(k)
+    plans = [list(rabenseifner_ranges(k, i, levels)) for i in range(k)]
+    rounds = []
+    for r in range(levels):
+        rounds.append(
+            Round(
+                kind="exchange",
+                comms=tuple(
+                    CommOp(
+                        src=leaders[plans[i][r][1]],
+                        dst=leaders[i],
+                        blocks=tuple(range(*plans[i][r][2])),
+                        action="fold",
+                        transport="bundle",
+                    )
+                    for i in range(k)
+                ),
+                concurrency=k,
+            )
+        )
+    holdings: list[list[int]] = [[i] for i in range(k)]
+    for r in range(levels - 1, -1, -1):
+        snapshot = [list(h) for h in holdings]
+        comms = []
+        for i in range(k):
+            partner = i ^ (k >> (r + 1))
+            comms.append(
+                CommOp(
+                    src=leaders[partner],
+                    dst=leaders[i],
+                    blocks=tuple(snapshot[partner]),
+                    action="store",
+                    transport="bundle",
+                )
+            )
+            holdings[i] = snapshot[i] + [
+                b for b in snapshot[partner] if b not in snapshot[i]
+            ]
+        rounds.append(
+            Round(kind="exchange", comms=tuple(comms), concurrency=k)
+        )
+    return tuple(rounds)
+
+
+@lru_cache(maxsize=None)
+def hierarchical_allreduce_schedule(
+    nodemap: NodeMap, inter: str = "ring"
+) -> Schedule:
+    """Two-level allreduce over a :class:`~repro.runtime.nodemap.NodeMap`.
+
+    Blocks are the integers ``0 … n_nodes − 1`` (one block per node,
+    weight ``1/n_nodes`` each).  Four stages:
+
+    1. *intra-reduce* — per-node binomial tree folds every rank's full
+       vector onto its leader over the fast local links
+       (``link_scale = intra_scale``, congestion = per-node sends);
+    2. *inter* — the chosen family (``ring`` reduce-scatter + allgather,
+       or ``rabenseifner`` halving/doubling, power-of-two node counts
+       only) over the ``n_nodes`` leader ranks, charged ``n_nodes``-way
+       congestion — the fabric sees one flow per node, not per rank;
+    3. *intra-bcast* — the reduce tree reversed, leaders pushing all
+       fully-reduced blocks back down;
+    4. one batched *finalize* per rank.
+
+    The schedule is codec-agnostic like every other generator: under the
+    :class:`~repro.schedule.codecs.HomomorphicCodec` state stays
+    compressed from the setup CPR to the final batched DPR (folds are
+    exact integer-domain ``reduce_fused`` calls at every level), under
+    the plain codec it is a conventional hierarchical float allreduce.
+
+    Degenerate shapes compose away cleanly: one rank per node leaves no
+    intra rounds (the schedule *is* the inter family); a single node
+    leaves no inter rounds (a pure intra-node reduce + bcast).
+    """
+    if inter not in INTER_FAMILIES:
+        raise ValueError(
+            f"unknown inter-node family {inter!r} (choose from "
+            f"{INTER_FAMILIES})"
+        )
+    n = nodemap.n_ranks
+    k = nodemap.n_nodes
+    blocks = tuple(range(k))
+    setup = Round(
+        kind="compute",
+        ops=tuple(
+            LocalOp(i, "prepare", (b,)) for i in range(n) for b in blocks
+        ),
+    )
+    finalize = Round(
+        kind="compute",
+        ops=tuple(LocalOp(i, "finalize", blocks) for i in range(n)),
+    )
+    phases = [Phase("setup", (setup,))]
+    intra_reduce = _intra_rounds(nodemap, blocks, "reduce")
+    if intra_reduce:
+        phases.append(Phase("intra-reduce", intra_reduce))
+    if k > 1:
+        make_inter = (
+            _inter_ring_rounds if inter == "ring"
+            else _inter_rabenseifner_rounds
+        )
+        phases.append(Phase(f"inter-{inter}", make_inter(nodemap.leaders())))
+    intra_bcast = _intra_rounds(nodemap, blocks, "bcast")
+    if intra_bcast:
+        phases.append(Phase("intra-bcast", intra_bcast))
+    phases.append(Phase("finalize", (finalize,)))
+    return Schedule(
+        name=(
+            f"hierarchical-allreduce(n={n},nodes={k},inter={inter})"
+        ),
+        n_ranks=n,
+        phases=tuple(phases),
+        weights={b: 1.0 / k for b in blocks},
+    ).validate()
+
+
+def select_inter_family(network: NetworkModel, nodemap: NodeMap) -> str:
+    """Pick the inter-node family from the fabric's congestion structure.
+
+    * **Dragonfly** — past the saturation cliff *every* concurrent flow
+      pays the cliff factor, so the winning move is the fewest rounds:
+      Rabenseifner's ``2·log2(k)`` beats the ring's ``2·(k−1)`` whenever
+      the node count allows it (power of two; otherwise fall back to the
+      ring rather than padding).
+    * **Torus / fat-tree / base** — the ring: its neighbour exchanges map
+      onto torus links, its per-round messages stay at ``1/k`` of the
+      vector (Rabenseifner's first halving round moves half the vector,
+      which the polynomial torus law punishes), and on the fat-tree's
+      gentle log law the bandwidth-optimal ring is the paper's own
+      choice.
+    """
+    k = nodemap.n_nodes
+    if isinstance(network, DragonflyNetwork) and k >= 2 and not (k & (k - 1)):
+        return "rabenseifner"
+    return "ring"

@@ -32,6 +32,15 @@ Vocabulary
   transfer charges (rooted gathers), ``compute`` rounds close on compute
   alone.  ``overlap=True`` marks rounds whose local ops are software-
   pipelined against the wire time (cost = max, not sum).
+* ``Round.concurrency`` declares how many flows actually contend for the
+  shared fabric during the round — the congestion-law argument.  ``0``
+  (the default) means *all* ``n_ranks`` flows, which is exactly right for
+  the flat families where every rank talks every round; hierarchical
+  schedules set it per round so that an 8-rank intra-node exchange on a
+  1024-rank job is charged 8-way congestion, not 1024-way.
+  ``Round.link_scale`` is the bandwidth multiplier of the links the round
+  rides (intra-node links are ``NodeMap.intra_scale`` × faster than the
+  inter-node fabric).
 """
 
 from __future__ import annotations
@@ -124,6 +133,16 @@ class Round:
     ops: tuple[LocalOp, ...] = ()
     #: local ops overlap the round's wire time (pipelined sub-rounds).
     overlap: bool = False
+    #: concurrent flows contending for the fabric this round; 0 = all
+    #: ``n_ranks`` (the flat-collective default).
+    concurrency: int = 0
+    #: bandwidth multiplier of the links this round rides (> 1 for
+    #: intra-node exchanges over faster local links).
+    link_scale: float = 1.0
+
+    def flows(self, n_ranks: int) -> int:
+        """The congestion-law argument: declared concurrency or all ranks."""
+        return self.concurrency if self.concurrency > 0 else n_ranks
 
 
 @dataclass(frozen=True)
@@ -171,6 +190,15 @@ class Schedule:
         for rnd in self.rounds():
             if rnd.kind not in ROUND_KINDS:
                 raise ValueError(f"unknown round kind {rnd.kind!r}")
+            if rnd.concurrency < 0 or rnd.concurrency > self.n_ranks:
+                raise ValueError(
+                    f"round concurrency {rnd.concurrency} out of range for "
+                    f"{self.n_ranks} ranks"
+                )
+            if rnd.link_scale <= 0:
+                raise ValueError(
+                    f"round link_scale must be > 0, got {rnd.link_scale}"
+                )
             for comm in rnd.comms:
                 if comm.action not in ACTIONS:
                     raise ValueError(f"unknown comm action {comm.action!r}")

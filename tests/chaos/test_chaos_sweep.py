@@ -16,6 +16,10 @@ import numpy as np
 import pytest
 
 from repro.collectives.ccoll import ccoll_allreduce
+from repro.collectives.hierarchy import (
+    hzccl_hierarchical_allreduce,
+    mpi_hierarchical_allreduce,
+)
 from repro.collectives.hzccl import hzccl_allreduce, hzccl_reduce_scatter
 from repro.collectives.rabenseifner import (
     hzccl_rabenseifner_allreduce,
@@ -29,7 +33,7 @@ from repro.collectives.rooted import (
     mpi_reduce,
 )
 from repro.core.config import CollectiveConfig
-from repro.runtime import FaultPlan, NetworkModel, SimCluster, TraceLog
+from repro.runtime import FaultPlan, NetworkModel, NodeMap, SimCluster, TraceLog
 from repro.runtime.topology import Ring
 
 pytestmark = pytest.mark.chaos
@@ -54,6 +58,12 @@ OPS = {
     "rooted-hzccl-reduce": hzccl_reduce,
     "rooted-hzccl-reduce-direct": hzccl_reduce_direct,
     "rooted-hzccl-bcast": lambda cl, d, c: compressed_bcast(cl, d[0], c),
+    "hierarchical-mpi": lambda cl, d, c: mpi_hierarchical_allreduce(
+        cl, d, NodeMap.regular(N_RANKS, 2)
+    ),
+    "hierarchical-hzccl": lambda cl, d, c: hzccl_hierarchical_allreduce(
+        cl, d, c, NodeMap.regular(N_RANKS, 2)
+    ),
 }
 
 # plan family → seed-parameterised FaultPlan factory

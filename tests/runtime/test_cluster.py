@@ -37,6 +37,17 @@ class TestCharging:
             time.sleep(0.01)
         assert cluster.clocks[2].buckets["CPT"] >= 0.009
 
+    def test_comm_congestion_follows_declared_flows(self, cluster, fast_network):
+        """``n_flows`` overrides the job-wide default: an 8-rank
+        intra-node exchange on a big job is charged 8-way congestion."""
+        assert cluster.charge_comm(
+            0, 10**6, n_flows=2
+        ) == fast_network.transfer_time(10**6, 2)
+
+    def test_comm_link_scale_divides_time(self, cluster, fast_network):
+        fast = cluster.charge_comm(0, 10**6, link_scale=4.0)
+        assert fast == pytest.approx(fast_network.transfer_time(10**6, 4) / 4.0)
+
 
 class TestRounds:
     def test_round_takes_max_compute_plus_comm(self, cluster, fast_network):
@@ -55,6 +66,19 @@ class TestRounds:
     def test_compute_phase_has_no_comm(self, cluster):
         cluster.charge_compute(3, "CPR", 0.2)
         assert cluster.end_compute_phase() == pytest.approx(0.2)
+
+    def test_round_congestion_follows_declared_flows(self, cluster, fast_network):
+        narrow = cluster.end_round(max_message_bytes=10**6, n_flows=2)
+        wide = cluster.end_round(max_message_bytes=10**6)
+        assert narrow == pytest.approx(fast_network.ring_round_time(10**6, 2))
+        assert wide == pytest.approx(fast_network.ring_round_time(10**6, 4))
+        assert narrow < wide
+
+    def test_round_link_scale_divides_comm(self, cluster, fast_network):
+        scaled = cluster.end_round(max_message_bytes=10**6, link_scale=4.0)
+        assert scaled == pytest.approx(
+            fast_network.ring_round_time(10**6, 4) / 4.0
+        )
 
     def test_reset(self, cluster):
         cluster.charge_compute(0, "CPR", 1.0)

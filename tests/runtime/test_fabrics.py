@@ -1,8 +1,19 @@
 """Tests for the topology-variant network models."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.runtime.fabrics import DragonflyNetwork, FatTreeNetwork, TorusNetwork
+from repro.runtime.network import NetworkModel
+
+ALL_FABRICS = [
+    NetworkModel(),
+    FatTreeNetwork(),
+    TorusNetwork(),
+    DragonflyNetwork(),
+]
+FABRIC_IDS = ["base", "fattree", "torus", "dragonfly"]
 
 
 class TestFatTree:
@@ -70,3 +81,32 @@ class TestDragonfly:
             DragonflyNetwork(saturation_nodes=1)
         with pytest.raises(ValueError):
             DragonflyNetwork(cliff_factor=0.5)
+
+    def test_two_nodes_pay_no_congestion(self):
+        """Regression: the per-group term used to leak a 1.05 factor into
+        a two-endpoint transfer — a point-to-point link has no sharing."""
+        assert DragonflyNetwork().congestion_factor(2) == 1.0
+        assert DragonflyNetwork().congestion_factor(1) == 1.0
+
+
+class TestCongestionLawContract:
+    """Properties every fabric law must satisfy (the schedule cost model
+    leans on both: flows come from Round concurrency, and a two-endpoint
+    round must price like a bare link on any fabric)."""
+
+    @pytest.mark.parametrize("network", ALL_FABRICS, ids=FABRIC_IDS)
+    @given(n=st.integers(1, 2))
+    def test_factor_is_exactly_one_up_to_two_nodes(self, network, n):
+        assert network.congestion_factor(n) == 1.0
+
+    @pytest.mark.parametrize("network", ALL_FABRICS, ids=FABRIC_IDS)
+    @given(n=st.integers(1, 4096))
+    def test_factor_never_below_one(self, network, n):
+        assert network.congestion_factor(n) >= 1.0
+
+    @pytest.mark.parametrize("network", ALL_FABRICS, ids=FABRIC_IDS)
+    @given(n=st.integers(1, 4095))
+    def test_monotone_non_decreasing_in_flows(self, network, n):
+        assert (
+            network.congestion_factor(n + 1) >= network.congestion_factor(n)
+        )

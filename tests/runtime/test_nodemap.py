@@ -1,0 +1,96 @@
+"""Tests for the rank→node placement map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import NodeMap
+
+
+class TestConstruction:
+    def test_regular(self):
+        nm = NodeMap.regular(8, 2)
+        assert nm.n_ranks == 8
+        assert nm.n_nodes == 4
+        assert nm.node_of_rank == (0, 0, 1, 1, 2, 2, 3, 3)
+
+    def test_regular_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            NodeMap.regular(10, 4)
+
+    def test_regular_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            NodeMap.regular(0, 4)
+        with pytest.raises(ValueError):
+            NodeMap.regular(8, 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NodeMap(node_of_rank=())
+
+    def test_rejects_non_contiguous_node_ids(self):
+        with pytest.raises(ValueError):
+            NodeMap(node_of_rank=(0, 0, 2, 2))
+
+    def test_rejects_bad_intra_scale(self):
+        with pytest.raises(ValueError):
+            NodeMap(node_of_rank=(0, 1), intra_scale=0.0)
+
+    def test_irregular_placement(self):
+        nm = NodeMap(node_of_rank=(0, 1, 0, 1, 0))
+        assert nm.n_nodes == 2
+        assert nm.members(0) == (0, 2, 4)
+        assert nm.members(1) == (1, 3)
+        assert nm.max_node_size == 3
+
+
+class TestAccessors:
+    def test_leader_is_lowest_rank(self):
+        nm = NodeMap(node_of_rank=(1, 0, 1, 0))
+        assert nm.leader(0) == 1
+        assert nm.leader(1) == 0
+        assert nm.leaders() == (1, 0)
+
+    def test_is_leader(self):
+        nm = NodeMap.regular(8, 4)
+        assert [nm.is_leader(r) for r in range(8)] == [
+            True, False, False, False, True, False, False, False,
+        ]
+
+    def test_local_index(self):
+        nm = NodeMap.regular(6, 3)
+        assert [nm.local_index(r) for r in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_node_of(self):
+        nm = NodeMap.regular(6, 3)
+        assert [nm.node_of(r) for r in range(6)] == [0, 0, 0, 1, 1, 1]
+
+
+class TestHashability:
+    def test_usable_as_cache_key(self):
+        """Schedules are memoised per NodeMap — the map must hash by value
+        despite its derived membership table."""
+        a = NodeMap.regular(8, 2)
+        b = NodeMap.regular(8, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_intra_scale_distinguishes(self):
+        assert NodeMap.regular(8, 2) != NodeMap.regular(8, 2, intra_scale=2.0)
+
+
+@given(
+    ranks_per_node=st.integers(1, 8),
+    n_nodes=st.integers(1, 8),
+    intra_scale=st.floats(0.5, 16.0),
+)
+def test_regular_partitions_all_ranks(ranks_per_node, n_nodes, intra_scale):
+    n = ranks_per_node * n_nodes
+    nm = NodeMap.regular(n, ranks_per_node, intra_scale=intra_scale)
+    seen = [r for node in range(nm.n_nodes) for r in nm.members(node)]
+    assert sorted(seen) == list(range(n))
+    for node in range(nm.n_nodes):
+        members = nm.members(node)
+        assert members[0] == nm.leader(node) == min(members)
+        assert list(members) == sorted(members)

@@ -66,6 +66,16 @@ class TestReduceScatterSchedule:
         ring = Ring(1)
         assert ring.owned_block(0) == 0
 
+    def test_single_rank_ring_has_no_rounds(self):
+        """Regression: the round bound used ``max(n−1, 1)``, so a 1-rank
+        ring accepted round 0 — but it has zero exchange rounds."""
+        with pytest.raises(IndexError):
+            Ring(1).send_block(0, 0)
+        with pytest.raises(IndexError):
+            Ring(1).recv_block(0, 0)
+        with pytest.raises(IndexError):
+            Ring(1).allgather_send_block(0, 0)
+
 
 class TestAllgatherSchedule:
     def test_first_round_sends_owned(self):

@@ -1,0 +1,205 @@
+"""Structural tests for the two-level hierarchical schedule generators.
+
+The provenance interpreter is the key instrument: it runs a schedule
+symbolically with ``state[rank][block] = frozenset(contributing ranks)``
+— a fold unions the sender's set into the receiver's, a store overwrites
+— so full correctness of the index arithmetic (binomial trees, leader
+ring, Rabenseifner halving/doubling) reduces to "every rank ends with
+the full set on every block", with no kernels or floats involved.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    NetworkModel,
+    NodeMap,
+    TorusNetwork,
+)
+from repro.schedule import (
+    INTER_FAMILIES,
+    hierarchical_allreduce_schedule,
+    select_inter_family,
+)
+
+SHAPES = [
+    (8, 2), (8, 4), (16, 4), (6, 3), (4, 4),  # regular
+    (5, 1),   # one rank per node: pure inter stage
+    (1, 1),   # singleton
+    (12, 4),  # non-power-of-two node count
+]
+
+
+def _provenance(schedule):
+    """Run the schedule symbolically; return state[rank][block] sets."""
+    n = schedule.n_ranks
+    blocks = sorted(schedule.weights)
+    state = [{b: frozenset({i}) for b in blocks} for i in range(n)]
+    for rnd in schedule.rounds():
+        # rounds are bulk-synchronous: capture sends before applying
+        staged = [
+            (c.dst, c.blocks, c.action, {b: state[c.src][b] for b in c.blocks})
+            for c in rnd.comms
+        ]
+        for dst, blks, action, payload in staged:
+            for b in blks:
+                if action == "fold":
+                    state[dst][b] = state[dst][b] | payload[b]
+                elif action == "store":
+                    state[dst][b] = payload[b]
+    return state
+
+
+class TestProvenance:
+    @pytest.mark.parametrize("n,rpn", SHAPES)
+    def test_ring_reaches_full_set(self, n, rpn):
+        nm = NodeMap.regular(n, rpn)
+        state = _provenance(hierarchical_allreduce_schedule(nm, "ring"))
+        everyone = frozenset(range(n))
+        for rank in range(n):
+            for b in range(nm.n_nodes):
+                assert state[rank][b] == everyone
+
+    @pytest.mark.parametrize("n,rpn", [(16, 4), (8, 1), (32, 8), (4, 4)])
+    def test_rabenseifner_reaches_full_set(self, n, rpn):
+        nm = NodeMap.regular(n, rpn)
+        state = _provenance(
+            hierarchical_allreduce_schedule(nm, "rabenseifner")
+        )
+        everyone = frozenset(range(n))
+        for rank in range(n):
+            for b in range(nm.n_nodes):
+                assert state[rank][b] == everyone
+
+    def test_irregular_nodemap_reaches_full_set(self):
+        nm = NodeMap(node_of_rank=(0, 1, 0, 1, 0, 2, 2))
+        state = _provenance(hierarchical_allreduce_schedule(nm, "ring"))
+        everyone = frozenset(range(7))
+        for rank in range(7):
+            for b in range(3):
+                assert state[rank][b] == everyone
+
+
+class TestConcurrency:
+    """The congestion-law fix: declared flows, never blanket n_ranks."""
+
+    def test_intra_rounds_declare_busiest_node(self):
+        nm = NodeMap.regular(64, 8)
+        sched = hierarchical_allreduce_schedule(nm, "ring")
+        intra = [
+            r for phase in sched.phases if phase.slot.startswith("intra")
+            for r in phase.rounds
+        ]
+        assert intra  # both intra-reduce and intra-bcast present
+        for rnd in intra:
+            assert rnd.link_scale == nm.intra_scale
+            # 8-rank binomial tree: 4, 2, 1 sends per node per step
+            assert rnd.flows(sched.n_ranks) in (4, 2, 1)
+
+    def test_inter_rounds_declare_one_flow_per_node(self):
+        nm = NodeMap.regular(64, 8)
+        sched = hierarchical_allreduce_schedule(nm, "ring")
+        inter = [
+            r for phase in sched.phases if phase.slot.startswith("inter")
+            for r in phase.rounds
+        ]
+        assert inter
+        for rnd in inter:
+            assert rnd.flows(sched.n_ranks) == nm.n_nodes
+            assert rnd.link_scale == 1.0
+
+    def test_no_round_pays_jobwide_congestion(self):
+        """On a multi-node map every round's flow count is < n_ranks —
+        the whole point of threading concurrency through the IR."""
+        nm = NodeMap.regular(64, 8)
+        sched = hierarchical_allreduce_schedule(nm, "ring")
+        for rnd in sched.rounds():
+            if rnd.comms:
+                assert rnd.flows(sched.n_ranks) < sched.n_ranks
+
+    def test_inter_rounds_touch_only_leaders(self):
+        nm = NodeMap.regular(32, 4)
+        sched = hierarchical_allreduce_schedule(nm, "ring")
+        leaders = set(nm.leaders())
+        for phase in sched.phases:
+            if phase.slot.startswith("inter"):
+                for rnd in phase.rounds:
+                    for c in rnd.comms:
+                        assert {c.src, c.dst} <= leaders
+
+
+class TestDegenerateShapes:
+    def test_single_node_has_no_inter_phase(self):
+        sched = hierarchical_allreduce_schedule(NodeMap.regular(4, 4))
+        assert not any(p.slot.startswith("inter") for p in sched.phases)
+
+    def test_one_rank_per_node_has_no_intra_phases(self):
+        sched = hierarchical_allreduce_schedule(NodeMap.regular(5, 1))
+        assert not any(p.slot.startswith("intra") for p in sched.phases)
+
+    def test_singleton_is_setup_finalize_only(self):
+        sched = hierarchical_allreduce_schedule(NodeMap.regular(1, 1))
+        assert [p.slot for p in sched.phases] == ["setup", "finalize"]
+
+
+class TestValidationAndCaching:
+    def test_unknown_inter_family_rejected(self):
+        with pytest.raises(ValueError, match="inter-node family"):
+            hierarchical_allreduce_schedule(NodeMap.regular(8, 2), "bcube")
+
+    def test_rabenseifner_needs_power_of_two_nodes(self):
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_schedule(
+                NodeMap.regular(12, 4), "rabenseifner"
+            )
+
+    def test_schedules_are_memoised_by_value(self):
+        a = hierarchical_allreduce_schedule(NodeMap.regular(8, 2), "ring")
+        b = hierarchical_allreduce_schedule(NodeMap.regular(8, 2), "ring")
+        assert a is b
+
+    def test_block_weights_sum_to_one(self):
+        sched = hierarchical_allreduce_schedule(NodeMap.regular(12, 4))
+        assert sum(sched.weights.values()) == pytest.approx(1.0)
+
+
+class TestSelector:
+    def test_dragonfly_power_of_two_prefers_rabenseifner(self):
+        nm = NodeMap.regular(64, 8)  # 8 nodes
+        assert select_inter_family(DragonflyNetwork(), nm) == "rabenseifner"
+
+    def test_dragonfly_irregular_node_count_falls_back_to_ring(self):
+        nm = NodeMap.regular(24, 8)  # 3 nodes
+        assert select_inter_family(DragonflyNetwork(), nm) == "ring"
+
+    @pytest.mark.parametrize(
+        "network",
+        [TorusNetwork(), FatTreeNetwork(), NetworkModel()],
+        ids=["torus", "fattree", "base"],
+    )
+    def test_other_fabrics_prefer_ring(self, network):
+        assert select_inter_family(network, NodeMap.regular(64, 8)) == "ring"
+
+    def test_single_node_is_ring(self):
+        assert (
+            select_inter_family(DragonflyNetwork(), NodeMap.regular(8, 8))
+            == "ring"
+        )
+
+    @given(
+        rpn=st.integers(1, 4),
+        n_nodes=st.integers(1, 12),
+    )
+    def test_selector_always_returns_a_buildable_family(self, rpn, n_nodes):
+        nm = NodeMap.regular(rpn * n_nodes, rpn)
+        for network in (
+            DragonflyNetwork(), TorusNetwork(), FatTreeNetwork(),
+            NetworkModel(),
+        ):
+            family = select_inter_family(network, nm)
+            assert family in INTER_FAMILIES
+            # the chosen family must actually build for this shape
+            hierarchical_allreduce_schedule(nm, family)
