@@ -1,0 +1,114 @@
+"""Tuner gate — the tuned pick is never worse than the best static family.
+
+``BENCH_tuner.json`` commits the full autotuning grid (64 KB – 64 MB,
+n ∈ {8, 64, 256, 1024}, torus / dragonfly / fat-tree, smooth / rough),
+with every candidate's modelled cost per point.  Three layers:
+
+* the pytest gate recomputes the n ≤ 256 points exactly and compares
+  them to the committed document bit-for-bit (any cost-model drift fails
+  loudly here, with the offending point in the assertion message);
+* the committed n=1024 points are re-*checked* against the gate
+  invariants (argmin-ness, flat-pick consistency, candidate coverage)
+  without rebuilding their ~1-minute flat-ring schedules;
+* ``--check`` runs both layers from the command line for the CI
+  ``tuner-gate`` job.
+
+Deterministic by construction — every number is a closed-form
+:func:`repro.schedule.cost.schedule_cost` dry run:
+
+    PYTHONPATH=src python benchmarks/bench_tuner.py           # regenerate
+    PYTHONPATH=src python benchmarks/bench_tuner.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.bench.tables import format_table
+from repro.bench.tuner import (
+    CHECK_RANKS,
+    FABRICS,
+    GRID_RANKS,
+    GRID_SIZES_BYTES,
+    ROUGHNESS,
+    check_points,
+    grid_sweep,
+    tuner_rows,
+)
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_tuner.json"
+
+
+def _committed() -> list[dict]:
+    return json.loads(BASELINE.read_text())["points"]
+
+
+def test_committed_gate_holds_everywhere():
+    """Every committed point — including n=1024 — passes the gate: the
+    tuned pick is the argmin over every static family's modelled cost."""
+    points = _committed()
+    assert {p["n_ranks"] for p in points} == set(GRID_RANKS)
+    assert len(points) == (
+        len(GRID_RANKS) * len(FABRICS) * len(GRID_SIZES_BYTES) * len(ROUGHNESS)
+    )
+    check_points(points)
+
+
+def test_small_grid_reproduces_committed():
+    """The n ∈ {8, 64} half of the grid, recomputed exactly."""
+    points = grid_sweep(ranks=(8, 64))
+    committed = [p for p in _committed() if p["n_ranks"] in (8, 64)]
+    assert committed == points
+    check_points(points)
+
+
+def test_n256_grid_reproduces_committed():
+    """The n=256 column (the largest CI rebuilds its schedules for)."""
+    points = grid_sweep(ranks=(256,))
+    committed = [p for p in _committed() if p["n_ranks"] == 256]
+    assert committed == points
+
+
+def _print_rows(points: list[dict]) -> None:
+    print(
+        format_table(
+            ["ranks", "KB", "fabric", "data", "pick", "ms", "vs ring-hz"],
+            tuner_rows(points),
+            title="Autotuned schedule picks (modelled, 8 ranks/node)",
+        )
+    )
+
+
+def main(argv: list[str]) -> int:
+    if "--check" in argv:
+        points = _committed()
+        check_points(points)
+        recomputed = grid_sweep(ranks=CHECK_RANKS)
+        committed_small = [
+            p for p in points if p["n_ranks"] in set(CHECK_RANKS)
+        ]
+        if committed_small != recomputed:
+            print("BENCH_tuner.json is stale: recomputed grid differs")
+            return 1
+        print(
+            f"tuner gate ok: {len(points)} committed points pass, "
+            f"n ∈ {CHECK_RANKS} reproduced exactly"
+        )
+        return 0
+    points = grid_sweep()
+    check_points(points)
+    doc = {
+        "rates": "PAPER_BROADWELL",
+        "ranks_per_node": 8,
+        "points": points,
+    }
+    BASELINE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    _print_rows(points)
+    print(f"wrote {BASELINE} ({len(points)} grid points)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,171 @@
+"""Tuner grid sweep + gate logic (shared by CLI, benchmark, and tests).
+
+The acceptance claim of the autotuner is simple: **the tuned pick is
+never worse than the best static family** at any grid point — by
+construction it is the argmin over the same candidate costs, so the gate
+is really pinning that (a) enumeration covers every static family a
+caller could have hand-picked, (b) the per-candidate costs are
+reproducible, and (c) nothing silently drops out of the candidate set
+(the pipelined rank cap is *visible* in the per-point cost map).
+
+Deterministic by construction — every number is a closed-form
+:func:`~repro.schedule.cost.schedule_cost` dry run, so the committed
+``BENCH_tuner.json`` is exactly reproducible:
+
+    PYTHONPATH=src python benchmarks/bench_tuner.py
+
+The n=1024 column costs ~1 min (the flat ring schedule build); CI
+recomputes the n ≤ 256 grid exactly and re-*checks* the committed
+n=1024 points (same split as ``bench_hierarchy``).
+"""
+
+from __future__ import annotations
+
+from ..core.cost_model import PAPER_BROADWELL
+from ..runtime import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    NodeMap,
+    TorusNetwork,
+)
+from ..schedule.tuner import (
+    Candidate,
+    TuningKey,
+    TuningTable,
+    tune_point,
+)
+
+__all__ = [
+    "FABRICS",
+    "GRID_RANKS",
+    "CHECK_RANKS",
+    "GRID_SIZES_BYTES",
+    "ROUGHNESS",
+    "RANKS_PER_NODE",
+    "grid_sweep",
+    "check_points",
+    "table_from_points",
+    "tuner_rows",
+]
+
+KB = 1 << 10
+MB = 1 << 20
+
+FABRICS = {
+    "torus": TorusNetwork(),
+    "dragonfly": DragonflyNetwork(),
+    "fattree": FatTreeNetwork(),
+}
+#: the committed grid: 64 KB – 64 MB (each size its own log2 bucket),
+#: figure-scale rank counts, all three fabrics, both roughness classes.
+GRID_SIZES_BYTES = (64 * KB, 256 * KB, MB, 4 * MB, 16 * MB, 64 * MB)
+GRID_RANKS = (8, 64, 256, 1024)
+#: recomputed exactly in CI; the n=1024 points are re-checked only
+#: (building the flat 1024-rank ring schedule costs ~1 min).
+CHECK_RANKS = (8, 64, 256)
+ROUGHNESS = ("smooth", "rough")
+RANKS_PER_NODE = 8
+
+
+def grid_sweep(ranks: tuple[int, ...] = GRID_RANKS) -> list[dict]:
+    """Score the full candidate set at every grid point.
+
+    Returns one JSON-ready record per point, carrying the pick, the best
+    flat (non-hierarchical) pick, and the complete ``slug → modelled
+    seconds`` map so the gate can verify argmin-ness offline.
+    """
+    points = []
+    for n in ranks:
+        nodemap = NodeMap.regular(n, min(RANKS_PER_NODE, n))
+        for fabric in sorted(FABRICS):
+            network = FABRICS[fabric]
+            for size in GRID_SIZES_BYTES:
+                for roughness in ROUGHNESS:
+                    key, entry, costs = tune_point(
+                        n, size, network, roughness, PAPER_BROADWELL, nodemap
+                    )
+                    points.append(
+                        {
+                            "key": key.canonical(),
+                            "n_ranks": n,
+                            "size_bytes": size,
+                            "fabric": fabric,
+                            "roughness": roughness,
+                            "pick": entry.pick.slug(),
+                            "pick_cost_s": entry.cost_s,
+                            "flat_pick": entry.flat_pick.slug(),
+                            "flat_cost_s": entry.flat_cost_s,
+                            "static_costs": dict(sorted(costs.items())),
+                        }
+                    )
+    return points
+
+
+def check_points(points: list[dict]) -> None:
+    """The gate: every point's pick is the argmin of its static costs."""
+    assert points, "empty tuner grid"
+    for p in points:
+        costs = p["static_costs"]
+        assert costs, f"{p['key']}: no candidates scored"
+        best_cost = min(costs.values())
+        # the tuned pick is never worse than the best static family
+        assert p["pick_cost_s"] <= best_cost * (1 + 1e-12), (
+            f"{p['key']}: tuned pick {p['pick']} ({p['pick_cost_s']:.6g}s) "
+            f"worse than best static ({best_cost:.6g}s)"
+        )
+        # ...and its recorded cost is the candidate's own entry
+        assert p["pick"] in costs and costs[p["pick"]] == p["pick_cost_s"], (
+            f"{p['key']}: pick {p['pick']} inconsistent with its static cost"
+        )
+        flat = {
+            slug: c for slug, c in costs.items()
+            if not Candidate.parse(slug).hierarchical
+        }
+        assert flat, f"{p['key']}: no flat candidates"
+        assert p["flat_pick"] in flat, (
+            f"{p['key']}: flat pick {p['flat_pick']} is not flat"
+        )
+        assert p["flat_cost_s"] == flat[p["flat_pick"]] == min(flat.values()), (
+            f"{p['key']}: flat pick {p['flat_pick']} is not the flat argmin"
+        )
+        # ring candidates are unconditional — they anchor every cost map
+        assert "ring-plain" in costs and "ring-hz" in costs
+
+
+def table_from_points(points: list[dict]) -> TuningTable:
+    """Rehydrate a :class:`TuningTable` from sweep records (the committed
+    ``BENCH_tuner.json`` doubles as a full-grid tuning table)."""
+    from ..schedule.tuner import TableEntry
+
+    table = TuningTable()
+    for p in points:
+        table.put(
+            TuningKey.parse(p["key"]),
+            TableEntry(
+                pick=Candidate.parse(p["pick"]),
+                cost_s=p["pick_cost_s"],
+                flat_pick=Candidate.parse(p["flat_pick"]),
+                flat_cost_s=p["flat_cost_s"],
+            ),
+        )
+    return table
+
+
+def tuner_rows(points: list[dict]) -> list[list[str]]:
+    """Human-readable rows for the CLI/benchmark tables."""
+    rows = []
+    for p in points:
+        costs = p["static_costs"]
+        flat_ring = costs["ring-hz"]
+        rows.append(
+            [
+                str(p["n_ranks"]),
+                f"{p['size_bytes'] // KB}",
+                p["fabric"],
+                p["roughness"],
+                p["pick"],
+                f"{p['pick_cost_s'] * 1e3:.3f}",
+                f"{flat_ring / p['pick_cost_s']:.2f}x",
+            ]
+        )
+    return rows

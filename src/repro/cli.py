@@ -10,6 +10,8 @@ Commands
 ``stacking``    — the image-stacking demo (Table VII / Figure 13 shapes).
 ``chaos``       — run one collective under a seeded fault plan.
 ``bench-kernels`` — kernel perf harness; emits/compares BENCH_kernels.json.
+``tune``        — schedule autotuner: grid sweep into a persisted tuning
+                  table; ``show``/``diff`` to inspect tables.
 ``trace``       — observability: export (Chrome/CSV/schema-v2 JSON),
                   summary, and diff of collective traces.
 """
@@ -17,6 +19,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -109,6 +112,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="model grid only; skip the functional spot checks")
     p.add_argument("--json", dest="json_path", default=None, metavar="PATH",
                    help="write the machine-readable document to PATH")
+
+    p = sub.add_parser(
+        "tune", help="schedule autotuner: sweep a grid into a tuning table"
+    )
+    usub = p.add_subparsers(dest="tune_command", required=True)
+
+    pr = usub.add_parser(
+        "run", help="grid sweep -> tuning table (merged into an existing one)"
+    )
+    pr.add_argument("--ranks", type=int, action="append", default=None,
+                    metavar="N", help="rank count (repeatable; default 8)")
+    pr.add_argument("--size-kb", type=int, action="append", default=None,
+                    metavar="KB",
+                    help="message size in KiB (repeatable; "
+                         "default 64 256 1024 4096)")
+    pr.add_argument("--fabric", action="append", default=None,
+                    choices=["torus", "dragonfly", "fattree"],
+                    help="fabric model (repeatable; default: all three)")
+    pr.add_argument("--roughness", action="append", default=None,
+                    choices=["smooth", "rough"],
+                    help="dataset roughness class (repeatable; default: both)")
+    pr.add_argument("--ranks-per-node", type=int, default=8,
+                    help="regular placement for the hierarchical candidates "
+                         "(default 8; 1 disables them)")
+    pr.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="table path (default: config/$REPRO_TUNING_TABLE, "
+                         "else TUNING_TABLE.json)")
+
+    ps = usub.add_parser("show", help="print a tuning table")
+    ps.add_argument("path", nargs="?", default=None,
+                    help="table path (default: $REPRO_TUNING_TABLE)")
+
+    pd = usub.add_parser("diff", help="compare two tuning tables (A -> B)")
+    pd.add_argument("a", help="baseline table JSON")
+    pd.add_argument("b", help="candidate table JSON")
 
     p = sub.add_parser(
         "trace", help="trace observability: export / summary / diff"
@@ -396,6 +434,88 @@ def _cmd_bench_hierarchy(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from repro.core.cost_model import PAPER_BROADWELL
+    from repro.runtime import NodeMap
+    from repro.schedule.tuner import (
+        SCHEMA_VERSION,
+        TuningTable,
+        TuningTableError,
+        resolve_table_path,
+        tune_point,
+    )
+
+    def load_or_exit(path: str) -> TuningTable:
+        try:
+            return TuningTable.load(path)
+        except TuningTableError as exc:
+            raise SystemExit(str(exc))
+
+    if args.tune_command == "show":
+        path = args.path or resolve_table_path()
+        if path is None:
+            raise SystemExit("no table path given and $REPRO_TUNING_TABLE unset")
+        table = load_or_exit(path)
+        print(f"{path}: {len(table)} entries (schema {SCHEMA_VERSION})")
+        for key in sorted(table.entries, key=lambda k: k.canonical()):
+            e = table.entries[key]
+            print(f"  {key.canonical():48s} {e.pick.slug():24s}"
+                  f" {e.cost_s * 1e3:10.3f} ms")
+        return 0
+
+    if args.tune_command == "diff":
+        a, b = load_or_exit(args.a), load_or_exit(args.b)
+        print(f"{args.a} -> {args.b}")
+        keys_a, keys_b = set(a.entries), set(b.entries)
+        for key in sorted(keys_a - keys_b, key=lambda k: k.canonical()):
+            print(f"  - {key.canonical()}")
+        for key in sorted(keys_b - keys_a, key=lambda k: k.canonical()):
+            e = b.entries[key]
+            print(f"  + {key.canonical()} -> {e.pick.slug()}")
+        changed = 0
+        for key in sorted(keys_a & keys_b, key=lambda k: k.canonical()):
+            ea, eb = a.entries[key], b.entries[key]
+            if ea == eb:
+                continue
+            changed += 1
+            print(f"  ~ {key.canonical()}: {ea.pick.slug()}"
+                  f" ({ea.cost_s * 1e3:.3f} ms) -> {eb.pick.slug()}"
+                  f" ({eb.cost_s * 1e3:.3f} ms)")
+        print(f"{len(keys_b - keys_a)} added, {len(keys_a - keys_b)} removed, "
+              f"{changed} changed, "
+              f"{len(keys_a & keys_b) - changed} identical")
+        return 0
+
+    # run
+    from repro.bench.tuner import FABRICS
+
+    ranks = args.ranks or [8]
+    sizes_kb = args.size_kb or [64, 256, 1024, 4096]
+    fabrics = args.fabric or sorted(FABRICS)
+    roughness = args.roughness or ["smooth", "rough"]
+    out = args.output or resolve_table_path() or "TUNING_TABLE.json"
+
+    table = TuningTable()
+    for n in ranks:
+        rpn = min(args.ranks_per_node, n)
+        nodemap = NodeMap.regular(n, rpn) if rpn > 1 else None
+        for fabric in fabrics:
+            network = FABRICS[fabric]
+            for kb in sizes_kb:
+                for rough in roughness:
+                    key, entry, _ = tune_point(
+                        n, kb << 10, network, rough, PAPER_BROADWELL, nodemap
+                    )
+                    table.put(key, entry)
+                    print(f"  {key.canonical():48s} -> {entry.pick.slug():24s}"
+                          f" {entry.cost_s * 1e3:10.3f} ms")
+    if os.path.exists(out):
+        table = load_or_exit(out).merge(table)
+    table.save(out)
+    print(f"wrote {out} ({len(table)} entries)")
+    return 0
+
+
 def _run_traced(args):
     """Run one collective with tracing on; returns its CollectiveResult."""
     from repro.core.api import HZCCL
@@ -492,6 +612,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": lambda: _cmd_chaos(args),
         "bench-kernels": lambda: _cmd_bench_kernels(args),
         "bench-hierarchy": lambda: _cmd_bench_hierarchy(args),
+        "tune": lambda: _cmd_tune(args),
         "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()

@@ -27,6 +27,7 @@ from .rooted import (
     mpi_bcast,
     mpi_reduce,
 )
+from .tuned import run_candidate, tuned_allreduce
 
 __all__ = [
     "CollectiveResult",
@@ -54,4 +55,6 @@ __all__ = [
     "hzccl_rabenseifner_allreduce",
     "mpi_hierarchical_allreduce",
     "hzccl_hierarchical_allreduce",
+    "tuned_allreduce",
+    "run_candidate",
 ]

@@ -1,0 +1,135 @@
+"""Autotuned Allreduce: consult the tuning table, dispatch the pick.
+
+:func:`tuned_allreduce` closes the loop the tuner opens: classify the
+actual data's roughness, build the :class:`~repro.schedule.tuner.TuningKey`
+for this call, resolve it (persisted table → in-memory LRU → live
+enumeration), and run the picked candidate through the *existing* family
+entry point — so the tuned path inherits every family's fault handling
+and degrade-to-plain contract unchanged.
+
+Hierarchical picks need placement information: when the caller passes no
+:class:`~repro.runtime.nodemap.NodeMap`, the entry's ``flat_pick`` (the
+best non-hierarchical candidate, recorded at tuning time) runs instead —
+a table built on a placed grid still serves placement-free callers.
+
+Every decision is observable through :mod:`repro.obs`::
+
+    tuner.lookups                 one per tuned collective
+    tuner.source.{table,memo,enumerated}
+    tuner.pick.<slug>             which candidate actually ran
+    tuner.flat_fallback           hierarchical pick demoted (no nodemap)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs.metrics import METRICS
+from ..runtime.cluster import SimCluster
+from ..runtime.nodemap import NodeMap
+from ..schedule.tuner import (
+    Candidate,
+    TuningKey,
+    TuningTable,
+    classify_roughness,
+    fabric_name,
+    load_default_table,
+    lookup_entry,
+    resolve_table_path,
+    size_bucket,
+)
+from .base import CollectiveResult, validate_local_data
+from .hierarchy import hzccl_hierarchical_allreduce, mpi_hierarchical_allreduce
+from .hzccl import hzccl_allreduce, hzccl_pipelined_allreduce
+from .rabenseifner import hzccl_rabenseifner_allreduce, rabenseifner_allreduce
+from .ring import mpi_allreduce
+
+__all__ = ["tuned_allreduce", "run_candidate"]
+
+
+def _default_rates():
+    # Lazy: repro.core imports this package back (api → collectives), so
+    # the rates import must not run at collectives import time.
+    from ..core.cost_model import PAPER_BROADWELL
+
+    return PAPER_BROADWELL
+
+
+def run_candidate(
+    cand: Candidate,
+    cluster: SimCluster,
+    local_data: list[np.ndarray],
+    config,
+    nodemap: NodeMap | None = None,
+) -> CollectiveResult:
+    """Dispatch one tuner candidate to its family entry point."""
+    if cand.hierarchical:
+        if nodemap is None:
+            raise ValueError(f"candidate {cand.slug()} needs a nodemap")
+        inter = cand.family.removeprefix("hier-")
+        if cand.codec == "hz":
+            return hzccl_hierarchical_allreduce(
+                cluster, local_data, config, nodemap, inter
+            )
+        return mpi_hierarchical_allreduce(cluster, local_data, nodemap, inter)
+    if cand.family == "pipelined":
+        return hzccl_pipelined_allreduce(
+            cluster, local_data, config, n_chunks=cand.chunks
+        )
+    if cand.family == "rabenseifner":
+        if cand.codec == "hz":
+            return hzccl_rabenseifner_allreduce(cluster, local_data, config)
+        return rabenseifner_allreduce(cluster, local_data)
+    if cand.codec == "hz":
+        return hzccl_allreduce(cluster, local_data, config)
+    return mpi_allreduce(cluster, local_data)
+
+
+def tuned_allreduce(
+    cluster: SimCluster,
+    local_data: list[np.ndarray],
+    config,
+    nodemap: NodeMap | None = None,
+    table: TuningTable | None = None,
+    rates=None,
+) -> CollectiveResult:
+    """SUM Allreduce through the schedule autotuner.
+
+    ``table=None`` loads the configured table (``config.tuning_table_path``
+    or ``$REPRO_TUNING_TABLE``; missing file ⇒ empty table).  A key miss
+    never fails — it falls back to live candidate enumeration, memoised
+    process-wide.
+    """
+    arrays = validate_local_data(local_data)
+    if len(arrays) != cluster.n_ranks:
+        raise ValueError(
+            f"got {len(arrays)} rank arrays for {cluster.n_ranks} ranks"
+        )
+    if table is None:
+        table = load_default_table(resolve_table_path(config))
+    if rates is None:
+        rates = _default_rates()
+
+    key = TuningKey(
+        op="allreduce",
+        dtype=str(arrays[0].dtype),
+        bucket=size_bucket(int(arrays[0].nbytes)),
+        n_ranks=cluster.n_ranks,
+        fabric=fabric_name(cluster.network),
+        roughness=classify_roughness(arrays[0], config.error_bound),
+    )
+    entry, source = lookup_entry(key, cluster.network, rates, nodemap, table)
+
+    cand = entry.pick
+    flat_fallback = False
+    if cand.hierarchical and nodemap is None:
+        cand, flat_fallback = entry.flat_pick, True
+
+    if METRICS.enabled:
+        METRICS.inc("tuner.lookups")
+        METRICS.inc(f"tuner.source.{source}")
+        METRICS.inc(f"tuner.pick.{cand.slug()}")
+        if flat_fallback:
+            METRICS.inc("tuner.flat_fallback")
+
+    return run_candidate(cand, cluster, arrays, config, nodemap)

@@ -33,6 +33,7 @@ from ..collectives import (
     mpi_bcast,
     mpi_reduce,
     mpi_reduce_scatter,
+    tuned_allreduce,
 )
 from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
@@ -133,6 +134,7 @@ class HZCCL:
         kernel: str = "hzccl",
         nodemap: "NodeMap | None" = None,
         inter: str | None = None,
+        tune: bool = False,
     ) -> CollectiveResult:
         """SUM Allreduce across ``len(local_data)`` simulated ranks.
 
@@ -143,9 +145,20 @@ class HZCCL:
         (``"ring"`` / ``"rabenseifner"``); ``None`` lets
         :func:`~repro.schedule.select_inter_family` read the configured
         fabric.
+
+        ``tune=True`` hands family selection to the schedule autotuner
+        (DESIGN.md §13): the pick comes from the persisted tuning table
+        (``config.tuning_table_path`` / ``$REPRO_TUNING_TABLE``) or live
+        candidate enumeration, keyed on message size, rank count, fabric,
+        and the data's measured roughness; ``kernel`` and ``inter`` are
+        ignored, ``nodemap`` enables the hierarchical candidates.
         """
         cluster = self._cluster(len(local_data))
         with use_backend(self.config.kernel_backend):
+            if tune:
+                return tuned_allreduce(
+                    cluster, local_data, self.config, nodemap=nodemap
+                )
             if nodemap is not None:
                 if kernel == "hzccl":
                     return hzccl_hierarchical_allreduce(

@@ -26,6 +26,12 @@ class CollectiveConfig:
     ``kernel_backend`` selects the fixed-length kernel implementation
     (``"auto"``, ``"numpy"``, or ``"numba"`` — see DESIGN.md §9); every
     backend emits byte-identical streams, so ranks may disagree on it.
+
+    ``tuning_table_path`` points autotuned collectives
+    (``HZCCL.allreduce(tune=True)``, :func:`repro.collectives.tuned_allreduce`)
+    at a persisted :class:`~repro.schedule.tuner.TuningTable`; ``None``
+    falls back to ``$REPRO_TUNING_TABLE``, then to live enumeration
+    (see DESIGN.md §13).
     """
 
     error_bound: float = 1e-4  # absolute, like the paper's collectives
@@ -37,6 +43,7 @@ class CollectiveConfig:
     fault_plan: FaultPlan | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     kernel_backend: str = "auto"
+    tuning_table_path: str | None = None
 
     def __post_init__(self) -> None:
         ensure_positive(self.error_bound, "error_bound")
@@ -46,6 +53,11 @@ class CollectiveConfig:
             raise ValueError("block_size must be a positive multiple of 8")
         if not isinstance(self.kernel_backend, str) or not self.kernel_backend:
             raise ValueError("kernel_backend must be a non-empty string")
+        if self.tuning_table_path is not None and (
+            not isinstance(self.tuning_table_path, str)
+            or not self.tuning_table_path
+        ):
+            raise ValueError("tuning_table_path must be None or a non-empty string")
 
     def with_mode(self, multithread: bool) -> "CollectiveConfig":
         """Same config in the other thread mode."""

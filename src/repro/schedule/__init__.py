@@ -9,7 +9,9 @@
 * :mod:`~repro.schedule.executor` — the single engine all collective
   families run on;
 * :mod:`~repro.schedule.cost` — analytic dry runs of the same schedule
-  objects (the cost model's backend).
+  objects (the cost model's backend);
+* :mod:`~repro.schedule.tuner` — cost-driven candidate enumeration and
+  the persisted :class:`~repro.schedule.tuner.TuningTable`.
 """
 
 from .codecs import (
@@ -29,6 +31,7 @@ from .cost import (
     PLAIN,
     Discipline,
     combine,
+    profile_stats,
     schedule_cost,
 )
 from .executor import Outcome, ScheduleExecutor
@@ -46,6 +49,24 @@ from .generators import (
     select_inter_family,
 )
 from .ir import CommOp, LocalOp, Phase, Round, Schedule
+from .tuner import (
+    SCHEMA_VERSION,
+    Candidate,
+    TableEntry,
+    TuningKey,
+    TuningTable,
+    TuningTableError,
+    candidate_stages,
+    classify_roughness,
+    enumerate_candidates,
+    fabric_name,
+    lookup_entry,
+    load_default_table,
+    resolve_table_path,
+    score_candidate,
+    size_bucket,
+    tune_point,
+)
 
 __all__ = [
     # ir
@@ -86,4 +107,22 @@ __all__ = [
     "HZ_GATHER",
     "schedule_cost",
     "combine",
+    "profile_stats",
+    # tuner
+    "SCHEMA_VERSION",
+    "TuningKey",
+    "Candidate",
+    "TableEntry",
+    "TuningTable",
+    "TuningTableError",
+    "enumerate_candidates",
+    "candidate_stages",
+    "score_candidate",
+    "tune_point",
+    "classify_roughness",
+    "fabric_name",
+    "size_bucket",
+    "lookup_entry",
+    "resolve_table_path",
+    "load_default_table",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "HZ_GATHER",
     "schedule_cost",
     "combine",
+    "profile_stats",
 ]
 
 #: charge entries are (clock bucket, rate) with rate one of
@@ -115,6 +116,17 @@ HZ_GATHER = Discipline(
 # profiles keyed by discipline name.
 _PROFILE_CACHE: dict[int, tuple[weakref.ref, dict[str, list]]] = {}
 
+# Build/hit counters over the life of the process.  The tuner's candidate
+# enumeration depends on profile *reuse* (one build per (schedule,
+# discipline), not one per scored message size); the counters make that a
+# testable contract instead of a hope (tests/schedule/test_profile_reuse).
+_PROFILE_STATS = {"builds": 0, "hits": 0}
+
+
+def profile_stats() -> dict[str, int]:
+    """Snapshot of structural-profile cache traffic (process-wide)."""
+    return dict(_PROFILE_STATS)
+
 
 def _coeff(schedule: Schedule, blocks) -> tuple[int, float]:
     nd, w = 0, 0.0
@@ -134,6 +146,7 @@ def _profile(schedule: Schedule, discipline: Discipline) -> list:
         memo = hit[1]
         cached = memo.get(discipline.name)
         if cached is not None:
+            _PROFILE_STATS["hits"] += 1
             return cached
     else:
         memo = {}
@@ -224,6 +237,7 @@ def _profile(schedule: Schedule, discipline: Discipline) -> list:
         )
 
     memo[discipline.name] = profile
+    _PROFILE_STATS["builds"] += 1
     return profile
 
 

@@ -6,7 +6,7 @@ error bound *or* the collective is explicitly marked degraded, and
 re-running with the same seed reproduces byte-identical outputs and an
 identical fault-event trace.
 
-10 operations × 4 plan families × 5 seeds = 200 scenarios, each executed
+13 operations × 4 plan families × 5 seeds = 260 scenarios, each executed
 twice (run + replay).  Data is tiny (360 elements/rank, 4 ranks) so the
 sweep stays CI-friendly; the ``chaos`` marker lets CI run it as its own
 job with ``--durations`` visibility.
@@ -32,6 +32,7 @@ from repro.collectives.rooted import (
     hzccl_reduce_direct,
     mpi_reduce,
 )
+from repro.collectives.tuned import tuned_allreduce
 from repro.core.config import CollectiveConfig
 from repro.runtime import FaultPlan, NetworkModel, NodeMap, SimCluster, TraceLog
 from repro.runtime.topology import Ring
@@ -64,6 +65,10 @@ OPS = {
     "hierarchical-hzccl": lambda cl, d, c: hzccl_hierarchical_allreduce(
         cl, d, c, NodeMap.regular(N_RANKS, 2)
     ),
+    # the autotuner's pick is deterministic per (shape, fabric, data), so
+    # replay holds; the picked family's own degrade-to-plain path is what
+    # keeps faulted runs correct.
+    "tuned-hzccl": tuned_allreduce,
 }
 
 # plan family → seed-parameterised FaultPlan factory

@@ -1,0 +1,274 @@
+"""Unit tests for the schedule autotuner core (keys, candidates, scoring).
+
+The tuner's contracts, smallest first: canonical key/slug strings
+round-trip through their parsers, candidate enumeration is complete and
+deterministic for every rank-count/placement shape, scoring is an
+honest argmin with the documented roughness re-rating, and the
+table → memo → enumeration lookup chain resolves in that order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import PAPER_BROADWELL
+from repro.runtime import (
+    DragonflyNetwork,
+    FatTreeNetwork,
+    NetworkModel,
+    NodeMap,
+    TorusNetwork,
+)
+from repro.schedule.tuner import (
+    PIPELINE_CHUNKS,
+    PIPELINE_MAX_RANKS,
+    ROUGH_RATIO,
+    _ENTRY_MEMO,
+    _LRU,
+    Candidate,
+    TableEntry,
+    TuningKey,
+    TuningTableError,
+    TuningTable,
+    bucket_bytes,
+    classify_roughness,
+    enumerate_candidates,
+    fabric_name,
+    lookup_entry,
+    rates_for_roughness,
+    score_candidate,
+    size_bucket,
+    tune_point,
+)
+
+RATES = PAPER_BROADWELL
+
+
+# --------------------------------------------------------------------- #
+# keys and slugs
+# --------------------------------------------------------------------- #
+def test_tuning_key_canonical_round_trip():
+    key = TuningKey("allreduce", "float32", 22, 256, "torus", "smooth")
+    assert key.canonical() == "allreduce/float32/b22/n256/torus/smooth"
+    assert TuningKey.parse(key.canonical()) == key
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "allreduce/float32/b22/n256/torus",          # missing axis
+        "allreduce/float32/22/n256/torus/smooth",    # bucket marker lost
+        "allreduce/float32/b22/n256/torus/silky",    # unknown roughness
+        "reduce/float32/b22/n256/torus/smooth",      # unsupported op
+        "allreduce/float32/b-3/n256/torus/smooth",   # negative bucket
+    ],
+)
+def test_malformed_keys_rejected(text):
+    with pytest.raises(TuningTableError):
+        TuningKey.parse(text)
+
+
+def test_size_bucket_is_floor_log2():
+    assert size_bucket(1) == 0
+    assert size_bucket(64 << 10) == 16
+    assert size_bucket((64 << 10) + 1) == 16
+    assert size_bucket((128 << 10) - 1) == 16
+    assert size_bucket(128 << 10) == 17
+    assert bucket_bytes(size_bucket(4 << 20)) == 4 << 20
+    with pytest.raises(ValueError):
+        size_bucket(0)
+
+
+def test_fabric_name_maps_congestion_laws():
+    assert fabric_name(TorusNetwork()) == "torus"
+    assert fabric_name(DragonflyNetwork()) == "dragonfly"
+    assert fabric_name(FatTreeNetwork()) == "fattree"
+    assert fabric_name(NetworkModel()) == "base"
+
+
+@pytest.mark.parametrize(
+    "cand",
+    [
+        Candidate("ring", "plain"),
+        Candidate("ring", "hz"),
+        Candidate("rabenseifner", "hz"),
+        Candidate("pipelined", "hz", chunks=4),
+        Candidate("hier-ring", "plain", ranks_per_node=8),
+        Candidate("hier-rabenseifner", "hz", ranks_per_node=16),
+    ],
+)
+def test_candidate_slug_round_trip(cand):
+    assert Candidate.parse(cand.slug()) == cand
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        lambda: Candidate("warp", "hz"),
+        lambda: Candidate("ring", "doc"),
+        lambda: Candidate("pipelined", "plain", chunks=2),   # hz-only family
+        lambda: Candidate("pipelined", "hz", chunks=1),      # not pipelined
+        lambda: Candidate("ring", "hz", chunks=2),           # chunking flat
+        lambda: Candidate("hier-ring", "hz"),                # placement lost
+        lambda: Candidate("ring", "hz", ranks_per_node=8),   # placement flat
+        lambda: Candidate.parse("pipelined-hz"),
+        lambda: Candidate.parse("hier-ring-hz"),
+    ],
+)
+def test_invalid_candidates_rejected(bad):
+    with pytest.raises(TuningTableError):
+        bad()
+
+
+# --------------------------------------------------------------------- #
+# enumeration
+# --------------------------------------------------------------------- #
+def test_enumeration_flat_power_of_two():
+    slugs = {c.slug() for c in enumerate_candidates(8)}
+    assert slugs == {
+        "ring-plain", "ring-hz",
+        "pipelined2-hz", "pipelined4-hz",
+        "rabenseifner-plain", "rabenseifner-hz",
+    }
+
+
+def test_enumeration_drops_rabenseifner_off_power_of_two():
+    slugs = {c.slug() for c in enumerate_candidates(6)}
+    assert "rabenseifner-plain" not in slugs
+    assert "rabenseifner-hz" not in slugs
+    assert "ring-plain" in slugs
+
+
+def test_enumeration_caps_pipelined_at_max_ranks():
+    below = {c.slug() for c in enumerate_candidates(PIPELINE_MAX_RANKS)}
+    above = {c.slug() for c in enumerate_candidates(PIPELINE_MAX_RANKS * 2)}
+    for chunks in PIPELINE_CHUNKS:
+        assert f"pipelined{chunks}-hz" in below
+        assert f"pipelined{chunks}-hz" not in above
+
+
+def test_enumeration_adds_hierarchical_with_placement():
+    nodemap = NodeMap.regular(16, 4)
+    slugs = {c.slug() for c in enumerate_candidates(16, nodemap)}
+    assert "hier-ring4-plain" in slugs
+    assert "hier-ring4-hz" in slugs
+    assert "hier-rabenseifner4-hz" in slugs  # 4 nodes: power of two
+    # a 1-rank-per-node placement degenerates to the flat families
+    assert not any(
+        c.hierarchical for c in enumerate_candidates(16, NodeMap.regular(16, 1))
+    )
+    # 3 nodes: hier-ring only
+    slugs6 = {c.slug() for c in enumerate_candidates(6, NodeMap.regular(6, 2))}
+    assert "hier-ring2-hz" in slugs6
+    assert not any(s.startswith("hier-rabenseifner") for s in slugs6)
+
+
+def test_enumeration_rejects_mismatched_nodemap():
+    with pytest.raises(ValueError):
+        enumerate_candidates(8, NodeMap.regular(16, 4))
+    with pytest.raises(ValueError):
+        enumerate_candidates(8, op="bcast")
+
+
+# --------------------------------------------------------------------- #
+# roughness
+# --------------------------------------------------------------------- #
+def test_classify_roughness_separates_smooth_from_noise():
+    smooth = np.sin(np.linspace(0, 20, 8192)).astype(np.float32)
+    rough = np.random.default_rng(3).normal(0, 1.0, 8192).astype(np.float32)
+    assert classify_roughness(smooth, 1e-3) == "smooth"
+    assert classify_roughness(rough, 1e-6) == "rough"
+    assert classify_roughness(np.ones(1, np.float32), 1e-3) == "smooth"
+    with pytest.raises(ValueError):
+        classify_roughness(smooth, 0.0)
+
+
+def test_rough_rerating_clamps_ratio():
+    assert rates_for_roughness(RATES, "smooth").ratio == RATES.ratio
+    assert rates_for_roughness(RATES, "rough").ratio == ROUGH_RATIO
+    with pytest.raises(ValueError):
+        rates_for_roughness(RATES, "gritty")
+
+
+def test_rough_data_never_scores_hz_cheaper_than_smooth():
+    net = TorusNetwork()
+    for cand in (Candidate("ring", "hz"), Candidate("rabenseifner", "hz")):
+        smooth = score_candidate(cand, 8, 4 << 20, RATES, net, "smooth")
+        rough = score_candidate(cand, 8, 4 << 20, RATES, net, "rough")
+        assert rough > smooth
+    plain = Candidate("ring", "plain")
+    assert score_candidate(plain, 8, 4 << 20, RATES, net, "rough") == (
+        score_candidate(plain, 8, 4 << 20, RATES, net, "smooth")
+    )
+
+
+# --------------------------------------------------------------------- #
+# tune_point
+# --------------------------------------------------------------------- #
+def test_tune_point_is_argmin_of_the_cost_map():
+    nodemap = NodeMap.regular(8, 4)
+    key, entry, costs = tune_point(
+        8, 4 << 20, TorusNetwork(), "smooth", RATES, nodemap
+    )
+    assert key == TuningKey("allreduce", "float32", 22, 8, "torus", "smooth")
+    assert set(costs) == {c.slug() for c in enumerate_candidates(8, nodemap)}
+    assert entry.cost_s == min(costs.values())
+    assert costs[entry.pick.slug()] == entry.cost_s
+    flat = {
+        s: c for s, c in costs.items() if not Candidate.parse(s).hierarchical
+    }
+    assert not entry.flat_pick.hierarchical
+    assert entry.flat_cost_s == min(flat.values())
+    assert entry.cost_s <= entry.flat_cost_s
+
+
+def test_tune_point_without_placement_has_no_hier_candidates():
+    _, entry, costs = tune_point(8, 4 << 20, TorusNetwork(), "smooth", RATES)
+    assert not any(Candidate.parse(s).hierarchical for s in costs)
+    assert entry.pick == entry.flat_pick
+
+
+def test_table_entry_validation():
+    ring = Candidate("ring", "hz")
+    hier = Candidate("hier-ring", "hz", ranks_per_node=4)
+    with pytest.raises(TuningTableError):
+        TableEntry(pick=ring, cost_s=-1.0, flat_pick=ring, flat_cost_s=1.0)
+    with pytest.raises(TuningTableError):
+        TableEntry(pick=ring, cost_s=1.0, flat_pick=hier, flat_cost_s=1.0)
+    with pytest.raises(TuningTableError):
+        TableEntry.from_dict({"pick": "ring-hz"})
+    with pytest.raises(TuningTableError):
+        TableEntry.from_dict("ring-hz")
+
+
+# --------------------------------------------------------------------- #
+# lookup chain
+# --------------------------------------------------------------------- #
+def test_lookup_prefers_table_then_memo_then_enumerates():
+    net = TorusNetwork()
+    key, entry, _ = tune_point(4, 1 << 20, net, "smooth", RATES)
+    table = TuningTable({key: entry})
+
+    got, source = lookup_entry(key, net, RATES, table=table)
+    assert source == "table" and got == entry
+
+    _ENTRY_MEMO.clear()
+    miss_key = TuningKey("allreduce", "float32", 19, 4, "torus", "smooth")
+    got1, source1 = lookup_entry(miss_key, net, RATES, table=table)
+    got2, source2 = lookup_entry(miss_key, net, RATES, table=table)
+    assert (source1, source2) == ("enumerated", "memo")
+    assert got1 == got2
+    assert got1.cost_s > 0
+
+
+def test_lru_evicts_least_recently_used():
+    lru = _LRU(maxsize=2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1      # refresh a
+    lru.put("c", 3)               # evicts b
+    assert lru.get("b") is None
+    assert lru.get("a") == 1 and lru.get("c") == 3
+    assert len(lru) == 2
+    with pytest.raises(ValueError):
+        _LRU(maxsize=0)

@@ -1,0 +1,82 @@
+"""Golden-fixture pin of the tuner's picks on a small frozen grid.
+
+``fixtures/tuning_golden.json`` freezes the tuner's *decisions* — pick,
+flat pick, and their exact modelled costs — on a 16-point grid small
+enough to recompute in milliseconds.  Any cost-model change that moves a
+pick (or even a cost float) fails here loudly, with a per-key diff in
+the assertion message, instead of silently reshuffling which schedule
+every tuned collective runs.
+
+Regenerating after an *intentional* cost-model change::
+
+    PYTHONPATH=src python tests/schedule/test_tuning_golden.py
+
+then review the printed diff and commit the updated fixture together
+with the change that caused it (same policy as ``BENCH_tuner.json``,
+which covers the figure-scale grid; this fixture exists so the everyday
+tier-1 run catches drift without rebuilding benchmark schedules).
+"""
+
+import json
+import pathlib
+
+from repro.core.cost_model import PAPER_BROADWELL
+from repro.runtime import DragonflyNetwork, NodeMap, TorusNetwork
+from repro.schedule.tuner import tune_point
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "tuning_golden.json"
+
+#: the frozen grid: every executable-scale corner the tuner distinguishes
+#: (two rank counts, a latency- and a bandwidth-dominated size, the two
+#: congestion-law extremes, both roughness classes).
+GOLDEN_RANKS = (4, 8)
+GOLDEN_SIZES = (64 << 10, 4 << 20)
+GOLDEN_FABRICS = {"torus": TorusNetwork(), "dragonfly": DragonflyNetwork()}
+GOLDEN_ROUGHNESS = ("smooth", "rough")
+GOLDEN_RANKS_PER_NODE = 4
+
+
+def compute_golden() -> dict[str, dict]:
+    grid = {}
+    for n in GOLDEN_RANKS:
+        nodemap = NodeMap.regular(n, min(GOLDEN_RANKS_PER_NODE, n))
+        for fabric in sorted(GOLDEN_FABRICS):
+            for size in GOLDEN_SIZES:
+                for roughness in GOLDEN_ROUGHNESS:
+                    key, entry, _ = tune_point(
+                        n,
+                        size,
+                        GOLDEN_FABRICS[fabric],
+                        roughness,
+                        PAPER_BROADWELL,
+                        nodemap,
+                    )
+                    grid[key.canonical()] = entry.as_dict()
+    return grid
+
+
+def test_tuner_picks_match_golden_fixture():
+    golden = json.loads(FIXTURE.read_text())
+    computed = compute_golden()
+    diff = [
+        f"  {k}: golden={golden.get(k)} computed={computed.get(k)}"
+        for k in sorted(set(golden) | set(computed))
+        if golden.get(k) != computed.get(k)
+    ]
+    assert not diff, (
+        "tuner picks drifted from the golden fixture (intentional "
+        "cost-model change? regenerate per the module docstring):\n"
+        + "\n".join(diff)
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover — the regen helper
+    computed = compute_golden()
+    old = json.loads(FIXTURE.read_text()) if FIXTURE.exists() else {}
+    for k in sorted(set(old) | set(computed)):
+        if old.get(k) != computed.get(k):
+            print(f"~ {k}\n    {old.get(k)}\n -> {computed.get(k)}")
+    FIXTURE.write_text(
+        json.dumps(computed, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {FIXTURE} ({len(computed)} entries)")

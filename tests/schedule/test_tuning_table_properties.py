@@ -1,0 +1,184 @@
+"""Hypothesis property tests for the persisted :class:`TuningTable`.
+
+Three contracts the on-disk format must keep for tables to be shareable
+artefacts (committed to repos, merged across partial sweeps, read by
+future versions):
+
+* **byte-stable round-trip** — ``save → load → save`` reproduces the
+  exact bytes (sorted keys, canonical floats, trailing newline), so
+  re-serialising a table never dirties version control;
+* **merge algebra** — ``merge`` is commutative, idempotent, and
+  associative on arbitrary overlapping/disjoint key sets (conflicts
+  resolve by lower modelled cost, slug order on exact ties — an
+  order-independent rule);
+* **fail-clean loading** — corrupt documents and *future* schema
+  versions raise :class:`TuningTableError` without constructing any
+  partial table state.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.tuner import (
+    SCHEMA_VERSION,
+    Candidate,
+    TableEntry,
+    TuningKey,
+    TuningTable,
+    TuningTableError,
+)
+
+# -- strategies -------------------------------------------------------- #
+_flat_candidates = st.sampled_from(
+    [
+        Candidate("ring", "plain"),
+        Candidate("ring", "hz"),
+        Candidate("rabenseifner", "hz"),
+        Candidate("pipelined", "hz", chunks=2),
+        Candidate("pipelined", "hz", chunks=4),
+    ]
+)
+_candidates = st.one_of(
+    _flat_candidates,
+    st.sampled_from(
+        [
+            Candidate("hier-ring", "hz", ranks_per_node=8),
+            Candidate("hier-rabenseifner", "plain", ranks_per_node=4),
+        ]
+    ),
+)
+_costs = st.floats(
+    min_value=1e-9, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_keys = st.builds(
+    TuningKey,
+    op=st.just("allreduce"),
+    dtype=st.sampled_from(["float32", "float64"]),
+    bucket=st.integers(min_value=10, max_value=30),
+    n_ranks=st.sampled_from([4, 8, 64, 256, 1024]),
+    fabric=st.sampled_from(["torus", "dragonfly", "fattree", "base"]),
+    roughness=st.sampled_from(["smooth", "rough"]),
+)
+_entries = st.builds(
+    lambda pick, cost, flat_pick, flat_cost: TableEntry(
+        pick=pick,
+        cost_s=min(cost, flat_cost),
+        flat_pick=flat_pick,
+        flat_cost_s=max(cost, flat_cost),
+    ),
+    _candidates,
+    _costs,
+    _flat_candidates,
+    _costs,
+)
+_tables = st.dictionaries(_keys, _entries, max_size=8).map(TuningTable)
+
+
+# -- round-trip -------------------------------------------------------- #
+@given(_tables)
+@settings(max_examples=50, deadline=None)
+def test_round_trip_is_byte_stable(table):
+    text = table.dumps()
+    reloaded = TuningTable.loads(text)
+    assert reloaded == table
+    assert reloaded.dumps() == text
+
+
+@given(table=_tables)
+@settings(max_examples=10, deadline=None)
+def test_save_load_save_on_disk_is_byte_stable(table, tmp_path_factory):
+    path = tmp_path_factory.mktemp("tables") / "t.json"
+    table.save(str(path))
+    first = path.read_bytes()
+    TuningTable.load(str(path)).save(str(path))
+    assert path.read_bytes() == first
+
+
+# -- merge algebra ----------------------------------------------------- #
+@given(_tables, _tables)
+@settings(max_examples=50, deadline=None)
+def test_merge_commutes(a, b):
+    assert a.merge(b).dumps() == b.merge(a).dumps()
+
+
+@given(_tables)
+@settings(max_examples=25, deadline=None)
+def test_merge_is_idempotent(a):
+    assert a.merge(a) == a
+
+
+@given(_tables, _tables, _tables)
+@settings(max_examples=25, deadline=None)
+def test_merge_is_associative(a, b, c):
+    assert a.merge(b).merge(c).dumps() == a.merge(b.merge(c)).dumps()
+
+
+@given(_tables, _tables)
+@settings(max_examples=50, deadline=None)
+def test_merge_unions_keys_and_resolves_by_cost(a, b):
+    merged = a.merge(b)
+    assert set(merged.entries) == set(a.entries) | set(b.entries)
+    for key, entry in merged.entries.items():
+        ea, eb = a.entries.get(key), b.entries.get(key)
+        assert entry in (ea, eb)
+        if ea is not None and eb is not None:
+            assert entry.cost_s == min(ea.cost_s, eb.cost_s)
+
+
+# -- fail-clean loading ------------------------------------------------ #
+def _valid_doc() -> dict:
+    key = TuningKey("allreduce", "float32", 22, 8, "torus", "smooth")
+    entry = TableEntry(
+        pick=Candidate("ring", "hz"),
+        cost_s=1.0,
+        flat_pick=Candidate("ring", "hz"),
+        flat_cost_s=1.0,
+    )
+    return json.loads(TuningTable({key: entry}).dumps())
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda doc: doc.pop("schema"),
+        lambda doc: doc.update(schema=SCHEMA_VERSION + 1),   # future version
+        lambda doc: doc.update(schema="1"),
+        lambda doc: doc.update(schema=0),
+        lambda doc: doc.update(entries=[1, 2]),
+        lambda doc: doc["entries"].update({"not/a/key": {"pick": "ring-hz"}}),
+        lambda doc: next(iter(doc["entries"].values())).update(pick="warp-hz"),
+        lambda doc: next(iter(doc["entries"].values())).update(cost_s=-2.0),
+        lambda doc: next(iter(doc["entries"].values())).pop("flat_pick"),
+    ],
+    ids=[
+        "no-schema", "future-schema", "string-schema", "zero-schema",
+        "entries-not-object", "bad-key", "bad-slug", "negative-cost",
+        "missing-field",
+    ],
+)
+def test_corrupt_documents_fail_clean(mutate):
+    doc = _valid_doc()
+    mutate(doc)
+    with pytest.raises(TuningTableError):
+        TuningTable.loads(json.dumps(doc))
+
+
+def test_non_json_and_non_object_fail_clean():
+    with pytest.raises(TuningTableError):
+        TuningTable.loads("{not json")
+    with pytest.raises(TuningTableError):
+        TuningTable.loads("[1, 2, 3]")
+    with pytest.raises(TuningTableError):
+        TuningTable.load("/nonexistent/tuning-table.json")
+
+
+def test_future_schema_error_names_both_versions():
+    doc = _valid_doc()
+    doc["schema"] = SCHEMA_VERSION + 7
+    with pytest.raises(TuningTableError) as err:
+        TuningTable.loads(json.dumps(doc))
+    assert str(SCHEMA_VERSION + 7) in str(err.value)
+    assert str(SCHEMA_VERSION) in str(err.value)
