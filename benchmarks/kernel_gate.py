@@ -1,0 +1,141 @@
+"""Kernel roofline gate (CI: the kernel-gate job).
+
+The fast backends exist to move the hot kernels toward the host's memory
+bandwidth.  This script enforces that claim with host-independent checks,
+so the gate travels between laptops and CI runners without retuning:
+
+1. **availability** — every ``--require`` backend must have loaded; a
+   perf job whose backend silently fell back to NumPy measures nothing;
+2. **roofline floor** — each gated kernel's throughput, as a *fraction of
+   the run's own STREAM-triad baseline*, must not fall below the
+   committed floor (``--min-frac``, per ``backend:kernel:frac`` triple);
+3. **relative speedup** — a fast backend must actually beat the reference
+   on the kernels it reimplements (``--min-speedup fast:ref:kernel:ratio``,
+   e.g. ``numba:numpy:classify_encode:5``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_gate.py
+        [--mb 8] [--repeats 3]
+        [--require numba]
+        [--min-frac numba:classify_encode:0.05 ...]
+        [--min-speedup numba:numpy:classify_encode:5 ...]
+
+With no ``--min-frac``/``--min-speedup`` the gate still measures and
+reports everything (and enforces ``--require``), so the job log always
+carries the roofline table.  Exits non-zero on the first violated gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.kernels import (
+    format_report,
+    require_backend,
+    run_kernel_bench,
+)
+
+
+def _parse_triples(specs: list[str], parts: int, flag: str) -> list[list[str]]:
+    parsed = []
+    for spec in specs:
+        fields = spec.split(":")
+        if len(fields) != parts:
+            raise SystemExit(
+                f"{flag} expects {parts} colon-separated fields, got {spec!r}"
+            )
+        parsed.append(fields)
+    return parsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mb", type=float, default=8.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="BACKEND",
+        help="backend that must have loaded (repeatable)",
+    )
+    parser.add_argument(
+        "--min-frac",
+        action="append",
+        default=[],
+        metavar="BACKEND:KERNEL:FRAC",
+        help="minimum fraction-of-STREAM floor (repeatable)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="FAST:REF:KERNEL:RATIO",
+        help="minimum throughput ratio of FAST over REF (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    frac_gates = _parse_triples(args.min_frac, 3, "--min-frac")
+    speedup_gates = _parse_triples(args.min_speedup, 4, "--min-speedup")
+
+    try:
+        for name in args.require:
+            require_backend(name)
+        doc = run_kernel_bench(mb=args.mb, repeats=args.repeats)
+    except RuntimeError as exc:
+        print(f"KERNEL GATE FAILED\n  - {exc}")
+        return 1
+    print(format_report(doc))
+
+    backends = doc["backends"]
+    failures = []
+
+    def kernel_entry(backend: str, kernel: str):
+        entry = backends.get(backend, {}).get(kernel)
+        if entry is None:
+            failures.append(f"no measurement for {backend}/{kernel}")
+        return entry
+
+    for backend, kernel, frac in frac_gates:
+        entry = kernel_entry(backend, kernel)
+        if entry is None:
+            continue
+        floor = float(frac)
+        if entry["frac_stream"] < floor:
+            failures.append(
+                f"{backend}/{kernel}: {entry['frac_stream']:.3f} of STREAM, "
+                f"floor {floor:.3f} "
+                f"({entry['gbps']:.3f} GB/s vs triad {doc['stream']['gbps']:.3f})"
+            )
+
+    for fast, ref, kernel, ratio in speedup_gates:
+        fast_e = kernel_entry(fast, kernel)
+        ref_e = kernel_entry(ref, kernel)
+        if fast_e is None or ref_e is None:
+            continue
+        floor = float(ratio)
+        speedup = (
+            fast_e["gbps"] / ref_e["gbps"] if ref_e["gbps"] > 0 else float("inf")
+        )
+        if speedup < floor:
+            failures.append(
+                f"{fast}/{kernel}: {speedup:.2f}x over {ref}, floor {floor:.2f}x "
+                f"({fast_e['gbps']:.3f} vs {ref_e['gbps']:.3f} GB/s)"
+            )
+
+    if failures:
+        print("\nKERNEL GATE FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(
+        f"\nkernel gate ok ({len(frac_gates)} roofline floors, "
+        f"{len(speedup_gates)} speedup floors)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

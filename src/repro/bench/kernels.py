@@ -1,16 +1,21 @@
 """Kernel-level perf-regression harness (``repro bench-kernels``).
 
-Measures the throughput of the four hot kernels — ``encode_blocks``,
-``decode_blocks``, ``decode_selected`` and the fused k-way
-``reduce_fused`` at k ∈ {2, 8, 16} — per available backend, on the same
-random-walk field family every run, and emits the machine-readable
+Measures the throughput of the hot kernels — ``encode_blocks``, the fused
+``classify_encode``, ``decode_blocks``, ``decode_selected`` and the fused
+k-way ``reduce_fused`` at k ∈ {2, 8, 16} — per available backend, on the
+same random-walk field family every run, and emits the machine-readable
 ``BENCH_kernels.json`` that CI diffs against the committed baseline.
 
 Throughput is **uncompressed** bytes over best-of-N wall time (GB/s,
 decimal), the figure of merit the paper reports for its compression and
-homomorphic kernels.  Absolute numbers are host-dependent; the committed
-baseline is only used for *relative* regression checks (default gate:
->2x slower fails).
+homomorphic kernels.  Absolute numbers are host-dependent, so every run
+also measures a local **STREAM triad** baseline (``a = b + s·c`` over
+arrays far larger than cache, 24 bytes of traffic per element — the
+textbook memory-bandwidth roofline) and records each kernel additionally
+as a *fraction of STREAM*.  The fraction is the roofline position: it is
+comparable across hosts in a way raw GB/s never is, and it is what
+``benchmarks/kernel_gate.py`` gates on.  The committed baseline is only
+used for *relative* regression checks (default gate: >2x slower fails).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from ..compression.encoding import (
     decode_blocks,
     decode_selected,
     encode_blocks,
+    encode_into,
     payload_offsets,
 )
 from ..compression.format import CompressedField
@@ -34,6 +40,8 @@ from .timing import best_of, throughput_gbps
 
 __all__ = [
     "REDUCE_KS",
+    "stream_triad_gbps",
+    "require_backend",
     "run_kernel_bench",
     "compare_to_baseline",
     "format_report",
@@ -44,6 +52,47 @@ REDUCE_KS = (2, 8, 16)
 
 _BLOCK_SIZE = 32
 _SELECT_FRACTION = 0.25
+
+
+def stream_triad_gbps(mb: float = 16.0, repeats: int = 3) -> dict[str, Any]:
+    """Measure the host's STREAM-triad bandwidth (the roofline denominator).
+
+    ``a = b + s·c`` over contiguous float64 arrays sized well past cache;
+    the conventional STREAM accounting charges 24 bytes per element (two
+    reads + one write).  Best-of-N like every other measurement here.
+    """
+    n = max(1, int(mb * 1e6 / 8))
+    b = np.full(n, 1.5)
+    c = np.full(n, 0.25)
+    a = np.empty(n)
+
+    def triad() -> None:
+        np.multiply(c, 3.0, out=a)
+        np.add(a, b, out=a)
+
+    t = best_of(triad, repeats=repeats)
+    return {
+        "seconds": t.seconds,
+        "gbps": throughput_gbps(24 * n, t.seconds),
+        "mb": n * 8 / 1e6,
+    }
+
+
+def require_backend(name: str) -> None:
+    """Raise ``RuntimeError`` (with the probe error) unless ``name`` loaded.
+
+    Backs ``repro bench-kernels --require <backend>``: CI perf jobs must
+    fail loudly when the backend they exist to measure silently fell back
+    to NumPy.
+    """
+    status = backend_status()
+    state = status.get(name)
+    if state is None:
+        raise RuntimeError(
+            f"unknown kernel backend {name!r}; known: {', '.join(sorted(status))}"
+        )
+    if state != "ok":
+        raise RuntimeError(f"required kernel backend {name!r} unavailable: {state}")
 
 
 def _make_deltas(n_elements: int, seed: int = 7) -> np.ndarray:
@@ -101,6 +150,11 @@ def _bench_backend(
             "seconds": t.seconds,
             "gbps": throughput_gbps(nbytes, t.seconds),
         }
+        t = best_of(lambda: encode_into(blocks, _BLOCK_SIZE), repeats=repeats)
+        kernels["classify_encode"] = {
+            "seconds": t.seconds,
+            "gbps": throughput_gbps(nbytes, t.seconds),
+        }
         t = best_of(
             lambda: decode_blocks(lens, payload, _BLOCK_SIZE, offsets=offsets),
             repeats=repeats,
@@ -134,14 +188,29 @@ def run_kernel_bench(
     mb: float = 16.0,
     repeats: int = 3,
     backends: tuple[str, ...] | None = None,
+    require: tuple[str, ...] | None = None,
 ) -> dict[str, Any]:
-    """Run the harness; returns the ``BENCH_kernels.json`` document."""
+    """Run the harness; returns the ``BENCH_kernels.json`` document.
+
+    ``require`` names backends that must have loaded — a missing one
+    raises :class:`RuntimeError` with its probe error before anything is
+    measured.  Every kernel entry carries both ``gbps`` and
+    ``frac_stream`` (its GB/s over the run's own STREAM-triad baseline).
+    """
+    for name in require or ():
+        require_backend(name)
     n_elements = max(_BLOCK_SIZE, int(mb * 1e6 / 4) // _BLOCK_SIZE * _BLOCK_SIZE)
     if backends is None:
         backends = available_backends()
+    stream = stream_triad_gbps(mb=mb, repeats=repeats)
     results = {
         name: _bench_backend(name, n_elements, repeats) for name in backends
     }
+    for kernels in results.values():
+        for entry in kernels.values():
+            entry["frac_stream"] = (
+                entry["gbps"] / stream["gbps"] if stream["gbps"] > 0 else 0.0
+            )
     return {
         "bench": "kernels",
         "field_mb": n_elements * 4 / 1e6,
@@ -153,6 +222,7 @@ def run_kernel_bench(
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
+        "stream": stream,
         "backend_status": backend_status(),
         "backends": results,
     }
@@ -191,11 +261,23 @@ def format_report(doc: dict[str, Any]) -> str:
         f"kernel bench @ {doc['field_mb']:.1f} MB field, "
         f"best of {doc['repeats']} (GB/s of uncompressed bytes)"
     ]
+    stream = doc.get("stream")
+    if stream:
+        lines.append(
+            f"STREAM triad baseline: {stream['gbps']:.3f} GB/s "
+            f"(roofline denominator)"
+        )
     for backend, kernels in doc["backends"].items():
         lines.append(f"[{backend}]")
         for kernel, r in kernels.items():
+            frac = (
+                f"  {100 * r['frac_stream']:5.1f}% of STREAM"
+                if "frac_stream" in r
+                else ""
+            )
             lines.append(
-                f"  {kernel:18} {r['gbps']:8.3f} GB/s  ({r['seconds'] * 1e3:8.2f} ms)"
+                f"  {kernel:18} {r['gbps']:8.3f} GB/s  "
+                f"({r['seconds'] * 1e3:8.2f} ms){frac}"
             )
     unavailable = {
         k: v for k, v in doc.get("backend_status", {}).items() if v != "ok"

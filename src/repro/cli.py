@@ -93,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", action="append", default=None,
                    metavar="NAME",
                    help="backend to measure (repeatable; default: all available)")
+    p.add_argument("--require", action="append", default=None,
+                   metavar="NAME",
+                   help="fail (exit 2, with the probe error) unless this "
+                        "backend loaded (repeatable)")
     p.add_argument("--json", dest="json_path", default=None, metavar="PATH",
                    help="write the machine-readable document to PATH")
     p.add_argument("--compare", default=None, metavar="BASELINE",
@@ -379,7 +383,14 @@ def _cmd_bench_kernels(args) -> int:
     )
 
     backends = tuple(args.backend) if args.backend else None
-    doc = run_kernel_bench(mb=args.mb, repeats=args.repeats, backends=backends)
+    require = tuple(args.require) if args.require else None
+    try:
+        doc = run_kernel_bench(
+            mb=args.mb, repeats=args.repeats, backends=backends, require=require
+        )
+    except RuntimeError as exc:
+        print(f"bench-kernels: {exc}", file=sys.stderr)
+        return 2
     print(format_report(doc))
     if args.json_path:
         Path(args.json_path).write_text(dumps(doc))

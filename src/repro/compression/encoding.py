@@ -137,17 +137,20 @@ def decode_selected(
     offsets: np.ndarray,
     payload: np.ndarray,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Decode only ``indices`` blocks (pipeline-4 gather path).
 
     ``offsets`` must be the array from :func:`payload_offsets` for the full
     stream.  ``indices`` may be unsorted and may contain duplicates; rows
     come back in the order of ``indices``.  Returns
-    ``(len(indices), block_size)`` int64 deltas.
+    ``(len(indices), block_size)`` int64 deltas — written into ``out``
+    (same shape/dtype, fully overwritten) when provided, so hot-path
+    callers can recycle an arena buffer across calls.
     """
     block_size = _check_block_size(block_size)
     return get_backend().decode_selected(
-        indices, code_lengths, offsets, payload, block_size
+        indices, code_lengths, offsets, payload, block_size, out=out
     )
 
 
@@ -158,8 +161,10 @@ def encode_into(
 
     Convenience for callers (the homomorphic engine, the wire format) that
     need the offsets anyway — the backend computes them as part of laying
-    out the payload, so nothing is recomputed.
+    out the payload, so nothing is recomputed.  Dispatches to the backend's
+    ``classify_encode`` — the fused single-pass classification + encode on
+    backends that ship one (Numba), the two-pass reference otherwise.
     """
     block_size = _check_block_size(block_size)
     deltas = _check_deltas(deltas, block_size)
-    return get_backend().encode_with_offsets(deltas, block_size)
+    return get_backend().classify_encode(deltas, block_size)

@@ -45,13 +45,13 @@ from typing import Sequence
 import numpy as np
 
 from ..compression.encoding import (
-    decode_blocks,
     decode_selected,
     encode_into,
     payload_offsets,
 )
 from ..compression.format import CompressedField
 from ..kernels.arena import get_arena
+from ..kernels.dispatch import get_backend
 from ..obs.metrics import METRICS
 
 __all__ = ["PipelineStats", "HZDynamic", "homomorphic_sum"]
@@ -385,38 +385,42 @@ class HZDynamic:
         nzmat: np.ndarray,
         bs: int,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Full-stream strategy: one contiguous IFE pass per operand.
+        """Full-stream strategy: one fused k-way backend sweep.
 
         With nearly every block in the accumulate class there is nothing
-        to gain from per-pipeline gathers, so each operand's whole stream
-        is decoded contiguously into the shared accumulator.  Constant and
-        single-owner blocks re-encode to byte-identical output (decoding a
-        constant block yields zeros; fixed-length encoding is
-        deterministic), so the strategy switch is invisible downstream.
+        to gain from per-pipeline gathers, so the whole reduction is handed
+        to the active backend's ``reduce_fused`` kernel — each block is
+        decoded, weighted, accumulated and re-classified in one visit
+        across all ``k`` operands (a single ``prange`` sweep on the Numba
+        backend).  Constant and single-owner blocks re-encode to
+        byte-identical output (decoding a constant block yields zeros;
+        fixed-length encoding is deterministic), so the strategy switch is
+        invisible downstream.
+
+        The accumulator and every decode temporary come from the
+        thread-local arena — a warmed steady state allocates nothing
+        beyond the output stream itself.  Pipeline statistics come back as
+        the ``zero_after`` Z-matrix ("partial sum through operands 0..j is
+        identically zero" per block), computed inside the same sweep and
+        reduced to fold-equivalent counts afterwards.
         """
         nb = fields[0].code_lengths.size
-        acc = np.zeros((nb, bs), dtype=np.int64)
-        # One arena-backed decode buffer is recycled across all k operands
-        # (the accumulator itself must stay a fresh allocation — it is
-        # handed to encode and must not alias kernel scratch).
-        scratch = get_arena().take("hz.dense", (nb, bs), np.int64)
         track = self.collect_stats
-        azero = ~nzmat[0] if track else None
-        for j, f in enumerate(fields):
-            p4 = None
-            if track and j > 0:
-                p4 = self._record_fold_step(azero, ~nzmat[j])
-            if w[j]:
-                decoded = decode_blocks(
-                    f.code_lengths, f.payload, bs, offsets=f.offsets, out=scratch
-                )
-                if w[j] == 1:
-                    acc += decoded
-                else:
-                    acc += decoded * w[j]
-            if p4 is not None and p4.size:
-                azero[p4] = ~acc[p4].any(axis=1)
-        return _encode_with_offsets(acc, bs)
+        lens_mat = np.stack([f.code_lengths for f in fields])
+        offs_mat = np.stack([f.offsets for f in fields])
+        acc = get_arena().take("hz.acc", (nb, bs), np.int64)
+        out_lengths, payload, out_offsets, zero_after = get_backend().reduce_fused(
+            lens_mat,
+            offs_mat,
+            [f.payload for f in fields],
+            w,
+            bs,
+            acc=acc,
+            track=track,
+        )
+        if track:
+            self._record_fold_stats(zero_after, nzmat)
+        return out_lengths, payload, out_offsets
 
     def _accumulate_sparse(
         self,
@@ -459,7 +463,11 @@ class HZDynamic:
 
         lens_acc = payload_acc = offsets_acc = None
         if acc_idx.size:
-            acc = np.zeros((acc_idx.size, bs), dtype=np.int64)
+            # Accumulator and decode rows come from the thread-local arena:
+            # a warmed steady state allocates nothing here (distinct tags
+            # never alias, and neither buffer escapes this call).
+            arena = get_arena()
+            acc = arena.take("hz.acc", (acc_idx.size, bs), np.int64, zero=True)
             azero = ~nzmat[0][acc_idx] if track else None
             for j, f in enumerate(fields):
                 p4 = None
@@ -469,7 +477,12 @@ class HZDynamic:
                     sel = np.nonzero(nzmat[j][acc_idx])[0]
                     if sel.size:
                         dj = decode_selected(
-                            acc_idx[sel], f.code_lengths, f.offsets, f.payload, bs
+                            acc_idx[sel],
+                            f.code_lengths,
+                            f.offsets,
+                            f.payload,
+                            bs,
+                            out=arena.take("hz.dj", (sel.size, bs), np.int64),
                         )
                         if w[j] != 1:
                             dj *= w[j]
@@ -495,6 +508,34 @@ class HZDynamic:
         if acc_idx.size:
             self._scatter_rows(payload, out_offsets, acc_idx, payload_acc, offsets_acc)
         return out_lengths, payload, out_offsets
+
+    def _record_fold_stats(
+        self, zero_after: np.ndarray, nzmat: np.ndarray
+    ) -> None:
+        """Fold-equivalent pipeline counts from the fused sweep's Z-matrix.
+
+        ``zero_after[j, i]`` is "block *i*'s partial sum through operands
+        ``0..j`` is identically zero" — exactly the running ``azero`` flag
+        the stepwise :meth:`_record_fold_step` maintains (a non-constant
+        contribution with a non-zero integer weight can never be zero, and
+        the fused kernel re-scans the accumulator after every operand).
+        The pairwise fold's step-*j* classification therefore reads
+        ``zero_after[j-1]`` against operand *j*'s constancy, and all
+        ``k − 1`` steps reduce in one vectorised pass.
+        """
+        az = zero_after[:-1]
+        bz = ~nzmat[1:]
+        nz_a = ~az
+        nz_b = nzmat[1:]
+        self.stats.counts += np.array(
+            [
+                int((az & bz).sum()),
+                int((az & nz_b).sum()),
+                int((nz_a & bz).sum()),
+                int((nz_a & nz_b).sum()),
+            ],
+            dtype=np.int64,
+        )
 
     def _record_fold_step(self, azero: np.ndarray, bzero: np.ndarray) -> np.ndarray:
         """Record one fold step's pipeline counts; returns pipeline-4 rows.

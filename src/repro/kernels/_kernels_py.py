@@ -22,7 +22,18 @@ The byte layout per non-constant block (code length ``c``, block size
 
 from __future__ import annotations
 
-__all__ = ["encode_payload_loop", "decode_into_loop"]
+try:  # pragma: no cover - the JIT path is exercised in the numba CI job
+    from numba import prange
+except ImportError:  # uncompiled: prange degrades to a plain serial range
+    prange = range
+
+__all__ = [
+    "encode_payload_loop",
+    "decode_into_loop",
+    "classify_blocks_loop",
+    "encode_from_deltas_loop",
+    "reduce_accumulate_loop",
+]
 
 
 def encode_payload_loop(mags, signs, code_lengths, offsets, payload):
@@ -125,3 +136,190 @@ def decode_into_loop(indices, code_lengths, offsets, payload, out, sign_buf):
         for e in range(bs):
             if sign_buf[e]:
                 out[s, e] = -out[s, e]
+
+
+# --------------------------------------------------------------------- #
+# fused single-pass kernels (classification + serialisation, k-way reduce)
+# --------------------------------------------------------------------- #
+def classify_blocks_loop(deltas, code_lengths):
+    """Per-block classification: write each block's code length.
+
+    One sweep over ``deltas`` computes the max magnitude and its bit width
+    per block with no materialised ``abs``/``max`` temporaries.  Thread-
+    blocks (rows) are independent, so the outer loop parallelises with
+    ``prange`` under the JIT.
+
+    Parameters
+    ----------
+    deltas : ``(n_blocks, bs)`` signed integer deltas.
+    code_lengths : ``(n_blocks,)`` uint8 output, fully overwritten.  Values
+        may exceed 32; the caller is responsible for the overflow check
+        (``code_lengths.max() > MAX_CODE_LENGTH``).
+    """
+    n_blocks, bs = deltas.shape
+    for i in prange(n_blocks):
+        m = 0
+        for e in range(bs):
+            v = int(deltas[i, e])
+            if v < 0:
+                v = -v
+            if v > m:
+                m = v
+        c = 0
+        while m > 0:
+            c += 1
+            m >>= 1
+        code_lengths[i] = c
+
+
+def encode_from_deltas_loop(deltas, code_lengths, offsets, payload):
+    """Fused serialisation: emit every block's payload straight from deltas.
+
+    Signs and magnitudes are computed inline per element — no ``abs``
+    array, no sign mask, no per-group gathers.  Combined with
+    :func:`classify_blocks_loop` this is the single-sweep
+    ``classify_encode`` kernel: one cheap metadata pass, one payload pass,
+    zero full-size temporaries.  Blocks are independent (each writes its
+    own ``[offsets[i], offsets[i+1])`` byte range), so the outer loop is a
+    ``prange`` under the JIT.
+
+    The byte layout is identical to :func:`encode_payload_loop`.
+    """
+    n_blocks, bs = deltas.shape
+    unit = bs // 8
+    for i in prange(n_blocks):
+        c = int(code_lengths[i])
+        if c == 0:
+            continue
+        pos = int(offsets[i])
+        for b in range(unit):
+            byte = 0
+            base = b * 8
+            for j in range(8):
+                byte <<= 1
+                if deltas[i, base + j] < 0:
+                    byte |= 1
+            payload[pos] = byte
+            pos += 1
+        byte_count = c // 8
+        rem = c % 8
+        for k in range(byte_count):
+            shift = 8 * k
+            for e in range(bs):
+                v = int(deltas[i, e])
+                if v < 0:
+                    v = -v
+                payload[pos] = (v >> shift) & 0xFF
+                pos += 1
+        if rem:
+            shift = 8 * byte_count
+            mask = (1 << rem) - 1
+            accum = 0
+            nbits = 0
+            for e in range(bs):
+                v = int(deltas[i, e])
+                if v < 0:
+                    v = -v
+                accum = (accum << rem) | ((v >> shift) & mask)
+                nbits += rem
+                while nbits >= 8:
+                    nbits -= 8
+                    payload[pos] = (accum >> nbits) & 0xFF
+                    pos += 1
+
+
+def reduce_accumulate_loop(
+    lens_mat,
+    offs_mat,
+    payload_cat,
+    bases,
+    weights,
+    acc,
+    out_lengths,
+    zero_after,
+    track,
+):
+    """Fused k-way homomorphic accumulate + classification, one block sweep.
+
+    For every block the loop decodes each contributing operand's elements
+    *in place* (sign bits and magnitude planes are random-accessed straight
+    from the payload bytes — no scratch rows), accumulates the weighted
+    integer predictions into ``acc``, and classifies the result's code
+    length — so a block's working set is touched once across all ``k``
+    operands instead of once per operand.  Blocks are independent; the
+    outer loop is a ``prange`` over thread-blocks under the JIT.
+
+    Parameters
+    ----------
+    lens_mat : ``(k, n_blocks)`` uint8 code lengths per operand.
+    offs_mat : ``(k, n_blocks + 1)`` int64 payload offsets per operand.
+    payload_cat : concatenated uint8 payloads of all operands.
+    bases : ``(k,)`` int64 — operand ``j``'s payload starts at ``bases[j]``.
+    weights : ``(k,)`` int64 integer weights (0 drops the operand).
+    acc : ``(n_blocks, bs)`` int64 accumulator, fully overwritten.
+    out_lengths : ``(n_blocks,)`` uint8 result code lengths, fully
+        overwritten (caller checks the > 32 overflow).
+    zero_after : ``(k, n_blocks)`` uint8 — when ``track`` is true, entry
+        ``[j, i]`` records whether block ``i``'s partial sum through
+        operands ``0..j`` is identically zero (the pairwise-fold
+        "constant partial" flag the pipeline statistics are derived from).
+    track : bool — skip the ``zero_after`` row scans when false.
+    """
+    k, n_blocks = lens_mat.shape
+    bs = acc.shape[1]
+    unit = bs // 8
+    for i in prange(n_blocks):
+        for e in range(bs):
+            acc[i, e] = 0
+        for j in range(k):
+            w = int(weights[j])
+            c = int(lens_mat[j, i])
+            if w != 0 and c != 0:
+                pos = int(bases[j]) + int(offs_mat[j, i])
+                data_base = pos + unit
+                byte_count = c // 8
+                rem = c % 8
+                resid_base = data_base + byte_count * bs
+                shift_hi = 8 * byte_count
+                mask = (1 << rem) - 1
+                for e in range(bs):
+                    m = 0
+                    for kk in range(byte_count):
+                        m |= int(payload_cat[data_base + kk * bs + e]) << (
+                            8 * kk
+                        )
+                    if rem:
+                        bitpos = e * rem
+                        b0 = resid_base + (bitpos >> 3)
+                        off = bitpos & 7
+                        if off + rem <= 8:
+                            hi = (int(payload_cat[b0]) >> (8 - off - rem)) & mask
+                        else:
+                            w16 = (int(payload_cat[b0]) << 8) | int(
+                                payload_cat[b0 + 1]
+                            )
+                            hi = (w16 >> (16 - off - rem)) & mask
+                        m |= hi << shift_hi
+                    sbyte = int(payload_cat[pos + (e >> 3)])
+                    if (sbyte >> (7 - (e & 7))) & 1:
+                        m = -m
+                    acc[i, e] += w * m
+            if track:
+                z = 1
+                for e in range(bs):
+                    if acc[i, e] != 0:
+                        z = 0
+                        break
+                zero_after[j, i] = z
+        m = 0
+        for e in range(bs):
+            v = acc[i, e]
+            if v < 0:
+                v = -v
+            if v > m:
+                m = v
+        c = 0
+        while m > 0:
+            c += 1
+            m >>= 1
+        out_lengths[i] = c

@@ -35,6 +35,10 @@ class ScratchArena:
 
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
+        #: Count of backing-buffer creations/growths since construction (or
+        #: the last :meth:`clear`).  A warmed steady state must not move
+        #: this — the allocation-freedom tests pin exactly that.
+        self.allocations = 0
 
     def take(
         self,
@@ -65,6 +69,7 @@ class ScratchArena:
             capacity = nbytes if buf is None else max(nbytes, 2 * buf.nbytes)
             buf = np.empty(capacity, dtype=np.uint8)
             self._buffers[tag] = buf
+            self.allocations += 1
         view = buf[:nbytes].view(dtype).reshape(shape)
         if zero:
             view.fill(0)
@@ -82,6 +87,7 @@ class ScratchArena:
     def clear(self) -> None:
         """Drop every buffer (memory is released to the allocator)."""
         self._buffers.clear()
+        self.allocations = 0
 
 
 _TLS = threading.local()

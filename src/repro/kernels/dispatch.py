@@ -1,16 +1,25 @@
 """Kernel backend registry and dispatch.
 
-A *backend* is a named bundle of the four fixed-length kernels the rest of
-the stack calls through :mod:`repro.compression.encoding`:
+A *backend* is a named bundle of the fixed-length kernels the rest of the
+stack calls through :mod:`repro.compression.encoding` and the homomorphic
+engine:
 
 ``encode_blocks`` / ``encode_with_offsets`` / ``decode_blocks`` /
-``decode_selected``
+``decode_selected`` plus the fused entry points ``classify_encode``
+(single-pass classification + encode) and ``reduce_fused`` (k-way
+homomorphic accumulate).  The fused entry points are optional in a
+backend module — when absent the registry installs fallbacks built from
+the backend's own kernels, so every resolved :class:`KernelBackend`
+carries the full surface.
 
-Two backends ship with the repo:
+Three backends ship with the repo:
 
 * ``numpy`` — the reworked vectorised reference (always available);
-* ``numba`` — JIT-compiled scalar loops, available only when the optional
-  ``numba`` package is installed (``pip install repro[perf]``).
+* ``numba`` — fused parallel JIT kernels, available only when the
+  optional ``numba`` package is installed (``pip install repro[perf]``);
+* ``cupy`` — the GPU-port seam (classification on device, serialisation
+  still host-side); probed for status but **never** auto-selected until
+  the RawKernel port lands — opt in explicitly.
 
 Resolution order for the active backend:
 
@@ -49,23 +58,49 @@ __all__ = [
 
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 
-#: Module paths probed for the built-in backends, in "auto" preference order.
+#: Module paths probed for the built-in backends.
 _BUILTIN_MODULES = {
     "numba": "repro.kernels.numba_backend",
     "numpy": "repro.kernels.numpy_backend",
+    "cupy": "repro.kernels.cupy_backend",
 }
+#: "auto" preference order.  ``cupy`` is deliberately absent: until its
+#: serialisation runs on the device, host staging makes it a poor default
+#: — select it explicitly (see the module docstring).
 _AUTO_ORDER = ("numba", "numpy")
 
 
 @dataclass(frozen=True)
 class KernelBackend:
-    """The callable surface every kernel backend provides."""
+    """The callable surface every kernel backend provides.
+
+    ``classify_encode`` and ``reduce_fused`` may be omitted when
+    constructing a backend by hand (custom/test backends): the former
+    defaults to ``encode_with_offsets`` (a fused kernel degrades to the
+    two-pass path, never the reverse) and the latter to the reference
+    k-way accumulate built from this backend's own ``decode_blocks`` and
+    ``classify_encode``.
+    """
 
     name: str
     encode_blocks: Callable = field(repr=False)
     encode_with_offsets: Callable = field(repr=False)
     decode_blocks: Callable = field(repr=False)
     decode_selected: Callable = field(repr=False)
+    classify_encode: Callable | None = field(default=None, repr=False)
+    reduce_fused: Callable | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.classify_encode is None:
+            object.__setattr__(self, "classify_encode", self.encode_with_offsets)
+        if self.reduce_fused is None:
+            from .numpy_backend import make_reduce_fused
+
+            object.__setattr__(
+                self,
+                "reduce_fused",
+                make_reduce_fused(self.decode_blocks, self.classify_encode),
+            )
 
     @classmethod
     def from_module(cls, module) -> "KernelBackend":
@@ -75,6 +110,8 @@ class KernelBackend:
             encode_with_offsets=module.encode_with_offsets,
             decode_blocks=module.decode_blocks,
             decode_selected=module.decode_selected,
+            classify_encode=getattr(module, "classify_encode", None),
+            reduce_fused=getattr(module, "reduce_fused", None),
         )
 
 
@@ -223,6 +260,18 @@ def _instrumented(backend: KernelBackend) -> KernelBackend:
             "decode_selected",
             lambda indices, code_lengths, offsets, payload, block_size, **kw: (
                 len(indices) * block_size * 4
+            ),
+        ),
+        classify_encode=wrap(
+            backend.classify_encode,
+            "encode",
+            lambda deltas, block_size, **kw: deltas.size * 4,
+        ),
+        reduce_fused=wrap(
+            backend.reduce_fused,
+            "reduce_fused",
+            lambda lens_mat, offs_mat, payloads, weights, block_size, **kw: (
+                lens_mat.shape[0] * lens_mat.shape[1] * block_size * 4
             ),
         ),
     )

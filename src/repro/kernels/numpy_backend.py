@@ -37,8 +37,11 @@ __all__ = [
     "MAX_CODE_LENGTH",
     "encode_blocks",
     "encode_with_offsets",
+    "classify_encode",
     "decode_blocks",
     "decode_selected",
+    "reduce_fused",
+    "make_reduce_fused",
 ]
 
 NAME = "numpy"
@@ -385,12 +388,24 @@ def decode_selected(
     offsets: np.ndarray,
     payload: np.ndarray,
     block_size: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Decode only ``indices`` blocks (any order, duplicates allowed)."""
+    """Decode only ``indices`` blocks (any order, duplicates allowed).
+
+    ``out``, when given, must be ``(len(indices), block_size)`` int64 and
+    is fully overwritten — the homomorphic hot loop passes an arena view
+    here so steady-state subset decodes allocate nothing.
+    """
     arena = get_arena()
     indices = np.asarray(indices, dtype=np.int64)
     code_lengths = np.asarray(code_lengths, dtype=np.uint8)
-    out = np.empty((indices.size, block_size), dtype=np.int64)
+    if out is None:
+        out = np.empty((indices.size, block_size), dtype=np.int64)
+    elif out.shape != (indices.size, block_size) or out.dtype != np.int64:
+        raise ValueError(
+            f"out must be {(indices.size, block_size)} int64, got "
+            f"{out.shape} {out.dtype}"
+        )
     if indices.size == 0:
         return out
     plan = GroupingPlan.from_code_lengths(code_lengths[indices])
@@ -434,3 +449,76 @@ def _decode_grouped(
             dec = arena.take("dec.rows", (ng, block_size), out.dtype)
             _decode_group(rows, c, block_size, dec, arena)
             out[pos] = dec
+
+
+# --------------------------------------------------------------------- #
+# fused entry points (classification + encode, k-way reduce)
+# --------------------------------------------------------------------- #
+#: The NumPy backend *is* the two-pass reference: classification runs as a
+#: vectorised metadata pass and serialisation as grouped kernels, so the
+#: fused entry point simply aliases :func:`encode_with_offsets`.  JIT/GPU
+#: backends override this with a genuinely single-sweep kernel; the parity
+#: suite pins all of them byte-identical to this function.
+classify_encode = encode_with_offsets
+
+
+def make_reduce_fused(decode_blocks_fn, classify_encode_fn):
+    """Build a reference k-way ``reduce_fused`` from a backend's own kernels.
+
+    The returned callable implements the dense full-stream strategy —
+    decode each operand contiguously, accumulate with integer weights,
+    re-encode once — on top of whatever ``decode_blocks`` /
+    ``classify_encode`` the backend provides.  The dispatch layer installs
+    this as the fallback for backends (custom or stub) that do not ship a
+    native fused kernel, so ``HZDynamic.reduce_fused`` can rely on the
+    entry point existing everywhere.
+    """
+
+    def reduce_fused(
+        lens_mat: np.ndarray,
+        offs_mat: np.ndarray,
+        payloads: list[np.ndarray],
+        weights: np.ndarray,
+        block_size: int,
+        acc: np.ndarray | None = None,
+        track: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        arena = get_arena()
+        k, nb = lens_mat.shape
+        if acc is None:
+            acc = np.zeros((nb, block_size), dtype=np.int64)
+        else:
+            if acc.shape != (nb, block_size) or acc.dtype != np.int64:
+                raise ValueError(
+                    f"acc must be {(nb, block_size)} int64, got "
+                    f"{acc.shape} {acc.dtype}"
+                )
+            acc.fill(0)
+        zero_after = np.empty((k, nb), dtype=bool) if track else None
+        scratch = arena.take("rf.dec", (nb, block_size), np.int64)
+        for j in range(k):
+            w = int(weights[j])
+            if w != 0:
+                decoded = decode_blocks_fn(
+                    lens_mat[j],
+                    payloads[j],
+                    block_size,
+                    offsets=offs_mat[j],
+                    out=scratch,
+                )
+                if w != 1:
+                    decoded *= w
+                acc += decoded
+            if track:
+                np.logical_not(acc.any(axis=1), out=zero_after[j])
+        out_lengths, payload, offsets = classify_encode_fn(acc, block_size)
+        return out_lengths, payload, offsets, zero_after
+
+    return reduce_fused
+
+
+#: Dense k-way homomorphic accumulate for the reference backend.  See
+#: :func:`make_reduce_fused` for the contract; the Numba backend replaces
+#: this with a single-sweep JIT kernel (one pass over each block across all
+#: k operands, ``prange`` over thread-blocks).
+reduce_fused = make_reduce_fused(decode_blocks, classify_encode)

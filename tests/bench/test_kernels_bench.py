@@ -1,6 +1,10 @@
 """The kernel perf harness: document shape, CLI, regression gate."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,7 +16,7 @@ from repro.bench.kernels import (
     run_kernel_bench,
 )
 
-EXPECTED_KERNELS = {"encode", "decode", "decode_selected"} | {
+EXPECTED_KERNELS = {"encode", "classify_encode", "decode", "decode_selected"} | {
     f"reduce_fused_k{k}" for k in REDUCE_KS
 }
 
@@ -31,7 +35,16 @@ class TestDocument:
                 assert r["seconds"] > 0 and r["gbps"] > 0
 
     def test_status_covers_builtins(self, small_doc):
-        assert {"numpy", "numba"} <= set(small_doc["backend_status"])
+        assert {"numpy", "numba", "cupy"} <= set(small_doc["backend_status"])
+
+    def test_stream_baseline_and_fractions(self, small_doc):
+        stream = small_doc["stream"]
+        assert stream["gbps"] > 0 and stream["seconds"] > 0
+        for kernels in small_doc["backends"].values():
+            for r in kernels.values():
+                assert r["frac_stream"] == pytest.approx(
+                    r["gbps"] / stream["gbps"]
+                )
 
     def test_json_serialisable(self, small_doc):
         restored = json.loads(json.dumps(small_doc))
@@ -61,6 +74,50 @@ class TestCompare:
             "encode": {"seconds": 1.0, "gbps": 0.0001}
         }
         assert compare_to_baseline(current, baseline) == []
+
+
+class TestRequire:
+    def test_require_backend_ok(self):
+        from repro.bench.kernels import require_backend
+
+        require_backend("numpy")
+
+    def test_require_unknown_backend_raises(self):
+        from repro.bench.kernels import require_backend
+
+        with pytest.raises(RuntimeError, match="unknown kernel backend"):
+            require_backend("not-a-backend")
+
+    def test_require_unavailable_backend_carries_probe_error(self):
+        from repro.bench.kernels import require_backend
+        from repro.kernels.dispatch import backend_status
+
+        status = backend_status()
+        missing = [n for n, s in status.items() if s != "ok"]
+        if not missing:
+            pytest.skip("every built-in backend is installed here")
+        with pytest.raises(RuntimeError, match=missing[0]):
+            require_backend(missing[0])
+
+    def test_cli_require_missing_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "1",
+            "--backend", "numpy", "--require", "not-a-backend",
+        ])
+        assert rc == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+    def test_cli_require_available_passes(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "bench-kernels", "--mb", "0.25", "--repeats", "1",
+            "--backend", "numpy", "--require", "numpy",
+        ])
+        assert rc == 0
+        capsys.readouterr()
 
 
 class TestCLI:
@@ -114,6 +171,45 @@ class TestCLI:
         # fused reduction amortises the single re-encode over k operands,
         # so per-processed-byte throughput must not collapse at higher k
         assert gbps[-1] > 0.3 * gbps[0]
+
+
+class TestKernelGateScript:
+    """End-to-end runs of ``benchmarks/kernel_gate.py`` (the CI gate)."""
+
+    REPO = Path(__file__).resolve().parents[2]
+
+    def _run(self, *args):
+        env = dict(os.environ, PYTHONPATH=str(self.REPO / "src"))
+        return subprocess.run(
+            [
+                sys.executable,
+                str(self.REPO / "benchmarks" / "kernel_gate.py"),
+                "--mb", "0.25", "--repeats", "1", *args,
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_reports_roofline_and_passes_without_floors(self):
+        proc = self._run()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "STREAM" in proc.stdout and "kernel gate ok" in proc.stdout
+
+    def test_unmet_roofline_floor_fails(self):
+        proc = self._run("--min-frac", "numpy:encode:99.0")
+        assert proc.returncode == 1
+        assert "KERNEL GATE FAILED" in proc.stdout
+
+    def test_unmet_speedup_floor_fails(self):
+        proc = self._run("--min-speedup", "numpy:numpy:encode:99.0")
+        assert proc.returncode == 1
+        assert "floor 99.00x" in proc.stdout
+
+    def test_missing_required_backend_fails(self):
+        proc = self._run("--require", "not-a-backend")
+        assert proc.returncode == 1
+        assert "unknown kernel backend" in proc.stdout
 
 
 def test_reduce_fused_matches_pairwise_fold():

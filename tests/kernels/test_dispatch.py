@@ -34,7 +34,7 @@ class TestDiscovery:
 
     def test_status_reports_every_builtin(self):
         status = backend_status()
-        assert set(status) >= {"numpy", "numba"}
+        assert set(status) >= {"numpy", "numba", "cupy"}
         assert status["numpy"] == "ok"
 
     def test_auto_prefers_numba_else_numpy(self):
@@ -43,6 +43,11 @@ class TestDiscovery:
             assert name == "numba"
         else:
             assert name == "numpy"
+
+    def test_cupy_is_never_auto_selected(self, monkeypatch):
+        # even if cupy loaded, "auto" must resolve to numba/numpy only
+        monkeypatch.delenv(dispatch.ENV_VAR, raising=False)
+        assert current_backend_name() in ("numba", "numpy")
 
 
 class TestNumbaAbsentFallback:
@@ -126,6 +131,41 @@ class TestRegistry:
         register_backend(custom)
         assert "custom" in available_backends()
         assert get_backend("custom") is custom
+
+    def test_custom_backend_gets_fused_fallbacks(self):
+        """Omitted fused entry points are filled from the backend's own
+        kernels, so HZDynamic can call them unconditionally."""
+        numpy_backend = get_backend("numpy")
+        custom = KernelBackend(
+            name="custom-fallback",
+            encode_blocks=numpy_backend.encode_blocks,
+            encode_with_offsets=numpy_backend.encode_with_offsets,
+            decode_blocks=numpy_backend.decode_blocks,
+            decode_selected=numpy_backend.decode_selected,
+        )
+        assert custom.classify_encode is custom.encode_with_offsets
+        deltas = np.arange(64, dtype=np.int64).reshape(2, 32) - 20
+        lens, payload, offsets = custom.classify_encode(deltas, 32)
+        out = custom.reduce_fused(
+            np.stack([lens, lens]),
+            np.stack([offsets, offsets]),
+            [payload, payload],
+            np.ones(2, dtype=np.int64),
+            32,
+            track=True,
+        )
+        exp_lens, exp_payload, _ = numpy_backend.encode_with_offsets(
+            2 * deltas, 32
+        )
+        np.testing.assert_array_equal(out[0], exp_lens)
+        np.testing.assert_array_equal(out[1], exp_payload)
+        assert out[3].shape == (2, 2)
+
+    def test_every_resolved_backend_has_full_surface(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            assert callable(backend.classify_encode), name
+            assert callable(backend.reduce_fused), name
 
 
 class TestConfigAndCLIWiring:
