@@ -12,6 +12,10 @@ Commands
 ``bench-kernels`` — kernel perf harness; emits/compares BENCH_kernels.json.
 ``tune``        — schedule autotuner: grid sweep into a persisted tuning
                   table; ``show``/``diff`` to inspect tables.
+``mp``          — multi-process data plane: ``run`` one schedule family on
+                  real OS processes (verified bit-identical against the
+                  simulator), ``calibrate`` to fit measured makespans back
+                  into the α–β cost model (emits BENCH_mp.json).
 ``trace``       — observability: export (Chrome/CSV/schema-v2 JSON),
                   summary, and diff of collective traces.
 """
@@ -25,6 +29,20 @@ import sys
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: kept in sync with ``repro.bench.mp.FAMILIES`` (asserted by the test
+#: suite) so building the parser never imports the bench stack
+_MP_FAMILIES = (
+    "ring-rs",
+    "ring-rs-hz",
+    "ring-rs-doc",
+    "pipelined-rs",
+    "rabenseifner",
+    "direct-reduce",
+    "bcast",
+    "hierarchical",
+    "hierarchical-hz",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +169,56 @@ def build_parser() -> argparse.ArgumentParser:
     pd = usub.add_parser("diff", help="compare two tuning tables (A -> B)")
     pd.add_argument("a", help="baseline table JSON")
     pd.add_argument("b", help="candidate table JSON")
+
+    p = sub.add_parser(
+        "mp", help="multi-process data plane: run schedules on real ranks"
+    )
+    msub = p.add_subparsers(dest="mp_command", required=True)
+
+    pm = msub.add_parser(
+        "run", help="run one schedule family on one OS process per rank"
+    )
+    pm.add_argument("--family", choices=_MP_FAMILIES, default="ring-rs",
+                    help="schedule × codec case (default ring-rs)")
+    pm.add_argument("--ranks", type=int, default=4)
+    pm.add_argument("--elements", type=int, default=16384,
+                    help="float32 elements per rank")
+    pm.add_argument("--transport", choices=["shm", "socket"], default="shm",
+                    help="shared-memory rings (default) or unix sockets")
+    pm.add_argument("--seed", type=int, default=0, help="data seed")
+    pm.add_argument("--chaos", type=float, default=0.0, metavar="INTENSITY",
+                    help="inject a seeded FaultPlan.chaos at this intensity")
+    pm.add_argument("--fault-seed", type=int, default=0,
+                    help="fault-plan seed for --chaos")
+    pm.add_argument("--no-verify", action="store_true",
+                    help="skip the bit-identical check against the simulator")
+
+    pc = msub.add_parser(
+        "calibrate",
+        help="measure makespans and fit them back into the α–β cost model",
+    )
+    pc.add_argument("--ranks", type=int, action="append", default=None,
+                    metavar="N", help="rank count (repeatable; default 8)")
+    pc.add_argument("--elements", type=int, action="append", default=None,
+                    metavar="N",
+                    help="float32 elements per rank "
+                         "(repeatable; default 65536 262144)")
+    pc.add_argument("--family", action="append", default=None,
+                    choices=_MP_FAMILIES,
+                    help="family to measure (repeatable; default: the "
+                         "calibration set)")
+    pc.add_argument("--transport", choices=["shm", "socket"], default="shm")
+    pc.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats per point (default 3)")
+    pc.add_argument("-o", "--output", default=None, metavar="PATH",
+                    help="write the BENCH_mp.json document to PATH")
+    pc.add_argument("--check", action="store_true",
+                    help="exit non-zero unless the fit passes the sanity "
+                         "gate (finite coefficients, per-family model "
+                         "error under the ceiling)")
+    pc.add_argument("--ceiling", type=float, default=None,
+                    help="model-error ceiling for --check "
+                         "(default: the bench module's generous default)")
 
     p = sub.add_parser(
         "trace", help="trace observability: export / summary / diff"
@@ -445,6 +513,113 @@ def _cmd_bench_hierarchy(args) -> int:
     return 0
 
 
+def _cmd_mp(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.mp import (
+        CALIBRATION_FAMILIES,
+        DEFAULT_ERROR_CEILING,
+        build_case,
+        calibrate,
+        calibration_rows,
+        check_document,
+        sim_reference,
+        states_equal,
+    )
+    from repro.bench.tables import format_table
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.mp_cluster import MPCluster
+    from repro.schedule.mp_executor import MPExecutor
+
+    if args.mp_command == "run":
+        plan = None
+        if args.chaos > 0.0:
+            plan = FaultPlan.chaos(
+                args.fault_seed, args.ranks, intensity=args.chaos
+            )
+        case = build_case(
+            args.family, args.ranks, args.elements, seed=args.seed
+        )
+        with MPCluster(args.ranks, transport=args.transport) as cluster:
+            run = MPExecutor(cluster, case.spec, plan=plan).run(
+                case.schedule, case.make_state()
+            )
+        print(
+            f"{case.schedule.name} × {case.spec.kind} on {args.ranks} "
+            f"processes ({args.transport})"
+        )
+        print(
+            f"  makespan {run.makespan_s * 1e3:.3f} ms  "
+            f"compute {run.compute_s * 1e3:.3f} ms  "
+            f"wire {run.wire} B  degraded {run.degraded}"
+        )
+        interesting = {k: v for k, v in sorted(run.stats.items()) if v}
+        if interesting:
+            print("  " + "  ".join(f"{k} {v}" for k, v in interesting.items()))
+        if args.no_verify:
+            return 0
+        ref = sim_reference(case, plan=plan)
+        if run.degraded and ref.degraded:
+            # schedule-level degrades abort at rank-dependent points; the
+            # contract is the matching degraded flag, not matching state
+            print("  verify: both degraded (flags match)")
+            return 0
+        ok = (
+            states_equal(run.state, ref.state)
+            and run.wire == ref.wire
+            and run.degraded == ref.degraded
+        )
+        if not ok:
+            print(
+                f"  verify: MISMATCH vs simulator "
+                f"(wire {run.wire} vs {ref.wire}, "
+                f"degraded {run.degraded} vs {ref.degraded})"
+            )
+            return 1
+        print(f"  verify: bit-identical to the simulator (wire {ref.wire} B)")
+        return 0
+
+    # calibrate
+    doc = calibrate(
+        ranks=tuple(args.ranks) if args.ranks else (8,),
+        elements=tuple(args.elements) if args.elements else (65536, 262144),
+        families=tuple(args.family) if args.family else CALIBRATION_FAMILIES,
+        transport=args.transport,
+        repeats=args.repeats,
+    )
+    print(format_table(
+        ["family", "ranks", "elements", "measured µs", "modelled µs", "err"],
+        calibration_rows(doc),
+        title=(
+            f"α = {doc['alpha_s'] * 1e6:.0f} µs/hop, "
+            + (
+                f"β⁻¹ = {doc['bandwidth_GBps']:.2f} GB/s, "
+                if doc["bandwidth_GBps"]
+                else "β⁻¹ = n/a (latency-bound fit), "
+            )
+            + f"worst family error {doc['max_rel_err']:.0%}"
+        ),
+    ))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    if args.check:
+        ceiling = (
+            args.ceiling if args.ceiling is not None else DEFAULT_ERROR_CEILING
+        )
+        failures = check_document(doc, ceiling=ceiling)
+        if failures:
+            print("CALIBRATION GATE FAILED:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"calibration gate passed (ceiling {ceiling:.0%})")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.core.cost_model import PAPER_BROADWELL
     from repro.runtime import NodeMap
@@ -624,6 +799,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-kernels": lambda: _cmd_bench_kernels(args),
         "bench-hierarchy": lambda: _cmd_bench_hierarchy(args),
         "tune": lambda: _cmd_tune(args),
+        "mp": lambda: _cmd_mp(args),
         "trace": lambda: _cmd_trace(args),
     }
     return handlers[args.command]()

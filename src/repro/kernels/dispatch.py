@@ -164,19 +164,35 @@ def backend_status() -> dict[str, str]:
     return dict(sorted(status.items()))
 
 
+def _unknown_backend_error(name: str) -> ValueError:
+    detail = _load_errors.get(name)
+    hint = f" ({detail})" if detail else ""
+    return ValueError(
+        f"unknown kernel backend {name!r}{hint}; "
+        f"available: {', '.join(available_backends()) or 'none'}"
+    )
+
+
 def _resolve_name(name: str | None) -> str:
     if name is None:
         name = getattr(_tls, "stack", None) and _tls.stack[-1] or None
     if name is None:
         name = _override
     if name is None:
-        name = os.environ.get(ENV_VAR) or "auto"
+        # strip *before* the fallback so a whitespace-only env value means
+        # "unset" (auto) rather than the empty backend name
+        env = os.environ.get(ENV_VAR)
+        name = (env.strip() if env is not None else "") or "auto"
     name = name.strip().lower()
     if name == "auto":
         for candidate in _AUTO_ORDER:
             if candidate in _registry:
                 return candidate
         raise RuntimeError("no kernel backends available")
+    if name not in _registry:
+        # surface a clear error naming the alternatives instead of letting
+        # the registry lookup escape as a bare KeyError
+        raise _unknown_backend_error(name)
     return name
 
 
@@ -192,13 +208,8 @@ def get_backend(name: str | None = None) -> KernelBackend:
     resolved = _resolve_name(name)
     try:
         backend = _registry[resolved]
-    except KeyError:
-        detail = _load_errors.get(resolved)
-        hint = f" ({detail})" if detail else ""
-        raise ValueError(
-            f"unknown kernel backend {resolved!r}{hint}; "
-            f"available: {', '.join(available_backends()) or 'none'}"
-        ) from None
+    except KeyError:  # pragma: no cover - _resolve_name validates first
+        raise _unknown_backend_error(resolved) from None
     if METRICS.enabled:
         return _instrumented(backend)
     return backend

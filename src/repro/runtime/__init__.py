@@ -19,6 +19,8 @@ from .faults import (
     RetryPolicy,
     UnrecoverableStreamError,
 )
+from .mp_channel import MPAbortedError, MPChannelError, MPTimeoutError
+from .mp_cluster import MPCluster, MPClusterError, MPRun
 from .network import OMNIPATH_100G, NetworkModel
 from .nodemap import NodeMap
 from .topology import Ring
@@ -52,4 +54,10 @@ __all__ = [
     "ResilientChannel",
     "Delivery",
     "UnrecoverableStreamError",
+    "MPCluster",
+    "MPClusterError",
+    "MPRun",
+    "MPChannelError",
+    "MPTimeoutError",
+    "MPAbortedError",
 ]

@@ -34,6 +34,7 @@ Delivery goes through a :class:`ResilientChannel` owned by the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import TYPE_CHECKING, Any
 
@@ -269,14 +270,43 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         if self.timeout_s < 0 or self.base_delay_s < 0:
             raise ValueError("retry delays must be >= 0")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
         if self.backoff < 1.0:
             raise ValueError("backoff must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.max_delay_s < self.base_delay_s:
+            # legal (delay() clamps every retransmission to max_delay_s)
+            # but almost certainly a swapped-argument mistake
+            warnings.warn(
+                f"max_delay_s ({self.max_delay_s:g}) < base_delay_s "
+                f"({self.base_delay_s:g}): every backoff delay will clamp "
+                f"to max_delay_s",
+                stacklevel=3,
+            )
+
+    def max_transfer_wait_s(self) -> float:
+        """Upper bound on one delivery's total timeout + backoff wait.
+
+        Every attempt waits at most ``timeout_s`` before declaring loss and
+        at most ``max_delay_s`` before retransmitting, so ``max_attempts``
+        transmissions can never wait longer than this — the bound the
+        multi-process data plane derives its *real* receive deadlines from.
+        """
+        return self.max_attempts * (self.timeout_s + self.max_delay_s)
 
     def delay(self, attempt: int) -> float:
         """Backoff delay before retransmission ``attempt`` (0-based)."""
-        return min(self.base_delay_s * self.backoff**attempt, self.max_delay_s)
+        if self.base_delay_s == 0.0:
+            return 0.0
+        try:
+            raw = self.base_delay_s * self.backoff**attempt
+        except OverflowError:
+            # backoff**attempt exceeded float range: the clamp would have
+            # won anyway, so apply it instead of blowing up the retry loop
+            return self.max_delay_s
+        return min(raw, self.max_delay_s)
 
 
 @dataclass

@@ -1,0 +1,487 @@
+"""Process lifecycle for the multi-process data plane.
+
+An :class:`MPCluster` owns one OS process per rank plus a full mesh of
+directed point-to-point channels (shared-memory rings by default, AF_UNIX
+socket pairs as the fallback — see :mod:`repro.runtime.mp_channel`).  The
+parent is pure *control plane*: it forks the workers once, then per
+schedule sends each worker its rank-local job over a ``Pipe``, collects
+per-rank results, and merges them.  All data-plane traffic flows worker
+↔ worker over the channels; the parent never touches payload bytes.
+
+Fail-clean is the design rule real OS processes force on us:
+
+* every blocking receive in a worker carries a real wall-clock deadline
+  (derived from the job's :class:`~repro.runtime.faults.RetryPolicy` via
+  ``max_transfer_wait_s``), so a dead peer becomes an exception, not a
+  hang;
+* the parent's collect loop watches worker liveness — a crashed rank
+  turns into an ``MPClusterError`` naming the rank and exit code;
+* any error or schedule-level degrade triggers an **abort broadcast**:
+  pending workers see ``("abort",)`` on their job pipe (polled inside
+  every channel spin loop), unwind with
+  :class:`~repro.runtime.mp_channel.MPAbortedError`, acknowledge, and
+  return to the job loop;
+* aborted runs can leave undelivered frames in the channels, so the
+  cluster marks itself *poisoned* and refuses further jobs — restart it
+  (cheap: one ``fork`` per rank) rather than risk desynchronised rings.
+
+Shutdown sends every worker ``("abort",)`` then ``("stop",)`` — a worker
+mid-run aborts first, an idle worker ignores the stale abort — joins with
+a timeout, terminates stragglers, and unlinks every shared-memory
+segment.  ``MPCluster`` is a context manager; the ``with`` block is the
+recommended lifecycle.
+
+The worker's schedule interpreter lives in
+:mod:`repro.schedule.mp_executor` and is imported lazily inside the
+worker main, keeping ``runtime`` free of a module-level dependency on
+``schedule`` (the same layering the simulator observes).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+import multiprocessing as mp
+
+from .faults import FaultPlan, RetryPolicy
+from .mp_channel import MPAbortedError, ShmRing, SocketChannel
+
+__all__ = ["MPCluster", "MPClusterError", "MPRun", "RankResult"]
+
+#: floor on a worker's per-frame receive deadline — generous enough for a
+#: loaded CI box, small enough that a wedged run fails in seconds.
+DEFAULT_RECV_TIMEOUT_S = 10.0
+DEFAULT_JOB_TIMEOUT_S = 120.0
+DEFAULT_RING_CAPACITY = 1 << 20
+
+
+class MPClusterError(RuntimeError):
+    """A worker crashed, timed out, or the cluster cannot run jobs."""
+
+
+@dataclass
+class RankResult:
+    """One worker's answer for one schedule job."""
+
+    rank: int
+    state: dict
+    wire: int = 0
+    degraded: bool = False
+    #: True when an ``UnrecoverableStreamError`` escaped the whole
+    #: schedule (``degrade="schedule"``) — peers may be stuck waiting and
+    #: the parent must abort them.
+    schedule_aborted: bool = False
+    seconds: float = 0.0
+    compute_seconds: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class MPRun:
+    """Merged outcome of one schedule across all ranks.
+
+    Mirrors :class:`repro.schedule.executor.Outcome` (``state`` /
+    ``wire`` / ``degraded``) and adds the measured wall-clock numbers the
+    calibration loop consumes.  On a degraded run the state is partial —
+    exactly like the simulator, callers rerun a plain fallback.
+    """
+
+    state: list
+    wire: int = 0
+    degraded: bool = False
+    #: slowest rank's wall-clock for the schedule = the measured makespan
+    makespan_s: float = 0.0
+    rank_seconds: tuple = ()
+    #: slowest rank's measured kernel time (CPR/DPR/CPT/HPR buckets)
+    compute_s: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+def _worker_main(rank, n_ranks, conn, send_channels, recv_channels) -> None:
+    # Lazy import: the worker interprets schedules, but the runtime layer
+    # must not depend on repro.schedule at import time.
+    from ..schedule.mp_executor import execute_rank
+
+    def poll_control() -> None:
+        """Raise MPAbortedError if the parent broadcast an abort."""
+        while conn.poll(0):
+            try:
+                msg = conn.recv()
+            except EOFError:
+                raise MPAbortedError("control pipe closed") from None
+            if msg[0] in ("abort", "stop"):
+                raise MPAbortedError("aborted by control plane")
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if msg[0] == "stop":
+            break
+        if msg[0] == "abort":  # stale abort from a finished job
+            continue
+        job = msg[1]
+        try:
+            result = execute_rank(
+                rank, n_ranks, send_channels, recv_channels, job, poll_control
+            )
+            conn.send(("ok", rank, result))
+        except MPAbortedError:
+            conn.send(("aborted", rank))
+        except BaseException as exc:  # report, never die silently
+            conn.send(
+                (
+                    "error",
+                    rank,
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
+            )
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+class MPCluster:
+    """One process per rank + a full mesh of directed channels.
+
+    Parameters
+    ----------
+    n_ranks : worker count (one OS process each).
+    transport : ``"shm"`` (shared-memory rings) or ``"socket"``.
+    ring_capacity : per-directed-pair ring size in bytes (shm only).
+    recv_timeout_s : floor on a worker's per-frame receive deadline; the
+        effective deadline also honours the job's scaled
+        ``RetryPolicy.max_transfer_wait_s()``.
+    job_timeout_s : parent-side ceiling on one schedule end to end.
+    time_scale : seconds of real sleep per modelled second of fault
+        pacing (timeout/backoff).  0 (default) injects faults without
+        pacing — deterministic replay at full speed.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        transport: str = "shm",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        recv_timeout_s: float = DEFAULT_RECV_TIMEOUT_S,
+        job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
+        time_scale: float = 0.0,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if transport not in ("shm", "socket"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.n_ranks = n_ranks
+        self.transport = transport
+        self.ring_capacity = ring_capacity
+        self.recv_timeout_s = recv_timeout_s
+        self.job_timeout_s = job_timeout_s
+        self.time_scale = time_scale
+        self._procs: list = []
+        self._conns: list = []
+        self._rings: list[ShmRing] = []
+        self._sockets: list = []
+        self._started = False
+        self._closed = False
+        self._poisoned: str | None = None
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "MPCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def start(self) -> None:
+        """Create the channel mesh and fork one worker per rank."""
+        if self._started:
+            return
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platform
+            raise MPClusterError(
+                "the multi-process data plane needs the 'fork' start "
+                "method (channels are inherited, not pickled)"
+            ) from exc
+        n = self.n_ranks
+        # send_channels[i][j] : channel rank i writes to reach rank j;
+        # recv_channels[j][i] is the same underlying pipe, read side.
+        send_channels: list[dict[int, Any]] = [{} for _ in range(n)]
+        recv_channels: list[dict[int, Any]] = [{} for _ in range(n)]
+        uid = secrets.token_hex(4)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                if self.transport == "shm":
+                    ring = ShmRing.create(
+                        f"repro-mp-{os.getpid()}-{uid}-{i}-{j}",
+                        self.ring_capacity,
+                    )
+                    self._rings.append(ring)
+                    send_channels[i][j] = ring
+                    recv_channels[j][i] = ring
+                else:
+                    a, b = socket.socketpair()
+                    self._sockets.extend((a, b))
+                    send_channels[i][j] = SocketChannel(a)
+                    recv_channels[j][i] = SocketChannel(b)
+        try:
+            for rank in range(n):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        rank,
+                        n,
+                        child_conn,
+                        send_channels[rank],
+                        recv_channels[rank],
+                    ),
+                    name=f"repro-mp-rank{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()  # the worker holds its copy
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except BaseException:
+            self._teardown(force=True)
+            raise
+        self._started = True
+
+    # ------------------------------------------------------------------ #
+    def run_schedule(
+        self,
+        schedule,
+        spec,
+        state: list,
+        plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> MPRun:
+        """Execute one schedule across the workers and merge the results.
+
+        ``state`` is the usual rank-indexed list of block dicts; each
+        worker receives only its own slice.  ``spec`` is a
+        :class:`~repro.schedule.mp_executor.CodecSpec` — codecs hold
+        numpy arrays and engines, so they are rebuilt worker-side from
+        this picklable description rather than shipped.
+        """
+        if not self._started or self._closed:
+            raise MPClusterError("cluster is not running (call start())")
+        if self._poisoned is not None:
+            raise MPClusterError(
+                f"cluster poisoned by a previous aborted run "
+                f"({self._poisoned}); start a fresh MPCluster"
+            )
+        if schedule.n_ranks != self.n_ranks:
+            raise MPClusterError(
+                f"schedule wants {schedule.n_ranks} ranks, "
+                f"cluster has {self.n_ranks}"
+            )
+        if len(state) != self.n_ranks:
+            raise MPClusterError(
+                f"state has {len(state)} rank slices for "
+                f"{self.n_ranks} ranks"
+            )
+        for rank, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self.shutdown()
+                raise MPClusterError(
+                    f"worker {rank} died before dispatch "
+                    f"(exitcode {proc.exitcode}); start a fresh MPCluster"
+                )
+        retry = retry if retry is not None else RetryPolicy()
+        deadline_s = max(
+            self.recv_timeout_s,
+            # honour paced fault waits: a fully faulted transfer sleeps
+            # this long for real before its final attempt resolves
+            4.0 * self.time_scale * retry.max_transfer_wait_s(),
+        )
+        from ..schedule.mp_executor import RankJob  # lazy, see module doc
+
+        for rank in range(self.n_ranks):
+            job = RankJob(
+                schedule=schedule,
+                spec=spec,
+                state=state[rank],
+                plan=plan,
+                retry=retry,
+                time_scale=self.time_scale,
+                recv_deadline_s=deadline_s,
+            )
+            try:
+                self._conns[rank].send(("run", job))
+            except OSError as exc:
+                # a worker died between the liveness check and dispatch
+                self.shutdown()
+                raise MPClusterError(
+                    f"worker {rank} unreachable at dispatch ({exc}); "
+                    "start a fresh MPCluster"
+                ) from exc
+        return self._collect()
+
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> MPRun:
+        n = self.n_ranks
+        results: dict[int, RankResult] = {}
+        failures: dict[int, str] = {}
+        first_traceback: str | None = None
+        aborted: set[int] = set()
+        pending = set(range(n))
+        abort_sent = False
+        deadline = time.monotonic() + self.job_timeout_s
+
+        def broadcast_abort() -> None:
+            nonlocal abort_sent
+            if abort_sent:
+                return
+            abort_sent = True
+            for r in sorted(pending):
+                try:
+                    self._conns[r].send(("abort",))
+                except (OSError, BrokenPipeError):
+                    pass
+
+        while pending:
+            progressed = False
+            for r in sorted(pending):
+                conn = self._conns[r]
+                if conn.poll(0):
+                    msg = conn.recv()
+                    progressed = True
+                    pending.discard(r)
+                    if msg[0] == "ok":
+                        results[r] = msg[2]
+                        if msg[2].schedule_aborted:
+                            # peers may block forever on frames this rank
+                            # will never send — release them now
+                            broadcast_abort()
+                    elif msg[0] == "aborted":
+                        aborted.add(r)
+                    else:  # ("error", rank, summary, traceback)
+                        failures[r] = msg[2]
+                        if first_traceback is None:
+                            first_traceback = msg[3]
+                        broadcast_abort()
+                elif not self._procs[r].is_alive():
+                    # catch a result racing the exit before declaring death
+                    if conn.poll(0.2):
+                        continue
+                    pending.discard(r)
+                    failures[r] = (
+                        f"worker died without reporting "
+                        f"(exitcode {self._procs[r].exitcode})"
+                    )
+                    progressed = True
+                    broadcast_abort()
+            if pending and time.monotonic() > deadline:
+                for r in sorted(pending):
+                    failures[r] = (
+                        f"no result within the {self.job_timeout_s:.0f}s "
+                        f"job deadline"
+                    )
+                pending.clear()
+            if pending and not progressed:
+                time.sleep(0.002)
+
+        if failures:
+            # a failed run leaves channels in an unknown state: tear the
+            # whole cluster down so nothing can reuse them
+            detail = "; ".join(
+                f"rank {r}: {m}" for r, m in sorted(failures.items())
+            )
+            self.shutdown()
+            if first_traceback:
+                detail += "\n--- first worker traceback ---\n" + first_traceback
+            raise MPClusterError(f"schedule run failed: {detail}")
+
+        degraded = any(res.degraded for res in results.values())
+        if aborted or any(res.schedule_aborted for res in results.values()):
+            self._poisoned = "schedule-level degrade aborted the run"
+            degraded = True
+
+        state: list = [None] * n
+        stats: dict[str, int] = {}
+        for r, res in results.items():
+            state[r] = res.state
+            for key, val in res.stats.items():
+                stats[key] = stats.get(key, 0) + val
+        return MPRun(
+            state=state,
+            wire=sum(res.wire for res in results.values()),
+            degraded=degraded,
+            makespan_s=max(
+                (res.seconds for res in results.values()), default=0.0
+            ),
+            rank_seconds=tuple(
+                results[r].seconds if r in results else float("nan")
+                for r in range(n)
+            ),
+            compute_s=max(
+                (res.compute_seconds for res in results.values()), default=0.0
+            ),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    def shutdown(self, join_timeout_s: float = 5.0) -> None:
+        """Stop the workers and release every OS resource (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("abort",))
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        per_join = join_timeout_s / max(len(self._procs), 1)
+        for proc in self._procs:
+            proc.join(timeout=per_join)
+        self._teardown(force=True)
+
+    def _teardown(self, force: bool) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        self._procs = []
+        self._conns = []
+        self._rings = []
+        self._sockets = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        if self._started and not self._closed:
+            try:
+                self.shutdown(join_timeout_s=1.0)
+            except Exception:
+                pass

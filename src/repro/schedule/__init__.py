@@ -29,12 +29,18 @@ from .cost import (
     HZ_GATHER,
     HZ_REDUCE,
     PLAIN,
+    CalibrationFit,
+    CalibrationSample,
     Discipline,
+    WireSummary,
     combine,
+    fit_alpha_beta,
     profile_stats,
     schedule_cost,
+    wire_summary,
 )
 from .executor import Outcome, ScheduleExecutor
+from .mp_executor import CodecSpec, MPExecutor
 from .generators import (
     INTER_FAMILIES,
     binomial_bcast,
@@ -98,6 +104,9 @@ __all__ = [
     # executor
     "ScheduleExecutor",
     "Outcome",
+    # mp executor (the real data plane)
+    "MPExecutor",
+    "CodecSpec",
     # cost
     "Discipline",
     "PLAIN",
@@ -108,6 +117,11 @@ __all__ = [
     "schedule_cost",
     "combine",
     "profile_stats",
+    "WireSummary",
+    "wire_summary",
+    "CalibrationSample",
+    "CalibrationFit",
+    "fit_alpha_beta",
     # tuner
     "SCHEMA_VERSION",
     "TuningKey",

@@ -44,6 +44,11 @@ __all__ = [
     "schedule_cost",
     "combine",
     "profile_stats",
+    "WireSummary",
+    "wire_summary",
+    "CalibrationSample",
+    "CalibrationFit",
+    "fit_alpha_beta",
 ]
 
 #: charge entries are (clock bucket, rate) with rate one of
@@ -168,9 +173,15 @@ def _profile(schedule: Schedule, discipline: Discipline) -> list:
 
         wire_max: tuple[int, float] | None = None
         incast: list[tuple[int, float]] = []
+        tot_nd, tot_w, n_msgs = 0, 0.0, 0
         for comm in rnd.comms:
             nd, w = _coeff(schedule, comm.blocks)
             if comm.transport != "faults-only":
+                # all-links totals (calibration): a flow comm stands for
+                # wire_count concurrent copies of the same message
+                tot_nd += comm.wire_count * nd
+                tot_w += comm.wire_count * w
+                n_msgs += comm.wire_count
                 if rnd.kind == "incast":
                     incast.append((nd, w))
                 elif wire_max is None or (
@@ -233,6 +244,7 @@ def _profile(schedule: Schedule, discipline: Discipline) -> list:
                 tuple(rows),
                 rnd.flows(schedule.n_ranks),
                 rnd.link_scale,
+                (tot_nd, tot_w, n_msgs),
             )
         )
 
@@ -282,7 +294,7 @@ def schedule_cost(
 
     buckets: dict[str, float] = defaultdict(float)
     total = 0.0
-    for overlap, comm_spec, rows, flows, scale in _profile(
+    for overlap, comm_spec, rows, flows, scale, _wire_tot in _profile(
         schedule, discipline
     ):
         comm_time = 0.0
@@ -332,4 +344,188 @@ def combine(*parts: Breakdown) -> Breakdown:
     }
     return Breakdown(
         buckets=full, total_time=sum(p.total_time for p in parts)
+    )
+
+
+# --------------------------------------------------------------------- #
+# calibration: fitting measured makespans back into the α–β model
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WireSummary:
+    """Structural wire terms of one schedule at one payload size.
+
+    ``hops``/``crit_bytes`` are the critical-path α/β terms the closed
+    form charges (one transfer of the largest message per exchange round,
+    serialised per-message transfers per incast round); ``messages`` and
+    ``total_bytes`` sum over *all* links, which is the quantity the
+    executors' ``bytes_on_wire`` measures.  Byte terms are plain logical
+    sizes — a compressed run's measured wire divided by ``total_bytes``
+    yields the achieved compression ratio, which callers apply to
+    ``crit_bytes`` before fitting (self-calibrating: no assumed ratio).
+    """
+
+    hops: int
+    crit_bytes: float
+    messages: int
+    total_bytes: float
+
+
+def wire_summary(
+    schedule: Schedule, discipline: Discipline, total_bytes: int
+) -> WireSummary:
+    """The α–β wire terms of ``schedule`` at ``total_bytes`` per rank."""
+    ensure_positive(total_bytes, "total_bytes")
+    n = schedule.n_ranks
+
+    def nbytes(nd: int, w: float) -> float:
+        return nd * (total_bytes / n) + w * total_bytes
+
+    hops, crit, messages, total = 0, 0.0, 0, 0.0
+    for _overlap, comm_spec, _rows, _flows, _scale, wire_tot in _profile(
+        schedule, discipline
+    ):
+        tot_nd, tot_w, n_msgs = wire_tot
+        messages += n_msgs
+        total += nbytes(tot_nd, tot_w)
+        if comm_spec is None:
+            continue
+        kind, data = comm_spec
+        if kind == "exchange":
+            hops += 1
+            crit += nbytes(*data)
+        else:  # incast: the root serialises one transfer per message
+            hops += len(data)
+            crit += sum(nbytes(nd, w) for nd, w in data)
+    return WireSummary(
+        hops=hops, crit_bytes=crit, messages=messages, total_bytes=total
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measured run: its structural wire terms and wall-clock times.
+
+    ``crit_bytes`` should already carry the achieved compression ratio
+    (measured wire / plain total) when the run was compressed, and
+    ``compute_s`` is the slowest rank's measured compute, so the residual
+    ``comm_s`` isolates the α·hops + β·bytes communication term.
+    """
+
+    family: str
+    hops: int
+    crit_bytes: float
+    measured_s: float
+    compute_s: float = 0.0
+
+    @property
+    def comm_s(self) -> float:
+        return max(0.0, self.measured_s - self.compute_s)
+
+
+@dataclass(frozen=True)
+class CalibrationFit:
+    """Fitted α–β coefficients plus the per-sample model report."""
+
+    alpha_s: float
+    beta_s_per_byte: float
+    samples: tuple[CalibrationSample, ...]
+
+    def modelled_s(self, sample: CalibrationSample) -> float:
+        """Modelled makespan: measured compute + fitted α–β comm terms."""
+        return (
+            sample.compute_s
+            + self.alpha_s * sample.hops
+            + self.beta_s_per_byte * sample.crit_bytes
+        )
+
+    def report(self) -> list[dict]:
+        """Per-sample measured vs modelled makespans with relative error."""
+        rows = []
+        for s in self.samples:
+            modelled = self.modelled_s(s)
+            denom = max(s.measured_s, 1e-12)
+            rows.append(
+                {
+                    "family": s.family,
+                    "hops": s.hops,
+                    "crit_bytes": s.crit_bytes,
+                    "measured_s": s.measured_s,
+                    "modelled_s": modelled,
+                    "rel_err": abs(modelled - s.measured_s) / denom,
+                }
+            )
+        return rows
+
+    def family_errors(self) -> dict[str, float]:
+        """Worst relative model error per schedule family."""
+        worst: dict[str, float] = {}
+        for row in self.report():
+            fam = row["family"]
+            worst[fam] = max(worst.get(fam, 0.0), row["rel_err"])
+        return worst
+
+    def max_rel_err(self) -> float:
+        return max((r["rel_err"] for r in self.report()), default=0.0)
+
+    def as_network(self, congestion_per_log2: float = 0.0) -> NetworkModel:
+        """The fitted coefficients as a NetworkModel for dry runs.
+
+        Coefficients are floored at tiny positive values because the
+        model rejects zero latency/bandwidth; a floored coefficient means
+        the fit attributed that term no measurable cost at these sizes.
+        """
+        alpha = max(self.alpha_s, 1e-9)
+        beta = max(self.beta_s_per_byte, 1e-15)
+        return NetworkModel(
+            latency_s=alpha,
+            bandwidth_Bps=1.0 / beta,
+            congestion_per_log2=congestion_per_log2,
+        )
+
+
+def fit_alpha_beta(samples) -> CalibrationFit:
+    """Least-squares fit of ``comm_s ≈ α·hops + β·crit_bytes``.
+
+    Plain 2×2 normal equations with non-negativity enforced by clamping:
+    if the unconstrained solution turns a coefficient negative, that term
+    is dropped and the other refit alone — the textbook active-set step
+    for a two-variable NNLS, exact here because there are only two
+    constraint patterns to try.
+    """
+    samples = tuple(samples)
+    if not samples:
+        raise ValueError("fit_alpha_beta needs at least one sample")
+    shh = shb = sbb = sht = sbt = 0.0
+    for s in samples:
+        h, b, t = float(s.hops), float(s.crit_bytes), s.comm_s
+        shh += h * h
+        shb += h * b
+        sbb += b * b
+        sht += h * t
+        sbt += b * t
+
+    det = shh * sbb - shb * shb
+    if det > 0.0:
+        alpha = (sht * sbb - sbt * shb) / det
+        beta = (sbt * shh - sht * shb) / det
+    else:  # degenerate design (collinear or single sample): 1-D fits
+        alpha = -1.0
+        beta = -1.0
+    if alpha < 0.0 or beta < 0.0:
+        alpha_only = sht / shh if shh > 0.0 else 0.0
+        beta_only = sbt / sbb if sbb > 0.0 else 0.0
+
+        def sse(a: float, b: float) -> float:
+            return sum((a * s.hops + b * s.crit_bytes - s.comm_s) ** 2
+                       for s in samples)
+
+        alpha, beta = min(
+            (max(alpha_only, 0.0), 0.0),
+            (0.0, max(beta_only, 0.0)),
+            key=lambda ab: sse(*ab),
+        )
+    return CalibrationFit(
+        alpha_s=max(alpha, 0.0),
+        beta_s_per_byte=max(beta, 0.0),
+        samples=samples,
     )

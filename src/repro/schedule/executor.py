@@ -32,6 +32,11 @@ from .ir import CommOp, LocalOp, Round, Schedule
 
 __all__ = ["Outcome", "ScheduleExecutor"]
 
+#: pending-table sentinel: this staged block was lost to a per-op degrade
+#: (``degrade_receive`` already patched state), so the later fold skips it
+#: instead of dying on a missing key.
+_DEGRADED = object()
+
 
 @dataclass
 class Outcome:
@@ -97,6 +102,12 @@ class ScheduleExecutor:
                 cluster.channel.degrade()
                 outcome.degraded = True
                 outcome.wire += codec.degrade_receive(comm, state)
+                if comm.action == "stage":
+                    # mark the staged blocks consumed-by-degrade so the
+                    # later fold LocalOp skips them cleanly (a truly
+                    # missing key still raises — that is a schedule bug)
+                    for b in comm.blocks:
+                        pending[(comm.dst, b)] = _DEGRADED
                 continue
             if comm.action == "fold":
                 codec.fold(comm.dst, comm.blocks, received, state,
@@ -204,8 +215,16 @@ class ScheduleExecutor:
         if op.kind == "prepare":
             codec.prepare(op.rank, op.blocks, state)
         elif op.kind == "fold":
-            items = [pending.pop((op.rank, b)) for b in op.blocks]
-            codec.fold(op.rank, op.blocks, items, state, fresh=op.fresh)
+            blocks, items = [], []
+            for b in op.blocks:
+                item = pending.pop((op.rank, b))
+                if item is _DEGRADED:
+                    continue  # handled by the per-op degrade path
+                blocks.append(b)
+                items.append(item)
+            if blocks:
+                codec.fold(op.rank, tuple(blocks), items, state,
+                           fresh=op.fresh)
         elif op.kind == "fold_fused":
             codec.fold_fused(op.rank, op.blocks, state, fanin=op.fanin)
         elif op.kind == "finalize":

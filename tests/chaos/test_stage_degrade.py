@@ -1,0 +1,140 @@
+"""Per-op degrade of a *staged* comm must not kill the later fold.
+
+Regression: ``degrade="op"`` on an ``action="stage"`` comm patches state
+via ``degrade_receive`` but delivers nothing to the pending table.  The
+executor must park a ``_DEGRADED`` sentinel so the downstream ``fold``
+LocalOp skips those blocks instead of dying on ``pending.pop`` with a
+``KeyError`` (the pre-fix behaviour).  A genuinely missing key — a
+schedule bug — must still raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CollectiveConfig
+from repro.runtime import FaultPlan, SimCluster
+from repro.schedule import HomomorphicCodec, ScheduleExecutor
+from repro.schedule.ir import CommOp, LocalOp, Phase, Round, Schedule
+
+pytestmark = pytest.mark.chaos
+
+CONFIG = CollectiveConfig(error_bound=1e-3, block_size=8, n_threadblocks=3)
+
+
+class PatchingHZ(HomomorphicCodec):
+    """Homomorphic codec with a bcast-style per-op fallback.
+
+    An unrecoverable staged stream is replaced by re-delivering the
+    reduced block out-of-band (compressed, so the schedule's finalize
+    still decodes it like any other block).
+    """
+
+    def __init__(self, cluster, config, fallback: np.ndarray) -> None:
+        super().__init__(cluster, config)
+        self.fallback = fallback
+        self.degrades = 0
+
+    def degrade_receive(self, comm, state):
+        self.degrades += 1
+        self.cluster.charge_comm(comm.dst, self.fallback.nbytes)
+        for b in comm.blocks:
+            state[comm.dst][b] = self.comp.compress(
+                self.fallback, abs_eb=self.eb
+            )
+        return self.fallback.nbytes
+
+
+def _stage_then_fold() -> Schedule:
+    """2-rank schedule: stage 0 → 1, fold later, finalize at rank 1."""
+    return Schedule(
+        name="stage-degrade-regression",
+        n_ranks=2,
+        phases=(
+            Phase(
+                "setup",
+                (
+                    Round(
+                        kind="compute",
+                        ops=(
+                            LocalOp(0, "prepare", (0,)),
+                            LocalOp(1, "prepare", (0,)),
+                        ),
+                    ),
+                ),
+            ),
+            Phase(
+                "exchange",
+                (
+                    Round(
+                        kind="exchange",
+                        comms=(
+                            CommOp(0, 1, (0,), action="stage", degrade="op"),
+                        ),
+                        ops=(LocalOp(1, "fold", (0,)),),
+                    ),
+                ),
+            ),
+            Phase(
+                "finalize",
+                (Round(kind="compute", ops=(LocalOp(1, "finalize", (0,)),)),),
+            ),
+        ),
+    ).validate()
+
+
+def _blocks():
+    rng = np.random.default_rng(0x57A6E)
+    a = np.cumsum(rng.normal(0, 0.05, 256)).astype(np.float32)
+    b = np.cumsum(rng.normal(0, 0.05, 256)).astype(np.float32)
+    return a, b
+
+
+def _run(plan, fallback):
+    a, b = _blocks()
+    cluster = SimCluster(2, faults=plan)
+    codec = PatchingHZ(cluster, CONFIG, fallback)
+    state = [{0: a.copy()}, {0: b.copy()}]
+    outcome = ScheduleExecutor(cluster, codec).run(_stage_then_fold(), state)
+    return outcome, codec, state
+
+
+def test_healthy_run_folds_staged_block():
+    a, b = _blocks()
+    outcome, codec, state = _run(None, np.zeros_like(a))
+    assert outcome.degraded is False
+    assert codec.degrades == 0
+    np.testing.assert_allclose(state[1][0], a + b, atol=0.05)
+
+
+def test_stage_degrade_parks_sentinel_and_skips_fold():
+    a, b = _blocks()
+    # every attempt corrupted: the compressed stream never validates, the
+    # per-op degrade fires, and the fold must skip the staged block
+    plan = FaultPlan(seed=7, corrupt_rate=1.0)
+    outcome, codec, state = _run(plan, a + b)
+    assert outcome.degraded is True
+    assert codec.degrades == 1
+    assert outcome.wire >= (a + b).nbytes
+    # finalize still ran on the patched block: plain floats, right value
+    assert isinstance(state[1][0], np.ndarray)
+    np.testing.assert_allclose(state[1][0], a + b, atol=0.05)
+
+
+def test_missing_staged_block_still_raises():
+    # a fold with no matching stage is a schedule bug, not a degrade:
+    # the sentinel must not paper over it
+    bad = Schedule(
+        name="fold-without-stage",
+        n_ranks=2,
+        phases=(
+            Phase(
+                "exchange",
+                (Round(kind="exchange", ops=(LocalOp(1, "fold", (0,)),)),),
+            ),
+        ),
+    ).validate()
+    a, _ = _blocks()
+    cluster = SimCluster(2)
+    codec = PatchingHZ(cluster, CONFIG, a)
+    with pytest.raises(KeyError):
+        ScheduleExecutor(cluster, codec).run(bad, [{0: a.copy()}, {}])

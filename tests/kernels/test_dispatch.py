@@ -101,6 +101,16 @@ class TestResolutionPolicy:
         with pytest.raises(ValueError, match="available"):
             get_backend("not-a-backend")
 
+    def test_whitespace_only_env_means_auto(self, monkeypatch):
+        # regression: "   " used to fall through as the (unknown) empty
+        # backend name instead of the auto policy
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert current_backend_name() in available_backends()
+
+    def test_env_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "  numpy\t")
+        assert current_backend_name() == "numpy"
+
     def test_use_backend_scopes_and_restores(self):
         before = current_backend_name()
         with use_backend("numpy") as backend:
