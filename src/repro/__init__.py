@@ -24,6 +24,7 @@ Packages
 * :mod:`repro.datasets` — synthetic Table-I datasets.
 * :mod:`repro.apps` — image stacking use case.
 * :mod:`repro.bench` — STREAM + harness utilities.
+* :mod:`repro.service` — asyncio aggregation service (batched reduces).
 """
 
 from .compression import CompressedField, FZLight, OmpSZp

@@ -32,7 +32,6 @@ from typing import Any, Callable
 import numpy as np
 
 from ..collectives.ring import split_blocks
-from ..runtime.cluster import SimCluster
 from ..runtime.faults import FaultPlan, RetryPolicy
 from ..runtime.mp_cluster import MPCluster, MPRun
 from ..runtime.nodemap import NodeMap
@@ -46,8 +45,9 @@ from ..schedule.cost import (
     fit_alpha_beta,
     wire_summary,
 )
-from ..schedule.executor import Outcome, ScheduleExecutor
+from ..schedule.executor import Outcome
 from ..schedule.generators import (
+    batched_fused_reduce,
     binomial_bcast,
     direct_reduce,
     hierarchical_allreduce_schedule,
@@ -68,6 +68,7 @@ __all__ = [
     "states_equal",
     "calibrate",
     "calibration_rows",
+    "samples_from_document",
     "check_document",
 ]
 
@@ -80,6 +81,9 @@ FAMILIES = {
     "rabenseifner": "plain",
     # direct-reduce's root does a k-way fused fold: homomorphic only
     "direct-reduce": "homomorphic",
+    # the aggregation service's coalesced plan: several sessions share
+    # one incast, the root folds each with its own fused reduction
+    "batched-reduce": "homomorphic",
     "bcast": "compressed-bcast",
     "hierarchical": "plain",
     "hierarchical-hz": "homomorphic",
@@ -189,6 +193,22 @@ def build_case(
         def make_state() -> list:
             return [{("vec", r): arrays[r].copy()} for r in range(n)]
 
+    elif family == "batched-reduce":
+        sessions = 3
+        batch = [
+            _rank_fields(n, elements, seed + 101 * s) for s in range(sessions)
+        ]
+        schedule = batched_fused_reduce(n, sessions, root=0)
+        # each rank contributes `sessions` whole vectors, so the plain
+        # payload the wire summary prices is the batch total
+        payload = elements * 4 * sessions
+
+        def make_state() -> list:
+            return [
+                {("v", s, r): batch[s][r].copy() for s in range(sessions)}
+                for r in range(n)
+            ]
+
     elif family == "bcast":
         data = arrays[0]
         schedule = binomial_bcast(n, root=0, deliver=True)
@@ -231,15 +251,17 @@ def sim_reference(
     plan: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
 ) -> Outcome:
-    """Run the same case on the simulated executor (the oracle)."""
-    cluster = (
-        SimCluster(case.n_ranks, faults=plan, retry=retry)
-        if retry is not None
-        else SimCluster(case.n_ranks, faults=plan)
+    """Run the same case on the simulated executor (the oracle).
+
+    Goes through the pipeline's schedule path so the oracle and the MP
+    run dispatch from the same :class:`~repro.core.pipeline.Plan` shape.
+    """
+    from ..core.pipeline import Plan, execute
+
+    plan_ = Plan.from_schedule(case.schedule, case.spec, family=case.family)
+    return execute(
+        plan_, state=case.make_state(), fault_plan=plan, retry=retry
     )
-    codec = case.spec.build(cluster)
-    state = case.make_state()
-    return ScheduleExecutor(cluster, codec).run(case.schedule, state)
 
 
 def _values_equal(a: Any, b: Any) -> bool:
@@ -362,6 +384,33 @@ def calibrate(
         "family_errors": fit.family_errors(),
         "max_rel_err": fit.max_rel_err(),
     }
+
+
+def samples_from_document(doc: dict) -> list[CalibrationSample]:
+    """Rebuild the fit's samples from a saved ``BENCH_mp.json`` document.
+
+    ``repro tune run --calibration`` refits α–β from these to score
+    candidates against the *measured* fabric instead of the idealized
+    model (the rows already carry the achieved-compression wire terms).
+    """
+    rows = doc.get("rows")
+    if not rows:
+        raise ValueError("calibration document has no measured rows")
+    try:
+        return [
+            CalibrationSample(
+                family=r["family"],
+                hops=int(r["hops"]),
+                crit_bytes=float(r["crit_bytes"]),
+                measured_s=float(r["measured_s"]),
+                compute_s=float(r["compute_s"]),
+            )
+            for r in rows
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"calibration document rows are malformed: {exc}"
+        ) from exc
 
 
 def calibration_rows(doc: dict) -> list[list[str]]:

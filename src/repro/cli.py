@@ -39,6 +39,7 @@ _MP_FAMILIES = (
     "pipelined-rs",
     "rabenseifner",
     "direct-reduce",
+    "batched-reduce",
     "bcast",
     "hierarchical",
     "hierarchical-hz",
@@ -152,6 +153,15 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--fabric", action="append", default=None,
                     choices=["torus", "dragonfly", "fattree"],
                     help="fabric model (repeatable; default: all three)")
+    pr.add_argument("--calibration", default=None, metavar="BENCH_MP_JSON",
+                    help="score candidates on the α–β network refit from a "
+                         "measured BENCH_mp.json document instead of the "
+                         "idealized fabrics (mutually exclusive with "
+                         "--fabric; entries record the calibrated network)")
+    pr.add_argument("--op", action="append", default=None,
+                    choices=["allreduce", "reduce", "bcast"],
+                    help="collective op to tune (repeatable; "
+                         "default allreduce)")
     pr.add_argument("--roughness", action="append", default=None,
                     choices=["smooth", "rough"],
                     help="dataset roughness class (repeatable; default: both)")
@@ -528,9 +538,9 @@ def _cmd_mp(args) -> int:
         states_equal,
     )
     from repro.bench.tables import format_table
+    from repro.core.pipeline import Plan, execute
     from repro.runtime.faults import FaultPlan
     from repro.runtime.mp_cluster import MPCluster
-    from repro.schedule.mp_executor import MPExecutor
 
     if args.mp_command == "run":
         plan = None
@@ -541,9 +551,13 @@ def _cmd_mp(args) -> int:
         case = build_case(
             args.family, args.ranks, args.elements, seed=args.seed
         )
+        # the same schedule-backed Plan drives both data planes: here the
+        # MP cluster, in sim_reference the simulated oracle
+        plan_ = Plan.from_schedule(case.schedule, case.spec, family=case.family)
         with MPCluster(args.ranks, transport=args.transport) as cluster:
-            run = MPExecutor(cluster, case.spec, plan=plan).run(
-                case.schedule, case.make_state()
+            run = execute(
+                plan_, state=case.make_state(), cluster=cluster,
+                fault_plan=plan,
             )
         print(
             f"{case.schedule.name} × {case.spec.kind} on {args.ranks} "
@@ -677,24 +691,69 @@ def _cmd_tune(args) -> int:
 
     ranks = args.ranks or [8]
     sizes_kb = args.size_kb or [64, 256, 1024, 4096]
-    fabrics = args.fabric or sorted(FABRICS)
     roughness = args.roughness or ["smooth", "rough"]
+    ops = args.op or ["allreduce"]
     out = args.output or resolve_table_path() or "TUNING_TABLE.json"
+
+    if args.calibration:
+        # satellite loop closed: score candidates on the network refit
+        # from measured MP makespans, not the idealized fabric models
+        if args.fabric:
+            raise SystemExit(
+                "--calibration and --fabric are mutually exclusive: a "
+                "calibrated run scores on the measured network"
+            )
+        import json
+        from pathlib import Path
+
+        from repro.bench.mp import samples_from_document
+        from repro.schedule.cost import fit_alpha_beta
+
+        try:
+            doc = json.loads(Path(args.calibration).read_text())
+            samples = samples_from_document(doc)
+        except FileNotFoundError:
+            raise SystemExit(f"calibration file not found: {args.calibration}")
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(
+                f"{args.calibration} is not a calibration document: {exc}"
+            )
+        fit = fit_alpha_beta(samples)
+        label = f"calibrated:{os.path.basename(args.calibration)}"
+        networks = {label: fit.as_network()}
+        print(
+            f"calibrated network from {args.calibration}: "
+            f"α = {fit.alpha_s * 1e6:.1f} µs/hop, "
+            f"β⁻¹ = {1.0 / fit.beta_s_per_byte / 1e9:.2f} GB/s"
+            if fit.beta_s_per_byte > 0
+            else f"calibrated network from {args.calibration}: "
+                 f"α = {fit.alpha_s * 1e6:.1f} µs/hop (latency-bound fit)"
+        )
+    else:
+        fabrics = args.fabric or sorted(FABRICS)
+        networks = {f: FABRICS[f] for f in fabrics}
 
     table = TuningTable()
     for n in ranks:
         rpn = min(args.ranks_per_node, n)
         nodemap = NodeMap.regular(n, rpn) if rpn > 1 else None
-        for fabric in fabrics:
-            network = FABRICS[fabric]
+        for label, network in networks.items():
             for kb in sizes_kb:
                 for rough in roughness:
-                    key, entry, _ = tune_point(
-                        n, kb << 10, network, rough, PAPER_BROADWELL, nodemap
-                    )
-                    table.put(key, entry)
-                    print(f"  {key.canonical():48s} -> {entry.pick.slug():24s}"
-                          f" {entry.cost_s * 1e3:10.3f} ms")
+                    for op in ops:
+                        key, entry, _ = tune_point(
+                            n, kb << 10, network, rough, PAPER_BROADWELL,
+                            nodemap, op=op,
+                            network_label=(
+                                label if args.calibration else None
+                            ),
+                        )
+                        table.put(key, entry)
+                        print(
+                            f"  {key.canonical():48s}"
+                            f" -> {entry.pick.slug():24s}"
+                            f" {entry.cost_s * 1e3:10.3f} ms"
+                        )
     if os.path.exists(out):
         table = load_or_exit(out).merge(table)
     table.save(out)

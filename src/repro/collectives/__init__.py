@@ -9,6 +9,7 @@ Three families, all ring-based:
 """
 
 from .base import CollectiveResult, split_blocks, validate_local_data
+from .batch import hzccl_batched_reduce
 from .ccoll import ccoll_allgather, ccoll_allreduce, ccoll_reduce_scatter
 from .hierarchy import hzccl_hierarchical_allreduce, mpi_hierarchical_allreduce
 from .p2p import p2p_allreduce, p2p_hzccl_allreduce, p2p_reduce_scatter
@@ -51,6 +52,7 @@ __all__ = [
     "hzccl_reduce_direct",
     "mpi_bcast",
     "compressed_bcast",
+    "hzccl_batched_reduce",
     "rabenseifner_allreduce",
     "hzccl_rabenseifner_allreduce",
     "mpi_hierarchical_allreduce",

@@ -1,11 +1,14 @@
 """Autotuned Allreduce: consult the tuning table, dispatch the pick.
 
 :func:`tuned_allreduce` closes the loop the tuner opens: classify the
-actual data's roughness, build the :class:`~repro.schedule.tuner.TuningKey`
-for this call, resolve it (persisted table → in-memory LRU → live
-enumeration), and run the picked candidate through the *existing* family
-entry point — so the tuned path inherits every family's fault handling
-and degrade-to-plain contract unchanged.
+actual data's roughness, describe the call as a
+:class:`~repro.core.pipeline.CollectiveRequest`, and let the pipeline's
+``plan()`` resolve it (persisted table → in-memory LRU → live
+enumeration) and ``execute()`` run the picked candidate through the
+*existing* family entry point (:func:`run_candidate`) — so the tuned
+path inherits every family's fault handling and degrade-to-plain
+contract unchanged, and repeated shapes hit the process-wide
+:class:`~repro.core.pipeline.PlanCache`.
 
 Hierarchical picks need placement information: when the caller passes no
 :class:`~repro.runtime.nodemap.NodeMap`, the entry's ``flat_pick`` (the
@@ -24,20 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..obs.metrics import METRICS
 from ..runtime.cluster import SimCluster
 from ..runtime.nodemap import NodeMap
-from ..schedule.tuner import (
-    Candidate,
-    TuningKey,
-    TuningTable,
-    classify_roughness,
-    fabric_name,
-    load_default_table,
-    lookup_entry,
-    resolve_table_path,
-    size_bucket,
-)
+from ..schedule.tuner import Candidate, TuningTable, classify_roughness
 from .base import CollectiveResult, validate_local_data
 from .hierarchy import hzccl_hierarchical_allreduce, mpi_hierarchical_allreduce
 from .hzccl import hzccl_allreduce, hzccl_pipelined_allreduce
@@ -45,14 +37,6 @@ from .rabenseifner import hzccl_rabenseifner_allreduce, rabenseifner_allreduce
 from .ring import mpi_allreduce
 
 __all__ = ["tuned_allreduce", "run_candidate"]
-
-
-def _default_rates():
-    # Lazy: repro.core imports this package back (api → collectives), so
-    # the rates import must not run at collectives import time.
-    from ..core.cost_model import PAPER_BROADWELL
-
-    return PAPER_BROADWELL
 
 
 def run_candidate(
@@ -100,36 +84,28 @@ def tuned_allreduce(
     never fails — it falls back to live candidate enumeration, memoised
     process-wide.
     """
+    # Lazy: core.pipeline imports this module back (for run_candidate).
+    from ..core.pipeline import (
+        CollectiveRequest,
+        PayloadSpec,
+        execute,
+        plan,
+    )
+
     arrays = validate_local_data(local_data)
     if len(arrays) != cluster.n_ranks:
         raise ValueError(
             f"got {len(arrays)} rank arrays for {cluster.n_ranks} ranks"
         )
-    if table is None:
-        table = load_default_table(resolve_table_path(config))
-    if rates is None:
-        rates = _default_rates()
-
-    key = TuningKey(
+    request = CollectiveRequest(
         op="allreduce",
-        dtype=str(arrays[0].dtype),
-        bucket=size_bucket(int(arrays[0].nbytes)),
         n_ranks=cluster.n_ranks,
-        fabric=fabric_name(cluster.network),
+        payload=PayloadSpec.of(arrays[0]),
+        nodemap=nodemap,
+        tune=True,
         roughness=classify_roughness(arrays[0], config.error_bound),
     )
-    entry, source = lookup_entry(key, cluster.network, rates, nodemap, table)
-
-    cand = entry.pick
-    flat_fallback = False
-    if cand.hierarchical and nodemap is None:
-        cand, flat_fallback = entry.flat_pick, True
-
-    if METRICS.enabled:
-        METRICS.inc("tuner.lookups")
-        METRICS.inc(f"tuner.source.{source}")
-        METRICS.inc(f"tuner.pick.{cand.slug()}")
-        if flat_fallback:
-            METRICS.inc("tuner.flat_fallback")
-
-    return run_candidate(cand, cluster, arrays, config, nodemap)
+    resolved = plan(
+        request, config, network=cluster.network, table=table, rates=rates
+    )
+    return execute(resolved, arrays, cluster=cluster, config=config)

@@ -18,23 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..collectives import (
-    CollectiveResult,
-    ccoll_allreduce,
-    ccoll_reduce_scatter,
-    compressed_bcast,
-    hzccl_allreduce,
-    hzccl_hierarchical_allreduce,
-    hzccl_reduce,
-    hzccl_reduce_direct,
-    hzccl_reduce_scatter,
-    mpi_allreduce,
-    mpi_hierarchical_allreduce,
-    mpi_bcast,
-    mpi_reduce,
-    mpi_reduce_scatter,
-    tuned_allreduce,
-)
+from ..collectives import CollectiveResult
+from ..collectives.base import validate_local_data
 from ..compression.format import CompressedField
 from ..compression.fzlight import FZLight
 from ..homomorphic.hzdynamic import HZDynamic
@@ -42,11 +27,11 @@ from ..kernels.dispatch import use_backend
 from ..runtime.cluster import SimCluster
 from ..runtime.nodemap import NodeMap
 from ..runtime.trace import TraceLog
+from ..schedule.tuner import classify_roughness
 from .config import CollectiveConfig
+from .pipeline import CollectiveRequest, PayloadSpec, execute, plan
 
 __all__ = ["HZCCL"]
-
-_KERNELS = ("hzccl", "ccoll", "mpi")
 
 
 class HZCCL:
@@ -114,19 +99,36 @@ class HZCCL:
             retry=self.config.retry,
         )
 
+    def _run(self, request: CollectiveRequest, data) -> CollectiveResult:
+        """plan → execute with this facade's config/trace settings."""
+        return execute(
+            plan(request, self.config), data,
+            config=self.config, trace=self.trace,
+        )
+
+    def _tuned_request(
+        self, op: str, arrays: list[np.ndarray], **extra
+    ) -> CollectiveRequest:
+        """Build a ``tune=True`` request keyed on the actual data."""
+        return CollectiveRequest(
+            op=op,
+            n_ranks=len(arrays),
+            payload=PayloadSpec.of(arrays[0]),
+            tune=True,
+            roughness=classify_roughness(arrays[0], self.config.error_bound),
+            **extra,
+        )
+
     def reduce_scatter(
         self, local_data: list[np.ndarray], kernel: str = "hzccl"
     ) -> CollectiveResult:
         """SUM Reduce_scatter across ``len(local_data)`` simulated ranks."""
-        cluster = self._cluster(len(local_data))
-        with use_backend(self.config.kernel_backend):
-            if kernel == "hzccl":
-                return hzccl_reduce_scatter(cluster, local_data, self.config)
-            if kernel == "ccoll":
-                return ccoll_reduce_scatter(cluster, local_data, self.config)
-            if kernel == "mpi":
-                return mpi_reduce_scatter(cluster, local_data)
-        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+        return self._run(
+            CollectiveRequest(
+                op="reduce_scatter", n_ranks=len(local_data), kernel=kernel
+            ),
+            local_data,
+        )
 
     def allreduce(
         self,
@@ -153,35 +155,29 @@ class HZCCL:
         and the data's measured roughness; ``kernel`` and ``inter`` are
         ignored, ``nodemap`` enables the hierarchical candidates.
         """
-        cluster = self._cluster(len(local_data))
-        with use_backend(self.config.kernel_backend):
-            if tune:
-                return tuned_allreduce(
-                    cluster, local_data, self.config, nodemap=nodemap
-                )
-            if nodemap is not None:
-                if kernel == "hzccl":
-                    return hzccl_hierarchical_allreduce(
-                        cluster, local_data, self.config, nodemap, inter
-                    )
-                if kernel == "mpi":
-                    return mpi_hierarchical_allreduce(
-                        cluster, local_data, nodemap, inter
-                    )
-                raise ValueError(
-                    "hierarchical allreduce supports kernels 'hzccl' and "
-                    f"'mpi', got {kernel!r}"
-                )
-            if kernel == "hzccl":
-                return hzccl_allreduce(cluster, local_data, self.config)
-            if kernel == "ccoll":
-                return ccoll_allreduce(cluster, local_data, self.config)
-            if kernel == "mpi":
-                return mpi_allreduce(cluster, local_data)
-        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+        if tune:
+            arrays = validate_local_data(local_data)
+            return self._run(
+                self._tuned_request("allreduce", arrays, nodemap=nodemap),
+                arrays,
+            )
+        return self._run(
+            CollectiveRequest(
+                op="allreduce",
+                n_ranks=len(local_data),
+                kernel=kernel,
+                nodemap=nodemap,
+                inter=inter,
+            ),
+            local_data,
+        )
 
     def reduce(
-        self, local_data: list[np.ndarray], root: int = 0, kernel: str = "hzccl"
+        self,
+        local_data: list[np.ndarray],
+        root: int = 0,
+        kernel: str = "hzccl",
+        tune: bool = False,
     ) -> CollectiveResult:
         """SUM Reduce to ``root`` (non-root outputs are ``None``).
 
@@ -189,33 +185,72 @@ class HZCCL:
         ``hzccl-direct`` gathers whole compressed vectors and folds them at
         the root with one fused k-way homomorphic reduction (best at
         small/medium rank counts); ``mpi`` is the plain baseline.
+        ``tune=True`` asks the autotuner instead (``kernel`` is ignored).
         """
-        cluster = self._cluster(len(local_data))
-        with use_backend(self.config.kernel_backend):
-            if kernel == "hzccl":
-                return hzccl_reduce(cluster, local_data, self.config, root=root)
-            if kernel == "hzccl-direct":
-                return hzccl_reduce_direct(
-                    cluster, local_data, self.config, root=root
-                )
-            if kernel == "mpi":
-                return mpi_reduce(cluster, local_data, root=root)
-        raise ValueError(
-            f"kernel must be 'hzccl', 'hzccl-direct' or 'mpi', got {kernel!r}"
+        if tune:
+            arrays = validate_local_data(local_data)
+            return self._run(
+                self._tuned_request("reduce", arrays, root=root), arrays
+            )
+        return self._run(
+            CollectiveRequest(
+                op="reduce", n_ranks=len(local_data), kernel=kernel, root=root
+            ),
+            local_data,
         )
 
     def bcast(
-        self, data: np.ndarray, n_ranks: int, root: int = 0, kernel: str = "hzccl"
+        self,
+        data: np.ndarray,
+        n_ranks: int,
+        root: int = 0,
+        kernel: str = "hzccl",
+        tune: bool = False,
     ) -> CollectiveResult:
         """Broadcast ``data`` from ``root`` to ``n_ranks`` simulated ranks.
 
         The ``hzccl`` kernel broadcasts the compressed stream (lossy within
         the configured error bound on non-root ranks); ``mpi`` is exact.
+        ``tune=True`` asks the autotuner instead (``kernel`` is ignored).
         """
-        cluster = self._cluster(n_ranks)
-        with use_backend(self.config.kernel_backend):
-            if kernel == "hzccl":
-                return compressed_bcast(cluster, data, self.config, root=root)
-            if kernel == "mpi":
-                return mpi_bcast(cluster, data, root=root)
-        raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")
+        if tune:
+            array = np.ascontiguousarray(data)
+            request = CollectiveRequest(
+                op="bcast",
+                n_ranks=n_ranks,
+                payload=PayloadSpec.of(array),
+                root=root,
+                tune=True,
+                roughness=classify_roughness(array, self.config.error_bound),
+            )
+            return self._run(request, array)
+        return self._run(
+            CollectiveRequest(
+                op="bcast", n_ranks=n_ranks, kernel=kernel, root=root
+            ),
+            data,
+        )
+
+    def batched_reduce(
+        self, batch: list[list[np.ndarray]], root: int = 0
+    ) -> CollectiveResult:
+        """Fused SUM Reduce of several same-shaped sessions in one pass.
+
+        ``batch[s][i]`` is session ``s``'s contribution on rank ``i``.
+        Every rank compresses each session vector once, the root folds
+        each session with one fused k-way homomorphic reduction, and
+        ``outputs[s]`` is session ``s``'s reduced vector — bit-identical
+        to ``len(batch)`` independent ``reduce`` calls (the aggregation
+        service's coalescing path).
+        """
+        if not batch:
+            raise ValueError("batched_reduce needs at least one session")
+        first = validate_local_data(batch[0])
+        request = CollectiveRequest(
+            op="batched-reduce",
+            n_ranks=len(first),
+            payload=PayloadSpec.of(first[0]),
+            root=root,
+            sessions=len(batch),
+        )
+        return self._run(request, batch)

@@ -1,0 +1,608 @@
+"""The request → plan → execute pipeline behind every collective call.
+
+Before this module, every entry point (`HZCCL.allreduce/reduce/bcast`,
+``tuned_allreduce``, ``repro mp run``) re-derived the same
+config → cluster → codec → schedule → executor wiring inline, so there
+was no single object a service could cache, batch, or multiplex.  The
+pipeline makes the three stages explicit:
+
+* :class:`CollectiveRequest` — a frozen description of *what* the caller
+  wants: op, payload spec, rank count, placement, kernel/codec choice,
+  tuning intent.  Hashable, so repeated shapes share plans.
+* :class:`Plan` — the resolved *how*: the runner (an existing family
+  entry point, chosen by the same dispatch rules the facade used),
+  optionally the explicit :class:`~repro.schedule.Schedule` +
+  :class:`~repro.schedule.CodecSpec` pair for schedule-backed plans, the
+  tuner's pick and cost estimate when tuning.  One :func:`plan` function
+  subsumes the static-family dispatch, the tuner lookup, and the
+  hierarchical/flat demotion — with identical error messages, picks, and
+  (via :func:`execute`) identical ``tuner.*`` counters.
+* :func:`execute` — runs a plan: family runners over a
+  :class:`~repro.runtime.cluster.SimCluster`, or schedule-backed plans
+  on either the simulated :class:`~repro.schedule.ScheduleExecutor` or
+  the real multi-process :class:`~repro.schedule.MPExecutor` — same
+  ``Plan``, caller's choice of data plane.
+
+:class:`PlanCache` keys plans on (request, network, planning-relevant
+config fields, table file stamp), so repeated shapes skip dispatch and
+tuner work entirely; hits/misses surface as ``plan.cache.*`` counters
+and the cache reports its hit rate (the aggregation service and
+``BENCH_service`` read it).  Execution-only config — fault plan, retry,
+thread mode, tracing — is *not* part of the key: :func:`execute` reads
+it at run time, so a cached plan can never revive a stale fault plan.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from ..collectives import (
+    CollectiveResult,
+    ccoll_allreduce,
+    ccoll_reduce_scatter,
+    compressed_bcast,
+    hzccl_allreduce,
+    hzccl_batched_reduce,
+    hzccl_hierarchical_allreduce,
+    hzccl_reduce,
+    hzccl_reduce_direct,
+    hzccl_reduce_scatter,
+    mpi_allreduce,
+    mpi_bcast,
+    mpi_hierarchical_allreduce,
+    mpi_reduce,
+    mpi_reduce_scatter,
+)
+from ..kernels.dispatch import use_backend
+from ..obs.metrics import METRICS
+from ..runtime.cluster import SimCluster
+from ..runtime.nodemap import NodeMap
+from ..runtime.trace import TraceLog
+from ..schedule import (
+    CodecSpec,
+    Schedule,
+    ScheduleExecutor,
+    batched_fused_reduce,
+    select_inter_family,
+)
+from ..schedule.tuner import (
+    Candidate,
+    TuningKey,
+    TuningTable,
+    fabric_name,
+    load_default_table,
+    lookup_entry,
+    resolve_table_path,
+    size_bucket,
+)
+from .config import DEFAULT_CONFIG, CollectiveConfig
+
+__all__ = [
+    "PayloadSpec",
+    "CollectiveRequest",
+    "Plan",
+    "PlanCache",
+    "PLAN_CACHE",
+    "REQUEST_OPS",
+    "plan",
+    "execute",
+]
+
+_KERNELS = ("hzccl", "ccoll", "mpi")
+
+#: ops a request can carry.  ``batched-reduce`` is the aggregation
+#: service's fused coalescing plan; the rest mirror the facade methods.
+REQUEST_OPS = (
+    "allreduce", "reduce", "bcast", "reduce_scatter", "batched-reduce",
+)
+
+_TUNED_OPS = ("allreduce", "reduce", "bcast")
+
+
+@dataclass(frozen=True)
+class PayloadSpec:
+    """Shape of one rank's contribution (dtype + element count).
+
+    Static plans dispatch without looking at it (leave the default so
+    every payload size shares one cached plan); tuned plans need it for
+    the size bucket, batched plans for the cost estimate.
+    """
+
+    dtype: str = "float32"
+    elements: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * np.dtype(self.dtype).itemsize
+
+    @classmethod
+    def of(cls, array: np.ndarray) -> "PayloadSpec":
+        return cls(dtype=str(array.dtype), elements=int(array.size))
+
+
+@dataclass(frozen=True)
+class CollectiveRequest:
+    """Frozen description of one collective call (hashable — plans key
+    on it).
+
+    ``roughness`` is the classified roughness of the actual data, only
+    required when ``tune=True`` (the tuning key needs it); ``sessions``
+    is the batch width of a ``batched-reduce`` request.
+    """
+
+    op: str
+    n_ranks: int
+    payload: PayloadSpec = PayloadSpec()
+    kernel: str = "hzccl"
+    root: int = 0
+    nodemap: NodeMap | None = None
+    inter: str | None = None
+    tune: bool = False
+    roughness: str | None = None
+    sessions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in REQUEST_OPS:
+            raise ValueError(
+                f"op must be one of {REQUEST_OPS}, got {self.op!r}"
+            )
+        if self.n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {self.n_ranks}")
+        if self.sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.tune and self.op not in _TUNED_OPS:
+            raise ValueError(f"op {self.op!r} is not tunable")
+
+
+@dataclass
+class Plan:
+    """A resolved collective: a runner and/or a (schedule, codec spec).
+
+    ``runner(cluster, data) -> CollectiveResult`` wraps an existing
+    family entry point, so the plan inherits every family's fault
+    handling and degrade contract unchanged; schedule-backed plans also
+    carry the explicit ``schedule``/``spec`` pair and run on either
+    executor through :func:`execute`.  ``pick`` / ``source`` /
+    ``flat_fallback`` record a tuned plan's decision for the ``tuner.*``
+    counters; ``cost_s`` is the modelled estimate where the resolution
+    produced one (the tuner's entry, the batched plan's dry run).
+    """
+
+    request: CollectiveRequest
+    config: CollectiveConfig
+    family: str
+    runner: Callable[[SimCluster, Any], CollectiveResult] | None = None
+    schedule: Schedule | None = None
+    spec: CodecSpec | None = None
+    cost_s: float | None = None
+    source: str = "static"
+    pick: Candidate | None = None
+    flat_fallback: bool = False
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: Schedule,
+        spec: CodecSpec,
+        config: CollectiveConfig | None = None,
+        family: str = "",
+    ) -> "Plan":
+        """Wrap an explicit (schedule, codec spec) pair — the ``repro
+        mp`` path and ad-hoc schedule-backed callers."""
+        return cls(
+            request=CollectiveRequest(
+                op="reduce_scatter", n_ranks=schedule.n_ranks
+            ),
+            config=config or DEFAULT_CONFIG,
+            family=family or schedule.name,
+            schedule=schedule,
+            spec=spec,
+            source="schedule",
+        )
+
+
+class PlanCache:
+    """Thread-safe LRU of resolved plans, keyed by request shape.
+
+    Plans are stateless (runners close over frozen config and pure
+    entry points), so sharing one across calls — and across the
+    service's worker threads — is safe.  Hits/misses are counted both
+    locally (``hit_rate()``, reported by ``BENCH_service.json``) and in
+    the global registry (``plan.cache.hit`` / ``plan.cache.miss``).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get(self, key: Hashable) -> Plan | None:
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if METRICS.enabled:
+            METRICS.inc("plan.cache.hit" if cached else "plan.cache.miss")
+        return cached
+
+    def put(self, key: Hashable, plan_: Plan) -> None:
+        with self._lock:
+            self._plans[key] = plan_
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: the process-wide default cache every facade call goes through.
+PLAN_CACHE = PlanCache()
+
+
+def _plan_key(request, config, network, rates):
+    """Everything the *planning* decision depends on.
+
+    Execution-only config (fault plan, retry, thread mode, tracing) is
+    deliberately excluded — :func:`execute` reads it at run time.
+    """
+    parts = [
+        request,
+        network,
+        config.error_bound,
+        config.block_size,
+        config.n_threadblocks,
+        rates,
+    ]
+    if request.tune:
+        # the resolved table file is part of the decision: key on its
+        # identity and stamp so swapping or rewriting it invalidates
+        path = resolve_table_path(config)
+        stamp = None
+        if path is not None and os.path.exists(path):
+            st = os.stat(path)
+            stamp = (st.st_mtime_ns, st.st_size)
+        parts.append((path, stamp))
+    return tuple(parts)
+
+
+def _default_rates():
+    # Lazy: core.cost_model imports back into this package's siblings
+    # and plan() may never need rates at all.
+    from .cost_model import PAPER_BROADWELL
+
+    return PAPER_BROADWELL
+
+
+# --------------------------------------------------------------------- #
+# plan(): one resolver for every entry point
+# --------------------------------------------------------------------- #
+def _candidate_runner(op, cand, config, request):
+    """Map a tuner candidate to its family entry point (one closure)."""
+    if op == "allreduce":
+        # lazy: tuned.py is a thin wrapper over this module
+        from ..collectives.tuned import run_candidate
+
+        nodemap = request.nodemap
+
+        def run(cluster, data):
+            return run_candidate(cand, cluster, data, config, nodemap)
+
+        return run
+    root = request.root
+    if op == "reduce":
+        if cand.family == "direct":
+            return lambda cl, d: hzccl_reduce_direct(cl, d, config, root=root)
+        if cand.codec == "hz":
+            return lambda cl, d: hzccl_reduce(cl, d, config, root=root)
+        return lambda cl, d: mpi_reduce(cl, d, root=root)
+    if op == "bcast":
+        if cand.codec == "hz":
+            return lambda cl, d: compressed_bcast(cl, d, config, root=root)
+        return lambda cl, d: mpi_bcast(cl, d, root=root)
+    raise ValueError(f"no tuned dispatch for op {op!r}")
+
+
+def _tuned_plan(request, config, network, table, rates) -> Plan:
+    """The tuner path: table → memo → enumeration, then demotion."""
+    if request.roughness is None:
+        raise ValueError("tune=True requests need a classified roughness")
+    if rates is None:
+        rates = _default_rates()
+    if table is None:
+        table = load_default_table(resolve_table_path(config))
+    key = TuningKey(
+        op=request.op,
+        dtype=request.payload.dtype,
+        bucket=size_bucket(request.payload.nbytes),
+        n_ranks=request.n_ranks,
+        fabric=fabric_name(network),
+        roughness=request.roughness,
+    )
+    entry, source = lookup_entry(key, network, rates, request.nodemap, table)
+
+    cand, cost, flat_fallback = entry.pick, entry.cost_s, False
+    if cand.hierarchical and request.nodemap is None:
+        cand, cost, flat_fallback = entry.flat_pick, entry.flat_cost_s, True
+    return Plan(
+        request=request,
+        config=config,
+        family=cand.slug(),
+        runner=_candidate_runner(request.op, cand, config, request),
+        cost_s=cost,
+        source=source,
+        pick=cand,
+        flat_fallback=flat_fallback,
+    )
+
+
+def _batched_plan(request, config, rates, network) -> Plan:
+    root = request.root
+    schedule = batched_fused_reduce(request.n_ranks, request.sessions, root)
+    spec = CodecSpec(
+        kind="homomorphic",
+        error_bound=config.error_bound,
+        block_size=config.block_size,
+        n_threadblocks=config.n_threadblocks,
+    )
+    cost = None
+    if request.payload.nbytes > 0:
+        from ..schedule.cost import HZ_REDUCE, schedule_cost
+
+        cost = schedule_cost(
+            schedule,
+            HZ_REDUCE,
+            request.payload.nbytes * request.sessions,
+            rates if rates is not None else _default_rates(),
+            network,
+        ).total_time
+    return Plan(
+        request,
+        config,
+        "batched-fused",
+        runner=lambda cl, batch: hzccl_batched_reduce(
+            cl, batch, config, root=root
+        ),
+        schedule=schedule,
+        spec=spec,
+        cost_s=cost,
+    )
+
+
+def _plan_uncached(request, config, network, table, rates) -> Plan:
+    op, kernel = request.op, request.kernel
+
+    if request.tune:
+        return _tuned_plan(request, config, network, table, rates)
+
+    if op == "reduce_scatter":
+        if kernel == "hzccl":
+            return Plan(request, config, "hzccl",
+                        lambda cl, d: hzccl_reduce_scatter(cl, d, config))
+        if kernel == "ccoll":
+            return Plan(request, config, "ccoll",
+                        lambda cl, d: ccoll_reduce_scatter(cl, d, config))
+        if kernel == "mpi":
+            return Plan(request, config, "mpi",
+                        lambda cl, d: mpi_reduce_scatter(cl, d))
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+
+    if op == "allreduce":
+        if request.nodemap is not None:
+            nodemap = request.nodemap
+            inter = request.inter
+            if inter is None:
+                # the hierarchical decision point: resolve the inter-node
+                # family now so the plan is fully explicit
+                inter = select_inter_family(network, nodemap)
+            if kernel == "hzccl":
+                return Plan(
+                    request, config, f"hier-{inter}",
+                    lambda cl, d: hzccl_hierarchical_allreduce(
+                        cl, d, config, nodemap, inter
+                    ),
+                )
+            if kernel == "mpi":
+                return Plan(
+                    request, config, f"hier-{inter}",
+                    lambda cl, d: mpi_hierarchical_allreduce(
+                        cl, d, nodemap, inter
+                    ),
+                )
+            raise ValueError(
+                "hierarchical allreduce supports kernels 'hzccl' and "
+                f"'mpi', got {kernel!r}"
+            )
+        if kernel == "hzccl":
+            return Plan(request, config, "hzccl",
+                        lambda cl, d: hzccl_allreduce(cl, d, config))
+        if kernel == "ccoll":
+            return Plan(request, config, "ccoll",
+                        lambda cl, d: ccoll_allreduce(cl, d, config))
+        if kernel == "mpi":
+            return Plan(request, config, "mpi",
+                        lambda cl, d: mpi_allreduce(cl, d))
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
+
+    if op == "reduce":
+        root = request.root
+        if kernel == "hzccl":
+            return Plan(request, config, "hzccl",
+                        lambda cl, d: hzccl_reduce(cl, d, config, root=root))
+        if kernel == "hzccl-direct":
+            return Plan(
+                request, config, "hzccl-direct",
+                lambda cl, d: hzccl_reduce_direct(cl, d, config, root=root),
+            )
+        if kernel == "mpi":
+            return Plan(request, config, "mpi",
+                        lambda cl, d: mpi_reduce(cl, d, root=root))
+        raise ValueError(
+            f"kernel must be 'hzccl', 'hzccl-direct' or 'mpi', got {kernel!r}"
+        )
+
+    if op == "bcast":
+        root = request.root
+        if kernel == "hzccl":
+            return Plan(
+                request, config, "hzccl",
+                lambda cl, d: compressed_bcast(cl, d, config, root=root),
+            )
+        if kernel == "mpi":
+            return Plan(request, config, "mpi",
+                        lambda cl, d: mpi_bcast(cl, d, root=root))
+        raise ValueError(f"kernel must be 'hzccl' or 'mpi', got {kernel!r}")
+
+    return _batched_plan(request, config, rates, network)
+
+
+def plan(
+    request: CollectiveRequest,
+    config: CollectiveConfig | None = None,
+    *,
+    network=None,
+    table: TuningTable | None = None,
+    rates=None,
+    cache: PlanCache | None = PLAN_CACHE,
+) -> Plan:
+    """Resolve a request into a :class:`Plan`.
+
+    ``network`` defaults to the config's fabric (pass the cluster's
+    when planning for an existing cluster).  An explicit ``table``
+    bypasses the cache — its contents are not part of the key;
+    ``cache=None`` disables caching for this call.
+    """
+    config = config or DEFAULT_CONFIG
+    if network is None:
+        network = config.network
+    key = None
+    if cache is not None and table is None:
+        try:
+            key = _plan_key(request, config, network, rates)
+        except TypeError:
+            key = None  # unhashable rates/network: plan uncached
+        if key is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+    resolved = _plan_uncached(request, config, network, table, rates)
+    if key is not None:
+        cache.put(key, resolved)
+    return resolved
+
+
+# --------------------------------------------------------------------- #
+# execute(): one dispatcher for every data plane
+# --------------------------------------------------------------------- #
+def _sim_cluster(n_ranks, config, trace):
+    return SimCluster(
+        n_ranks=n_ranks,
+        network=config.network,
+        thread_speedup=config.thread_speedup,
+        multithread=config.multithread,
+        trace=TraceLog() if trace else None,
+        faults=config.fault_plan,
+        retry=config.retry,
+    )
+
+
+def _mp_cluster_type():
+    from ..runtime.mp_cluster import MPCluster
+
+    return MPCluster
+
+
+def execute(
+    plan_: Plan,
+    local_data=None,
+    *,
+    state=None,
+    cluster=None,
+    config: CollectiveConfig | None = None,
+    trace: bool = False,
+    fault_plan=None,
+    retry=None,
+):
+    """Run a plan.
+
+    Two calling shapes:
+
+    * ``execute(plan, local_data)`` — the facade path: builds a
+      :class:`SimCluster` from the execute-time ``config`` (default:
+      the plan's), runs the plan's family runner under the configured
+      kernel backend, and emits the tuned path's ``tuner.*`` counters.
+      Returns the family's :class:`CollectiveResult`.
+    * ``execute(plan, state=..., cluster=...)`` — the schedule path:
+      runs the plan's explicit (schedule, spec) pair on whichever data
+      plane ``cluster`` is — an ``MPCluster`` dispatches to
+      :class:`~repro.schedule.MPExecutor`, anything else (``None``
+      builds a fresh simulated cluster) to the simulated
+      :class:`~repro.schedule.ScheduleExecutor`.  Returns the
+      executor's outcome (state, wire bytes, degraded flag).
+    """
+    config = config or plan_.config
+    if state is not None:
+        if plan_.schedule is None or plan_.spec is None:
+            raise ValueError(
+                "state-based execution needs a schedule-backed plan"
+            )
+        if isinstance(cluster, _mp_cluster_type()):
+            from ..schedule import MPExecutor
+
+            return MPExecutor(
+                cluster, plan_.spec, plan=fault_plan, retry=retry
+            ).run(plan_.schedule, state)
+        if cluster is None:
+            if retry is not None:
+                cluster = SimCluster(
+                    plan_.schedule.n_ranks, faults=fault_plan, retry=retry
+                )
+            else:
+                cluster = SimCluster(plan_.schedule.n_ranks, faults=fault_plan)
+        codec = plan_.spec.build(cluster)
+        return ScheduleExecutor(cluster, codec).run(plan_.schedule, state)
+
+    if plan_.runner is None:
+        raise ValueError("data-based execution needs a runner-backed plan")
+    if cluster is None:
+        cluster = _sim_cluster(plan_.request.n_ranks, config, trace)
+    if plan_.pick is not None and METRICS.enabled:
+        METRICS.inc("tuner.lookups")
+        METRICS.inc(f"tuner.source.{plan_.source}")
+        METRICS.inc(f"tuner.pick.{plan_.pick.slug()}")
+        if plan_.flat_fallback:
+            METRICS.inc("tuner.flat_fallback")
+    with use_backend(config.kernel_backend):
+        return plan_.runner(cluster, local_data)

@@ -66,6 +66,17 @@ class HistogramStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def copy(self) -> "HistogramStats":
+        """Independent snapshot (readers must never share the live
+        object with concurrently-observing writers)."""
+        out = HistogramStats()
+        out.count = self.count
+        out.total = self.total
+        out.vmin = self.vmin
+        out.vmax = self.vmax
+        out.buckets = dict(self.buckets)
+        return out
+
     def as_dict(self) -> dict[str, float]:
         return {
             "count": self.count,
@@ -124,8 +135,12 @@ class MetricsRegistry:
             hist.observe(value)
 
     # ------------------------------------------------------------------ #
+    # Readers take the same lock as writers and return copies, so a
+    # thread (or the aggregation service's event loop) polling counters
+    # mid-run never sees torn histogram state or a mutating dict.
     def counter(self, name: str) -> float:
-        return self._counters.get(name, 0.0)
+        with self._lock:
+            return self._counters.get(name, 0.0)
 
     def counters(self) -> dict[str, float]:
         with self._lock:
@@ -136,7 +151,9 @@ class MetricsRegistry:
             return dict(self._gauges)
 
     def histogram(self, name: str) -> HistogramStats | None:
-        return self._histograms.get(name)
+        with self._lock:
+            hist = self._histograms.get(name)
+            return hist.copy() if hist is not None else None
 
     def snapshot(self) -> dict[str, dict]:
         """One JSON-ready view of everything recorded so far."""

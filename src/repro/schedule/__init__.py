@@ -43,6 +43,7 @@ from .executor import Outcome, ScheduleExecutor
 from .mp_executor import CodecSpec, MPExecutor
 from .generators import (
     INTER_FAMILIES,
+    batched_fused_reduce,
     binomial_bcast,
     direct_reduce,
     flat_gather,
@@ -89,6 +90,7 @@ __all__ = [
     "rabenseifner_ranges",
     "flat_gather",
     "direct_reduce",
+    "batched_fused_reduce",
     "binomial_bcast",
     "hierarchical_allreduce_schedule",
     "select_inter_family",

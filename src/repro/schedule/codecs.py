@@ -88,7 +88,8 @@ class PayloadCodec:
         for b, item in zip(blocks, items):
             state[rank][b] = item
 
-    def fold_fused(self, rank: int, blocks, state: State, fanin: int) -> None:
+    def fold_fused(self, rank: int, blocks, state: State, fanin: int,
+                   out: Hashable = "fused") -> None:
         raise NotImplementedError
 
     def finalize(self, rank: int, blocks, state: State) -> None:
@@ -217,9 +218,9 @@ class HomomorphicCodec(_CompressedCodec):
                     (state[rank][b], item)
                 )
 
-    def fold_fused(self, rank, blocks, state, fanin):
+    def fold_fused(self, rank, blocks, state, fanin, out="fused"):
         with self.cluster.timed(rank, "HPR"):
-            state[rank]["fused"] = self.engine.reduce_fused(
+            state[rank][out] = self.engine.reduce_fused(
                 [state[rank][b] for b in blocks]
             )
 

@@ -103,6 +103,16 @@ HZ_GATHER = Discipline(
     compressed_wire=True,
     finalize=(("DPR", "dpr"),),
 )
+#: compressed broadcast: one encode at the root, compressed bytes on the
+#: tree, one decode per receiving rank (the tuner prices the decode via
+#: the generator's ``finalize=True`` pricing variant — the executed
+#: schedule decodes on the delivery store, which a dry run cannot see).
+HZ_BCAST = Discipline(
+    "hz-bcast",
+    compressed_wire=True,
+    prepare=(("CPR", "cpr"),),
+    finalize=(("DPR", "dpr"),),
+)
 
 
 # --------------------------------------------------------------------- #

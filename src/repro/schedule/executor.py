@@ -226,7 +226,8 @@ class ScheduleExecutor:
                 codec.fold(op.rank, tuple(blocks), items, state,
                            fresh=op.fresh)
         elif op.kind == "fold_fused":
-            codec.fold_fused(op.rank, op.blocks, state, fanin=op.fanin)
+            codec.fold_fused(op.rank, op.blocks, state, fanin=op.fanin,
+                             out=op.out)
         elif op.kind == "finalize":
             codec.finalize(op.rank, op.blocks, state)
         elif op.kind == "finalize_local":

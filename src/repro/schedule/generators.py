@@ -36,6 +36,7 @@ __all__ = [
     "rabenseifner_ranges",
     "flat_gather",
     "direct_reduce",
+    "batched_fused_reduce",
     "binomial_bcast",
     "hierarchical_allreduce_schedule",
     "select_inter_family",
@@ -493,7 +494,73 @@ def direct_reduce(n: int, root: int) -> Schedule:
 
 
 @lru_cache(maxsize=None)
-def binomial_bcast(n: int, root: int, deliver: bool = False) -> Schedule:
+def batched_fused_reduce(n: int, sessions: int, root: int = 0) -> Schedule:
+    """``sessions`` independent rooted reduces coalesced into one schedule.
+
+    The aggregation service's batching window lands here: each rank
+    prepares one vector per session (``("v", s, i)``, weight
+    ``1/sessions``), all of a rank's session vectors ride one incast
+    stream to the root, and the root runs one fused k-way fold *per
+    session* — each landing in its own ``("f", s)`` key via
+    ``LocalOp.out`` — before a single batched decode.  Amortises the
+    per-message α and the per-call setup across the whole batch while
+    keeping every session's arithmetic identical to a standalone
+    :func:`direct_reduce` (the fused fold is exact in the integer
+    domain, so coalescing cannot change decoded values).
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    vec = {
+        (s, i): ("v", s, i)
+        for s in range(sessions)
+        for i in range(n)
+    }
+    out = tuple(("f", s) for s in range(sessions))
+    setup = Round(
+        kind="compute",
+        ops=tuple(
+            LocalOp(i, "prepare",
+                    tuple(vec[s, i] for s in range(sessions)))
+            for i in range(n)
+        ),
+    )
+    gather = Round(
+        kind="incast",
+        comms=tuple(
+            CommOp(src=i, dst=root,
+                   blocks=tuple(vec[s, i] for s in range(sessions)),
+                   action="store", transport="sender")
+            for i in range(n)
+            if i != root
+        ),
+    )
+    fold = Round(
+        kind="compute",
+        ops=tuple(
+            LocalOp(root, "fold_fused",
+                    tuple(vec[s, i] for i in range(n)),
+                    fanin=n, out=out[s])
+            for s in range(sessions)
+        )
+        + (LocalOp(root, "finalize", out),),
+    )
+    weights: dict[Hashable, float] = {v: 1.0 / sessions for v in vec.values()}
+    weights.update({o: 1.0 / sessions for o in out})
+    return Schedule(
+        name=f"batched-fused-reduce(n={n},k={sessions},root={root})",
+        n_ranks=n,
+        phases=(
+            Phase("setup", (setup,)),
+            Phase("gather", (gather,)),
+            Phase("fused-fold", (fold,)),
+        ),
+        weights=weights,
+    ).validate()
+
+
+@lru_cache(maxsize=None)
+def binomial_bcast(n: int, root: int, deliver: bool = False,
+                   finalize: bool = False) -> Schedule:
     """Binomial-tree broadcast of the single block ``"data"``.
 
     Dissemination rounds use representative-flow accounting (all of a
@@ -524,6 +591,26 @@ def binomial_bcast(n: int, root: int, deliver: bool = False) -> Schedule:
         )
         holders += senders
     phases = [Phase("setup", (setup,)), Phase("tree", tuple(tree))]
+    if finalize:
+        # cost-model pricing variant only: the executed compressed bcast
+        # decodes on the delivery round's store (deliver=True), which the
+        # dry-run profiler cannot charge — this explicit per-rank decode
+        # round prices the same work (all decodes run in parallel).
+        phases.append(
+            Phase(
+                "decode",
+                (
+                    Round(
+                        kind="compute",
+                        ops=tuple(
+                            LocalOp(i, "finalize", ("data",))
+                            for i in range(n)
+                            if i != root
+                        ),
+                    ),
+                ),
+            )
+        )
     if deliver:
         phases.append(
             Phase(

@@ -122,6 +122,10 @@ class LocalOp:
     fresh: bool = True
     #: operand count for ``fold_fused`` (the k of the k-way kernel).
     fanin: int = 0
+    #: destination state key for ``fold_fused`` output — batched
+    #: schedules fuse several independent sessions on one root, each
+    #: landing in its own key.
+    out: Hashable = "fused"
 
 
 @dataclass(frozen=True)

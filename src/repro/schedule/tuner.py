@@ -57,8 +57,11 @@ from ..runtime.fabrics import (
 )
 from ..runtime.network import NetworkModel
 from ..runtime.nodemap import NodeMap
-from .cost import HZ_GATHER, HZ_REDUCE, PLAIN, schedule_cost
+from .cost import HZ_BCAST, HZ_GATHER, HZ_REDUCE, PLAIN, schedule_cost
 from .generators import (
+    binomial_bcast,
+    direct_reduce,
+    flat_gather,
     hierarchical_allreduce_schedule,
     pipelined_ring_reduce_scatter,
     rabenseifner_allreduce_schedule,
@@ -68,6 +71,7 @@ from .generators import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "TUNABLE_OPS",
     "PIPELINE_MAX_RANKS",
     "PIPELINE_CHUNKS",
     "ROUGH_RATIO",
@@ -120,7 +124,17 @@ ROUGHNESS_BITS_THRESHOLD = 6.0
 #: class uses the rates' own calibrated ratio (the paper's 9.21).
 ROUGH_RATIO = 1.6
 
-_FAMILIES = ("ring", "pipelined", "rabenseifner", "hier-ring", "hier-rabenseifner")
+#: ops the table can key on.  ``allreduce`` enumerates the full
+#: family × codec × chunking × placement grid; the rooted ops enumerate
+#: their (flat) family × codec grids — ``reduce`` chooses between the
+#: ring Reduce_scatter+gather pipelines and the flat fused direct reduce,
+#: ``bcast`` between the plain and compressed binomial trees.
+TUNABLE_OPS = ("allreduce", "reduce", "bcast")
+
+_FAMILIES = (
+    "ring", "pipelined", "rabenseifner", "hier-ring", "hier-rabenseifner",
+    "direct", "binomial",
+)
 _CODECS = ("plain", "hz")
 
 
@@ -180,7 +194,7 @@ class TuningKey:
     roughness: str
 
     def __post_init__(self) -> None:
-        if self.op != "allreduce":
+        if self.op not in TUNABLE_OPS:
             raise TuningTableError(f"unsupported op {self.op!r}")
         if self.bucket < 0:
             raise TuningTableError(f"negative size bucket {self.bucket}")
@@ -216,7 +230,7 @@ class TuningKey:
 # --------------------------------------------------------------------- #
 # candidates
 # --------------------------------------------------------------------- #
-_SLUG_FLAT_RE = re.compile(r"^(ring|rabenseifner)-(plain|hz)$")
+_SLUG_FLAT_RE = re.compile(r"^(ring|rabenseifner|direct|binomial)-(plain|hz)$")
 _SLUG_PIPE_RE = re.compile(r"^pipelined(\d+)-hz$")
 _SLUG_HIER_RE = re.compile(r"^hier-(ring|rabenseifner)(\d+)-(plain|hz)$")
 
@@ -247,6 +261,11 @@ class Candidate:
             raise TuningTableError(
                 "pipelined candidates need chunks >= 2 and the hz codec"
             )
+        if self.family == "direct" and self.codec != "hz":
+            # the direct rooted reduce only exists as the fused k-way
+            # homomorphic schedule — a plain flat gather-and-add is the
+            # ring family's job
+            raise TuningTableError("direct candidates need the hz codec")
         if self.family != "pipelined" and self.chunks != 1:
             raise TuningTableError("chunks > 1 is pipelined-only")
         if self.hierarchical != (self.ranks_per_node > 0):
@@ -296,14 +315,32 @@ def enumerate_candidates(
       holding ≥ 2 ranks on some node (otherwise the hierarchy degenerates
       to the flat inter family and would only duplicate it);
       ``hier-rabenseifner`` additionally needs a power-of-two node count.
+
+    The rooted ops enumerate their own (flat) grids: ``reduce`` chooses
+    among ``ring-plain`` / ``ring-hz`` (Reduce_scatter + gather) and
+    ``direct-hz`` (flat compressed gather + one fused k-way fold);
+    ``bcast`` between ``binomial-plain`` and ``binomial-hz``.
     """
-    if op != "allreduce":
-        raise ValueError(f"the tuner currently supports allreduce, not {op!r}")
+    if op not in TUNABLE_OPS:
+        raise ValueError(
+            f"the tuner supports ops {TUNABLE_OPS}, not {op!r}"
+        )
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     if nodemap is not None and nodemap.n_ranks != n:
         raise ValueError(
             f"nodemap covers {nodemap.n_ranks} ranks, expected {n}"
+        )
+    if op == "reduce":
+        return (
+            Candidate("ring", "plain"),
+            Candidate("ring", "hz"),
+            Candidate("direct", "hz"),
+        )
+    if op == "bcast":
+        return (
+            Candidate("binomial", "plain"),
+            Candidate("binomial", "hz"),
         )
     cands = [Candidate("ring", "plain"), Candidate("ring", "hz")]
     if 2 <= n <= PIPELINE_MAX_RANKS:
@@ -332,7 +369,8 @@ def enumerate_candidates(
 
 @lru_cache(maxsize=512)
 def candidate_stages(
-    cand: Candidate, n: int, nodemap: NodeMap | None = None
+    cand: Candidate, n: int, nodemap: NodeMap | None = None,
+    op: str = "allreduce",
 ):
     """The (schedule, discipline) stage pairs pricing/running ``cand``.
 
@@ -342,7 +380,27 @@ def candidate_stages(
     (schedule, discipline) across an entire tuning sweep — every message
     size and roughness class scored against the same ``(cand, n)`` reuses
     it instead of rebuilding (see ``tests/schedule/test_profile_reuse``).
+
+    The rooted ops price against the canonical ``root=0`` schedules —
+    their generators are root-isomorphic, so the modelled cost is
+    root-independent and the table stays root-agnostic.
     """
+    if op == "reduce":
+        if cand.family == "direct":
+            return ((direct_reduce(n, 0), HZ_REDUCE),)
+        if cand.codec == "hz":
+            return (
+                (ring_reduce_scatter(n, finalize=False), HZ_REDUCE),
+                (flat_gather(n, 0, finalize=True), HZ_GATHER),
+            )
+        return (
+            (ring_reduce_scatter(n), PLAIN),
+            (flat_gather(n, 0), PLAIN),
+        )
+    if op == "bcast":
+        if cand.codec == "hz":
+            return ((binomial_bcast(n, 0, finalize=True), HZ_BCAST),)
+        return ((binomial_bcast(n, 0), PLAIN),)
     if cand.hierarchical:
         if nodemap is None:
             raise ValueError(f"candidate {cand.slug()} needs a nodemap")
@@ -422,10 +480,13 @@ def score_candidate(
     network: NetworkModel,
     roughness: str = "smooth",
     nodemap: NodeMap | None = None,
+    op: str = "allreduce",
 ) -> float:
     """Modelled seconds for one candidate at one grid point."""
     r = rates_for_roughness(rates, roughness) if cand.codec == "hz" else rates
-    stages = candidate_stages(cand, n, nodemap if cand.hierarchical else None)
+    stages = candidate_stages(
+        cand, n, nodemap if cand.hierarchical else None, op
+    )
     return sum(
         schedule_cost(sched, disc, size_bytes, r, network).total_time
         for sched, disc in stages
@@ -439,12 +500,19 @@ class TableEntry:
     ``flat_pick`` is consulted when a caller has no :class:`NodeMap` (no
     placement information ⇒ hierarchical schedules are unavailable), so a
     table built with placement still serves placement-free callers.
+
+    ``network`` records which scoring network produced the entry — the
+    fabric name for idealised sweeps, a ``calibrated:<source>`` label
+    when the costs came from a measured α–β fit (``repro tune run
+    --calibration``).  Provenance only: merge conflict resolution and
+    lookups ignore it.
     """
 
     pick: Candidate
     cost_s: float
     flat_pick: Candidate
     flat_cost_s: float
+    network: str = ""
 
     def __post_init__(self) -> None:
         for name in ("cost_s", "flat_cost_s"):
@@ -462,6 +530,7 @@ class TableEntry:
             "cost_s": self.cost_s,
             "flat_pick": self.flat_pick.slug(),
             "flat_cost_s": self.flat_cost_s,
+            "network": self.network,
         }
 
     @classmethod
@@ -473,6 +542,7 @@ class TableEntry:
             flat_pick = Candidate.parse(doc["flat_pick"])
             cost_s = float(doc["cost_s"])
             flat_cost_s = float(doc["flat_cost_s"])
+            network = str(doc.get("network", ""))
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, TuningTableError):
                 raise
@@ -480,6 +550,7 @@ class TableEntry:
         return cls(
             pick=pick, cost_s=cost_s,
             flat_pick=flat_pick, flat_cost_s=flat_cost_s,
+            network=network,
         )
 
 
@@ -492,12 +563,15 @@ def tune_point(
     nodemap: NodeMap | None = None,
     dtype: str = "float32",
     op: str = "allreduce",
+    network_label: str | None = None,
 ) -> tuple[TuningKey, TableEntry, dict[str, float]]:
     """Score every candidate at one grid point.
 
     Returns the key, the winning entry (argmin of modelled cost, slug
     lexical order breaking exact ties so the pick is deterministic), and
-    the full ``slug → cost`` map for gates/fixtures.
+    the full ``slug → cost`` map for gates/fixtures.  ``network_label``
+    overrides the provenance recorded on the entry (calibrated sweeps
+    label their fit's source document; the default is the fabric name).
     """
     key = TuningKey(
         op=op,
@@ -511,7 +585,7 @@ def tune_point(
     best = flat_best = None
     for cand in enumerate_candidates(n, nodemap, op=op):
         cost = score_candidate(
-            cand, n, size_bytes, rates, network, roughness, nodemap
+            cand, n, size_bytes, rates, network, roughness, nodemap, op
         )
         costs[cand.slug()] = cost
         ranked = (cost, cand.slug())
@@ -525,6 +599,10 @@ def tune_point(
     entry = TableEntry(
         pick=best[1], cost_s=best[0],
         flat_pick=flat_best[1], flat_cost_s=flat_best[0],
+        network=(
+            network_label if network_label is not None
+            else fabric_name(network)
+        ),
     )
     return key, entry, costs
 

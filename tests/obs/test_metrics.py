@@ -89,6 +89,57 @@ class TestRecording:
         assert reg.counter("n") == 4000
 
 
+class TestConcurrentReaders:
+    """Readers share the writer lock and hand out copies (DESIGN §16):
+    a polling thread — e.g. the aggregation service's event loop — must
+    never see torn histogram state or have its snapshot mutate later."""
+
+    def test_histogram_reads_are_internally_consistent_under_writes(self):
+        reg = MetricsRegistry(enabled=True)
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            v = 0
+            while not stop.is_set():
+                reg.observe("h", float(v % 17 + 1))
+                v += 1
+
+        def reader():
+            for _ in range(2000):
+                hist = reg.histogram("h")
+                if hist is None:
+                    continue
+                # count/total/buckets were copied under one lock hold:
+                # the bucket sketch must account for every observation.
+                if sum(hist.buckets.values()) != hist.count:
+                    torn.append((hist.count, dict(hist.buckets)))
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not torn
+
+    def test_histogram_returns_independent_copy(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.observe("h", 2.0)
+        snap = reg.histogram("h")
+        reg.observe("h", 4.0)
+        assert snap.count == 1  # later writes don't leak into the snapshot
+        assert reg.histogram("h").count == 2
+
+    def test_counters_snapshot_is_stable_under_writes(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("a")
+        snap = reg.counters()
+        reg.inc("b")
+        assert snap == {"a": 1.0}
+
+
 class TestScopedEnable:
     def test_context_manager_enables_and_restores(self):
         reg = MetricsRegistry()

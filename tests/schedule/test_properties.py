@@ -70,7 +70,7 @@ def run_symbolic(schedule: Schedule, state: list[dict]) -> list[dict]:
                 for p in parts:
                     assert not (union & p), "fused fold double-counts"
                     union = union | p
-                state[op.rank]["fused"] = union
+                state[op.rank][op.out] = union
     assert not pending, f"{len(pending)} staged chunks never folded"
     return state
 

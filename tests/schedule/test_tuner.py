@@ -59,7 +59,7 @@ def test_tuning_key_canonical_round_trip():
         "allreduce/float32/b22/n256/torus",          # missing axis
         "allreduce/float32/22/n256/torus/smooth",    # bucket marker lost
         "allreduce/float32/b22/n256/torus/silky",    # unknown roughness
-        "reduce/float32/b22/n256/torus/smooth",      # unsupported op
+        "allgather/float32/b22/n256/torus/smooth",   # unsupported op
         "allreduce/float32/b-3/n256/torus/smooth",   # negative bucket
     ],
 )
@@ -167,7 +167,7 @@ def test_enumeration_rejects_mismatched_nodemap():
     with pytest.raises(ValueError):
         enumerate_candidates(8, NodeMap.regular(16, 4))
     with pytest.raises(ValueError):
-        enumerate_candidates(8, op="bcast")
+        enumerate_candidates(8, op="allgather")
 
 
 # --------------------------------------------------------------------- #

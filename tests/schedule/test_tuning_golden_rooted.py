@@ -1,0 +1,89 @@
+"""Golden-fixture pin of the tuner's rooted-op picks (reduce / bcast).
+
+``fixtures/tuning_golden_rooted.json`` freezes the tuner's decisions for
+the rooted ``reduce`` and ``bcast`` ops on a small frozen grid — the
+rooted candidate sets are flat (no placement axis), so the grid covers
+rank counts, a latency- and a bandwidth-dominated size, two fabrics, and
+both roughness classes.
+
+Regenerating after an *intentional* cost-model change::
+
+    PYTHONPATH=src python tests/schedule/test_tuning_golden_rooted.py
+
+then review the printed diff and commit the updated fixture together
+with the change that caused it (same policy as ``tuning_golden.json``).
+"""
+
+import json
+import pathlib
+
+from repro.core.cost_model import PAPER_BROADWELL
+from repro.runtime import DragonflyNetwork, TorusNetwork
+from repro.schedule.tuner import tune_point
+
+FIXTURE = (
+    pathlib.Path(__file__).parent / "fixtures" / "tuning_golden_rooted.json"
+)
+
+GOLDEN_OPS = ("reduce", "bcast")
+GOLDEN_RANKS = (4, 8, 64)
+GOLDEN_SIZES = (64 << 10, 4 << 20)
+GOLDEN_FABRICS = {"torus": TorusNetwork(), "dragonfly": DragonflyNetwork()}
+GOLDEN_ROUGHNESS = ("smooth", "rough")
+
+
+def compute_golden() -> dict[str, dict]:
+    grid = {}
+    for op in GOLDEN_OPS:
+        for n in GOLDEN_RANKS:
+            for fabric in sorted(GOLDEN_FABRICS):
+                for size in GOLDEN_SIZES:
+                    for roughness in GOLDEN_ROUGHNESS:
+                        key, entry, _ = tune_point(
+                            n,
+                            size,
+                            GOLDEN_FABRICS[fabric],
+                            roughness,
+                            PAPER_BROADWELL,
+                            op=op,
+                        )
+                        grid[key.canonical()] = entry.as_dict()
+    return grid
+
+
+def test_rooted_tuner_picks_match_golden_fixture():
+    golden = json.loads(FIXTURE.read_text())
+    computed = compute_golden()
+    diff = [
+        f"  {k}: golden={golden.get(k)} computed={computed.get(k)}"
+        for k in sorted(set(golden) | set(computed))
+        if golden.get(k) != computed.get(k)
+    ]
+    assert not diff, (
+        "rooted tuner picks drifted from the golden fixture (intentional "
+        "cost-model change? regenerate per the module docstring):\n"
+        + "\n".join(diff)
+    )
+
+
+def test_rooted_fixture_covers_both_ops_and_all_codecs():
+    golden = json.loads(FIXTURE.read_text())
+    ops = {k.split("/", 1)[0] for k in golden}
+    assert ops == set(GOLDEN_OPS)
+    # the grid must be discriminating: each op picks more than one
+    # candidate across the grid (otherwise the fixture pins nothing)
+    for op in GOLDEN_OPS:
+        picks = {v["pick"] for k, v in golden.items() if k.startswith(op)}
+        assert len(picks) > 1, f"{op}: grid never changes its pick ({picks})"
+
+
+if __name__ == "__main__":  # pragma: no cover — the regen helper
+    computed = compute_golden()
+    old = json.loads(FIXTURE.read_text()) if FIXTURE.exists() else {}
+    for k in sorted(set(old) | set(computed)):
+        if old.get(k) != computed.get(k):
+            print(f"~ {k}\n    {old.get(k)}\n -> {computed.get(k)}")
+    FIXTURE.write_text(
+        json.dumps(computed, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {FIXTURE} ({len(computed)} entries)")
